@@ -1,0 +1,306 @@
+// Package delinq's root benchmark harness regenerates every table of the
+// paper (go test -bench=Table) and measures the ablations DESIGN.md calls
+// out plus the substrate's raw throughput. Table benches report the
+// headline measures (pi/rho averages) as custom metrics so a bench run
+// doubles as a results summary.
+package delinq
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"delinq/internal/bench"
+	"delinq/internal/cache"
+	"delinq/internal/classify"
+	"delinq/internal/core"
+	"delinq/internal/metrics"
+	"delinq/internal/pattern"
+	"delinq/internal/tables"
+	"delinq/internal/vm"
+)
+
+// parsePct pulls a percentage out of a rendered AVERAGE cell.
+func parsePct(cell string) float64 {
+	cell = strings.TrimSuffix(strings.Fields(cell)[0], "%")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func benchTable(b *testing.B, id string, piCol, rhoCol int) {
+	b.Helper()
+	var t *tables.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = tables.ByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(t.Rows) == 0 {
+		b.Fatal("empty table")
+	}
+	last := t.Rows[len(t.Rows)-1]
+	if last[0] == "AVERAGE" {
+		if piCol > 0 && piCol < len(last) {
+			b.ReportMetric(parsePct(last[piCol]), "pi_avg_%")
+		}
+		if rhoCol > 0 && rhoCol < len(last) {
+			b.ReportMetric(parsePct(last[rhoCol]), "rho_avg_%")
+		}
+	}
+}
+
+func BenchmarkTable01(b *testing.B) { benchTable(b, "1", 3, 4) }
+func BenchmarkTable02(b *testing.B) { benchTable(b, "2", 0, 0) }
+func BenchmarkTable03(b *testing.B) { benchTable(b, "3", 0, 0) }
+func BenchmarkTable04(b *testing.B) { benchTable(b, "4", 0, 0) }
+func BenchmarkTable05(b *testing.B) { benchTable(b, "5", 0, 0) }
+func BenchmarkTable06(b *testing.B) { benchTable(b, "6", 0, 0) }
+func BenchmarkTable07(b *testing.B) { benchTable(b, "7", 0, 0) }
+func BenchmarkTable08(b *testing.B) { benchTable(b, "8", 1, 3) }
+func BenchmarkTable09(b *testing.B) { benchTable(b, "9", 1, 2) }
+func BenchmarkTable10(b *testing.B) { benchTable(b, "10", 1, 2) }
+func BenchmarkTable11(b *testing.B) { benchTable(b, "11", 1, 2) }
+func BenchmarkTable12(b *testing.B) { benchTable(b, "12", 1, 2) }
+func BenchmarkTable13(b *testing.B) { benchTable(b, "13", 0, 0) }
+func BenchmarkTable14(b *testing.B) { benchTable(b, "14", 0, 0) }
+
+// BenchmarkTableS1 regenerates the static-frequency extension experiment.
+func BenchmarkTableS1(b *testing.B) { benchTable(b, "S1", 0, 0) }
+
+// BenchmarkTableS2 regenerates the per-benchmark-threshold extension.
+func BenchmarkTableS2(b *testing.B) { benchTable(b, "S2", 0, 0) }
+
+// BenchmarkTableS3 regenerates the block-size stability extension.
+func BenchmarkTableS3(b *testing.B) { benchTable(b, "S3", 1, 3) }
+
+// BenchmarkAblationPhiMax compares the paper's max-over-patterns φ with
+// a sum-over-patterns variant on the full 18-benchmark suite, reporting
+// both aggregations' precision.
+func BenchmarkAblationPhiMax(b *testing.B) {
+	cfg, err := tables.HeuristicConfig(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var piMax, piSum float64
+	for i := 0; i < b.N; i++ {
+		piMax, piSum = 0, 0
+		for _, bm := range bench.All() {
+			ctx, err := tables.Load(bm, false, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scored := ctx.Heuristic(cfg)
+			nMax, nSum := 0, 0
+			for _, s := range scored {
+				if s.Delinquent {
+					nMax++
+				}
+				// Sum variant: add every pattern's score.
+				sum := 0.0
+				for _, p := range s.Load.Patterns {
+					for _, c := range classify.PatternClasses(classify.FeaturesOf(p)) {
+						sum += (*cfg.Weights)[c]
+					}
+				}
+				if sum > cfg.Delta {
+					nSum++
+				}
+			}
+			piMax += float64(nMax) / float64(len(scored))
+			piSum += float64(nSum) / float64(len(scored))
+		}
+		piMax /= float64(len(bench.All()))
+		piSum /= float64(len(bench.All()))
+	}
+	b.ReportMetric(100*piMax, "pi_max_%")
+	b.ReportMetric(100*piSum, "pi_sum_%")
+}
+
+// BenchmarkAblationExpansionBounds varies the pattern-expansion depth
+// cap and reports how many loads get truncated, justifying the default
+// locality bound.
+func BenchmarkAblationExpansionBounds(b *testing.B) {
+	for _, depth := range []int{4, 8, 16, 32} {
+		depth := depth
+		b.Run("depth="+strconv.Itoa(depth), func(b *testing.B) {
+			bm := bench.ByName("126.gcc")
+			bd, err := bench.Compile(bm, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			conf := pattern.Config{MaxDepth: depth, MaxPatterns: 8, MaxNodes: 64}
+			var truncated, total int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				truncated, total = 0, 0
+				for _, fn := range bd.Prog.Funcs {
+					for _, ld := range pattern.AnalyzeFunc(fn, conf) {
+						total++
+						if ld.Truncated {
+							truncated++
+						}
+					}
+				}
+			}
+			b.ReportMetric(100*float64(truncated)/float64(total), "truncated_%")
+		})
+	}
+}
+
+// BenchmarkAblationNegativeClasses measures the heuristic with and
+// without the frequency classes — the Table 11 ablation as a single
+// number pair.
+func BenchmarkAblationNegativeClasses(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with, without = 0, 0
+		for _, bm := range bench.All() {
+			ctx, err := tables.Load(bm, false, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfgF, err := tables.HeuristicConfig(true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfgN, err := tables.HeuristicConfig(false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats := ctx.Stats(tables.GeomBaseline)
+			with += metrics.Evaluate(ctx.Delta(cfgF), stats).Pi
+			without += metrics.Evaluate(ctx.Delta(cfgN), stats).Pi
+		}
+		with /= float64(len(bench.All()))
+		without /= float64(len(bench.All()))
+	}
+	b.ReportMetric(100*with, "pi_with_freq_%")
+	b.ReportMetric(100*without, "pi_no_freq_%")
+}
+
+// BenchmarkPatternAnalysis measures the post-compilation analysis
+// throughput on the largest benchmark binary.
+func BenchmarkPatternAnalysis(b *testing.B) {
+	bd, err := bench.Compile(bench.ByName("126.gcc"), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(pattern.AnalyzeProgram(bd.Prog, pattern.DefaultConfig()))
+	}
+	b.ReportMetric(float64(n), "loads")
+}
+
+// BenchmarkSimulator measures interpreter+cache throughput in
+// instructions per second.
+func BenchmarkSimulator(b *testing.B) {
+	bd, err := bench.Compile(bench.ByName("099.go"), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var insts int64
+	for i := 0; i < b.N; i++ {
+		sim, err := core.Simulate(bd.Image, bd.Bench.Input1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts = sim.Result.Insts
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(insts), "insts/op")
+}
+
+// BenchmarkSimulatorNoCache isolates the interpreter from the cache
+// model.
+func BenchmarkSimulatorNoCache(b *testing.B) {
+	bd, err := bench.Compile(bench.ByName("099.go"), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.Run(bd.Image, vm.Options{Args: bd.Bench.Input1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiler measures mini-C compilation speed on the suite's
+// largest source.
+func BenchmarkCompiler(b *testing.B) {
+	bm := bench.ByName("126.gcc")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildSource(bm.Source, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEnd measures the full pipeline: compile, assemble,
+// disassemble, analyse, classify.
+func BenchmarkEndToEnd(b *testing.B) {
+	bm := bench.ByName("181.mcf")
+	for i := 0; i < b.N; i++ {
+		img, err := core.BuildSource(bm.Source, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.IdentifyImage(img, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Scored) == 0 {
+			b.Fatal("no loads")
+		}
+	}
+}
+
+// BenchmarkAblationReplacementPolicy measures the heuristic's coverage
+// under FIFO replacement instead of the paper's LRU — the design-choice
+// ablation DESIGN.md lists for the cache substrate.
+func BenchmarkAblationReplacementPolicy(b *testing.B) {
+	cfg, err := tables.HeuristicConfig(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	geoms := []cache.Config{
+		{SizeBytes: 8 * 1024, Assoc: 4, BlockBytes: 32, Repl: cache.LRU},
+		{SizeBytes: 8 * 1024, Assoc: 4, BlockBytes: 32, Repl: cache.FIFO},
+	}
+	var rhoLRU, rhoFIFO float64
+	for i := 0; i < b.N; i++ {
+		rhoLRU, rhoFIFO = 0, 0
+		names := []string{"181.mcf", "179.art", "164.gzip", "129.compress"}
+		for _, name := range names {
+			bd, err := bench.Compile(bench.ByName(name), false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run, err := bench.Simulate(bd, bd.Bench.Input1, geoms)
+			if err != nil {
+				b.Fatal(err)
+			}
+			delta := map[uint32]bool{}
+			for _, s := range classify.Score(bd.Loads, run, cfg) {
+				if s.Delinquent {
+					delta[s.Load.PC] = true
+				}
+			}
+			rhoLRU += metrics.Evaluate(delta, run.LoadStats(0)).Rho
+			rhoFIFO += metrics.Evaluate(delta, run.LoadStats(1)).Rho
+		}
+		rhoLRU /= float64(len(names))
+		rhoFIFO /= float64(len(names))
+	}
+	b.ReportMetric(100*rhoLRU, "rho_lru_%")
+	b.ReportMetric(100*rhoFIFO, "rho_fifo_%")
+}

@@ -1,0 +1,404 @@
+// Command delinq is the command-line front end of the delinquent-load
+// toolkit: compile mini-C programs, inspect binaries, simulate them with
+// cache models, run the static identification, retrain the heuristic
+// weights, and regenerate every table of the paper.
+//
+// Usage:
+//
+//	delinq build [-O] [-o prog.img] prog.c       compile + assemble
+//	delinq asm [-o prog.img] prog.s              assemble
+//	delinq disasm prog.img                       objdump-style listing
+//	delinq run prog.img [args...]                simulate with the baseline cache
+//	delinq analyze [-O] prog.c [args...]         identify delinquent loads
+//	delinq profile [-O] prog.c [args...]         hotspot blocks and their loads
+//	delinq trace [-o t.bin] prog.img [args...]   memory trace collection + replay
+//	delinq train                                 print the training report
+//	delinq table <1-14|S1|all>                   regenerate a paper table
+//	delinq bench                                 list the benchmark suite
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"delinq/internal/bench"
+	"delinq/internal/cache"
+	"delinq/internal/classify"
+	"delinq/internal/core"
+	"delinq/internal/metrics"
+	"delinq/internal/obj"
+	"delinq/internal/tables"
+	"delinq/internal/trace"
+	"delinq/internal/vm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "asm":
+		err = cmdAsm(os.Args[2:])
+	case "disasm":
+		err = cmdDisasm(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "train":
+		err = cmdTrain()
+	case "table":
+		err = cmdTable(os.Args[2:])
+	case "bench":
+		err = cmdBench()
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "delinq:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: delinq <command>
+  build [-O] [-o out.img] prog.c    compile mini-C and assemble
+  asm [-o out.img] prog.s           assemble MIPS-style assembly
+  disasm prog.img                   disassemble an image
+  run prog.img [args...]            simulate with the 8KB baseline cache
+  analyze [-O] prog.c [args...]     identify delinquent loads statically
+  profile [-O] prog.c [args...]     basic-block profile and hotspot loads
+  trace [-o t.bin] prog.img [args]  collect a memory trace, then replay it
+  train                             run the training phase, print weights
+  table <1-14|S1|all>               regenerate a table (S1 = extension)
+  bench                             list the benchmark suite`)
+	os.Exit(2)
+}
+
+func parseArgs(raw []string) ([]int32, error) {
+	var out []int32
+	for _, a := range raw {
+		v, err := strconv.ParseInt(a, 0, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad program argument %q", a)
+		}
+		out = append(out, int32(v))
+	}
+	return out, nil
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	opt := fs.Bool("O", false, "optimise: promote scalar locals to registers")
+	out := fs.String("o", "prog.img", "output image path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("build wants one source file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	img, err := core.BuildSource(string(src), *opt)
+	if err != nil {
+		return err
+	}
+	if err := img.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d instructions, %d bytes data, entry %#x\n",
+		*out, len(img.Text), len(img.Data), img.Entry)
+	return nil
+}
+
+func cmdAsm(args []string) error {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	out := fs.String("o", "prog.img", "output image path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("asm wants one source file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	img, err := core.BuildAsm(string(src))
+	if err != nil {
+		return err
+	}
+	if err := img.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d instructions\n", *out, len(img.Text))
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("disasm wants one image file")
+	}
+	img, err := obj.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	res, err := core.IdentifyImage(img, core.Options{})
+	if err != nil {
+		return err
+	}
+	return res.Prog.Print(os.Stdout)
+}
+
+func cmdRun(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("run wants an image file")
+	}
+	img, err := obj.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	progArgs, err := parseArgs(args[1:])
+	if err != nil {
+		return err
+	}
+	sim, err := core.Simulate(img, progArgs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sim.Result.Output)
+	st := sim.Caches[0].Stats()
+	fmt.Printf("exit=%d insts=%d accesses=%d misses=%d (%.2f%%)\n",
+		sim.Result.Exit, sim.Result.Insts, st.Accesses, st.Misses, 100*st.MissRate())
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	opt := fs.Bool("O", false, "optimise before analysing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("analyze wants a source file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	progArgs, err := parseArgs(fs.Args()[1:])
+	if err != nil {
+		return err
+	}
+	img, err := core.BuildSource(string(src), *opt)
+	if err != nil {
+		return err
+	}
+	sim, err := core.Simulate(img, progArgs)
+	if err != nil {
+		return err
+	}
+	res, err := core.IdentifyImage(img, core.Options{Profile: sim})
+	if err != nil {
+		return err
+	}
+	ev := res.Evaluate(sim, 0)
+	fmt.Printf("loads: %d total, %d possibly delinquent (pi=%.1f%%), coverage rho=%.1f%%\n",
+		ev.Loads, ev.Selected, 100*ev.Pi, 100*ev.Rho)
+	for _, d := range res.Delinquent() {
+		fmt.Println(" ", core.Describe(d))
+	}
+	okn, bdh := res.Baselines(sim, 0)
+	fmt.Printf("baselines: OKN pi=%.1f%% rho=%.1f%%; BDH pi=%.1f%% rho=%.1f%%\n",
+		100*okn.Pi, 100*okn.Rho, 100*bdh.Pi, 100*bdh.Rho)
+	return nil
+}
+
+// cmdTrace implements Section 3's off-line memory-profiling path:
+// execute natively (well, simulated) while emitting a memory trace, then
+// run the trace through cache simulators to recover per-load misses.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	out := fs.String("o", "", "write the trace to this file (default: in-memory only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("trace wants an image file")
+	}
+	img, err := obj.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	progArgs, err := parseArgs(fs.Args()[1:])
+	if err != nil {
+		return err
+	}
+	var sink io.Writer = &bytes.Buffer{}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = f
+	}
+	buf, _ := sink.(*bytes.Buffer)
+	tw := trace.NewWriter(sink)
+	res, err := vm.Run(img, vm.Options{
+		Args: progArgs,
+		OnAccess: func(pc, addr uint32, store bool) {
+			tw.Add(pc, addr, store)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("executed %d instructions, traced %d accesses\n", res.Insts, tw.Records())
+	if buf == nil {
+		fmt.Printf("trace written to %s; replay skipped\n", *out)
+		return nil
+	}
+	geoms := []cache.Config{
+		{SizeBytes: 8 * 1024, Assoc: 4, BlockBytes: 32},
+		{SizeBytes: 32 * 1024, Assoc: 4, BlockBytes: 32},
+	}
+	stats, err := trace.Replay(bytes.NewReader(buf.Bytes()), geoms...)
+	if err != nil {
+		return err
+	}
+	for i, g := range geoms {
+		fmt.Printf("%-16s misses=%d (%.2f%% of accesses)\n",
+			g.String(), stats[i].Cache.Misses, 100*stats[i].Cache.MissRate())
+	}
+	return nil
+}
+
+// cmdProfile implements the paper's Section 4 view: the basic blocks
+// covering 90% of compute cycles and the loads inside them, compared to
+// the ideal greedy set for the same coverage.
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	opt := fs.Bool("O", false, "optimise before profiling")
+	frac := fs.Float64("frac", 0.90, "cycle fraction defining hotspots")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("profile wants a source file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	progArgs, err := parseArgs(fs.Args()[1:])
+	if err != nil {
+		return err
+	}
+	img, err := core.BuildSource(string(src), *opt)
+	if err != nil {
+		return err
+	}
+	sim, err := core.Simulate(img, progArgs)
+	if err != nil {
+		return err
+	}
+	res, err := core.IdentifyImage(img, core.Options{Profile: sim})
+	if err != nil {
+		return err
+	}
+	stats := sim.LoadStats(res.Loads, 0)
+	hot := metrics.HotspotLoads(res.Prog, sim.Result.ExecAt, *frac)
+	ev := metrics.Evaluate(hot, stats)
+	ideal := metrics.IdealSet(stats, ev.Rho)
+	fmt.Printf("hotspot loads (blocks covering %.0f%% of cycles): %d of %d (pi=%.1f%%), rho=%.1f%%\n",
+		100**frac, ev.Selected, ev.Loads, 100*ev.Pi, 100*ev.Rho)
+	fmt.Printf("ideal set for the same coverage: %d loads (pi=%.2f%%)\n",
+		len(ideal), 100*float64(len(ideal))/float64(len(stats)))
+	fmt.Println("\nhot loads by misses:")
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Misses > stats[j].Misses })
+	shown := 0
+	for _, s := range stats {
+		if !hot[s.PC] || shown >= 15 || s.Misses == 0 {
+			continue
+		}
+		fn := res.Prog.FuncAt(s.PC)
+		name := "?"
+		off := s.PC
+		if fn != nil {
+			name = fn.Name
+			off = s.PC - fn.Entry
+		}
+		fmt.Printf("  %s+%#x  E=%-10d M=%d\n", name, off, s.Exec, s.Misses)
+		shown++
+	}
+	return nil
+}
+
+func cmdTrain() error {
+	rep, err := tables.TrainedReport()
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	fmt.Println()
+	for _, ar := range rep.Aggs {
+		fmt.Printf("%-4v %-24s %-9v weight %+.2f (relevant in %d of 11)\n",
+			ar.Agg, ar.Agg.Feature(), ar.Nature, ar.Weight, ar.RelevantIn)
+	}
+	paper := classify.PaperWeights()
+	fmt.Println("\npaper weights for comparison:")
+	for agg := classify.AG1; agg <= classify.AG9; agg++ {
+		fmt.Printf("%-4v %+0.2f\n", agg, paper[agg])
+	}
+	return nil
+}
+
+func cmdTable(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("table wants a table number or 'all'")
+	}
+	ids := []string{args[0]}
+	if args[0] == "all" {
+		ids = tables.IDs()
+	}
+	for _, id := range ids {
+		t, err := tables.ByID(id)
+		if err != nil {
+			return err
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdBench() error {
+	fmt.Printf("%-14s %-8s %-18s %s\n", "benchmark", "set", "input1", "input2")
+	for _, b := range bench.All() {
+		set := "test"
+		if b.Training {
+			set = "train"
+		}
+		fmt.Printf("%-14s %-8s %-18s %s\n", b.Name, set, b.Input1Name, b.Input2Name)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the delinq binary once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "delinq")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+const cliProg = `
+int tbl[2048];
+int main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 2048; i++) tbl[i] = i;
+	for (i = 0; i < 2048; i++) s += tbl[i];
+	print_int(s);
+	return s & 255;
+}
+`
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.c")
+	img := filepath.Join(dir, "prog.img")
+	if err := os.WriteFile(src, []byte(cliProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(wantSub string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, out)
+		}
+		if wantSub != "" && !strings.Contains(string(out), wantSub) {
+			t.Errorf("%v output missing %q:\n%s", args, wantSub, out)
+		}
+		return string(out)
+	}
+
+	run("wrote", "build", "-o", img, src)
+	run("exit=", "run", img)
+	run("<main>:", "disasm", img)
+	out := run("possibly delinquent", "analyze", src)
+	if !strings.Contains(out, "baselines:") {
+		t.Errorf("analyze missing baselines:\n%s", out)
+	}
+	run("hotspot loads", "profile", src)
+	run("Table 6.", "table", "6")
+
+	// Error paths exit non-zero.
+	if err := exec.Command(bin, "table", "99").Run(); err == nil {
+		t.Error("table 99 succeeded")
+	}
+	if err := exec.Command(bin, "frobnicate").Run(); err == nil {
+		t.Error("unknown command succeeded")
+	}
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Error("no-args invocation succeeded")
+	}
+}
+
+func TestCLIBenchList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	out, err := exec.Command(bin, "bench").CombinedOutput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"181.mcf", "008.espresso", "train", "test"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("bench list missing %q", want)
+		}
+	}
+}
+
+func TestCLITrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.c")
+	img := filepath.Join(dir, "prog.img")
+	tr := filepath.Join(dir, "prog.trace")
+	if err := os.WriteFile(src, []byte(cliProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "build", "-o", img, src).CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "trace", img).CombinedOutput()
+	if err != nil {
+		t.Fatalf("trace: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "misses=") {
+		t.Errorf("trace output missing replay stats:\n%s", out)
+	}
+	out, err = exec.Command(bin, "trace", "-o", tr, img).CombinedOutput()
+	if err != nil {
+		t.Fatalf("trace -o: %v\n%s", err, out)
+	}
+	if fi, err := os.Stat(tr); err != nil || fi.Size() == 0 {
+		t.Errorf("trace file missing or empty: %v", err)
+	}
+	_ = out
+}

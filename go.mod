@@ -1,0 +1,3 @@
+module delinq
+
+go 1.22

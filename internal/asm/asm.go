@@ -1,0 +1,376 @@
+// Package asm implements a two-pass assembler from MIPS-style assembly
+// text to an obj.Image.
+//
+// Beyond instructions it understands segment directives (.text/.data),
+// data directives (.word/.half/.byte/.float/.space/.ascii/.asciiz/.align),
+// symbol metadata emitted by the mini-C compiler (.func/.endfunc/.local/
+// .object/.struct/.entry), and the usual pseudo-instructions (li, la,
+// move, b, beqz/bnez, bge/bgt/ble/blt, neg, not, li.s).
+//
+// Comments run from '#' to end of line.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"delinq/internal/obj"
+)
+
+// Error is an assembly diagnostic with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type segment int
+
+const (
+	segText segment = iota
+	segData
+)
+
+// stmt is one parsed source statement.
+type stmt struct {
+	line   int
+	label  string   // optional label defined on this line
+	dir    string   // directive name (with dot) if a directive
+	op     string   // mnemonic if an instruction
+	args   []string // raw operand strings
+	quoted string   // payload of .ascii/.asciiz
+}
+
+type pendingFunc struct {
+	name      string
+	frameSize int32
+	locals    []obj.Local
+}
+
+type assembler struct {
+	img     *obj.Image
+	stmts   []stmt
+	seg     segment
+	sym     map[string]uint32 // label -> address
+	symSeg  map[string]segment
+	objType map[string]*obj.Type // .object declarations
+	funcs   []*pendingFunc
+	curFunc *pendingFunc
+	entry   string
+	data    []byte
+	emitPC  uint32
+	fixups  []fixup
+}
+
+// fixup patches a .word holding the address of a symbol that was not yet
+// laid out when the data segment was built (text labels: function-pointer
+// tables).
+type fixup struct {
+	line int
+	off  int // byte offset in data
+	sym  string
+	add  int64
+}
+
+// Assemble translates the given assembly source into a linked image.
+func Assemble(src string) (*obj.Image, error) {
+	a := &assembler{
+		img:     obj.New(),
+		sym:     map[string]uint32{},
+		symSeg:  map[string]segment{},
+		objType: map[string]*obj.Type{},
+	}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	if err := a.prepass(); err != nil {
+		return nil, err
+	}
+	if err := a.layoutData(); err != nil {
+		return nil, err
+	}
+	if err := a.layoutText(); err != nil {
+		return nil, err
+	}
+	if err := a.emit(); err != nil {
+		return nil, err
+	}
+	if err := a.finish(); err != nil {
+		return nil, err
+	}
+	return a.img, nil
+}
+
+// prepass registers every .struct definition (two-phase, so mutually
+// recursive structs resolve), .object type annotation, and the .entry
+// selection before any layout begins.
+func (a *assembler) prepass() error {
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		if s.dir == ".struct" && len(s.args) > 0 {
+			name := s.args[0]
+			if a.img.Structs[name] == nil {
+				a.img.Structs[name] = &obj.Type{Kind: obj.KindStruct, Name: name}
+			}
+		}
+	}
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		switch s.dir {
+		case ".struct", ".object", ".entry":
+			if err := a.metaDirective(s); err != nil {
+				return err
+			}
+			s.dir = ".done" // consumed; later passes skip it
+		}
+	}
+	return nil
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// --- parsing -------------------------------------------------------------
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++
+			}
+		case '#':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func (a *assembler) parse(src string) error {
+	for num, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(stripComment(raw))
+		lineNum := num + 1
+		for line != "" {
+			// Leading label?
+			if i := strings.IndexByte(line, ':'); i > 0 && isIdent(line[:i]) &&
+				!strings.ContainsAny(line[:i], " \t") {
+				a.stmts = append(a.stmts, stmt{line: lineNum, label: line[:i]})
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		s := stmt{line: lineNum}
+		if line[0] == '.' {
+			fields := strings.Fields(line)
+			s.dir = fields[0]
+			rest := strings.TrimSpace(line[len(fields[0]):])
+			if s.dir == ".ascii" || s.dir == ".asciiz" {
+				q, err := unquote(rest)
+				if err != nil {
+					return a.errf(lineNum, "%v", err)
+				}
+				s.quoted = q
+			} else {
+				s.args = splitArgs(rest)
+			}
+		} else {
+			sp := strings.IndexAny(line, " \t")
+			if sp < 0 {
+				s.op = line
+			} else {
+				s.op = line[:sp]
+				s.args = splitArgs(strings.TrimSpace(line[sp:]))
+			}
+		}
+		a.stmts = append(a.stmts, s)
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == '.' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			i > 0 && c >= '0' && c <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func unquote(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	return strconv.Unquote(s)
+}
+
+// --- data layout ----------------------------------------------------------
+
+func (a *assembler) align(n int) {
+	for len(a.data)%n != 0 {
+		a.data = append(a.data, 0)
+	}
+}
+
+func (a *assembler) layoutData() error {
+	a.seg = segText
+	type labelSite struct {
+		name string
+		off  int
+	}
+	var labels []labelSite
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		switch {
+		case s.dir == ".text":
+			a.seg = segText
+		case s.dir == ".data":
+			a.seg = segData
+		case s.label != "" && a.seg == segData:
+			if _, dup := a.sym[s.label]; dup {
+				return a.errf(s.line, "duplicate symbol %q", s.label)
+			}
+			a.sym[s.label] = obj.DataBase + uint32(len(a.data))
+			a.symSeg[s.label] = segData
+			labels = append(labels, labelSite{s.label, len(a.data)})
+		case a.seg == segData && s.dir != "":
+			if err := a.dataDirective(s); err != nil {
+				return err
+			}
+		case a.seg == segData && s.op != "":
+			return a.errf(s.line, "instruction %q in data segment", s.op)
+		}
+	}
+	a.img.Data = a.data
+	// Assign data symbol sizes: up to the next label or segment end.
+	for i, l := range labels {
+		end := len(a.data)
+		if i+1 < len(labels) {
+			end = labels[i+1].off
+		}
+		sym := obj.Sym{
+			Name: l.name,
+			Addr: obj.DataBase + uint32(l.off),
+			Size: uint32(end - l.off),
+			Kind: obj.SymData,
+			Type: a.objType[l.name],
+		}
+		a.img.Syms = append(a.img.Syms, sym)
+	}
+	return nil
+}
+
+func (a *assembler) dataDirective(s *stmt) error {
+	switch s.dir {
+	case ".word":
+		a.align(4)
+		for _, arg := range s.args {
+			v, err := a.constOrSymbol(s.line, arg)
+			if err != nil {
+				return err
+			}
+			a.data = binary.LittleEndian.AppendUint32(a.data, uint32(v))
+		}
+	case ".half":
+		a.align(2)
+		for _, arg := range s.args {
+			v, err := parseInt(arg)
+			if err != nil {
+				return a.errf(s.line, "bad .half operand %q", arg)
+			}
+			a.data = binary.LittleEndian.AppendUint16(a.data, uint16(v))
+		}
+	case ".byte":
+		for _, arg := range s.args {
+			v, err := parseInt(arg)
+			if err != nil {
+				return a.errf(s.line, "bad .byte operand %q", arg)
+			}
+			a.data = append(a.data, byte(v))
+		}
+	case ".float":
+		a.align(4)
+		for _, arg := range s.args {
+			f, err := strconv.ParseFloat(arg, 32)
+			if err != nil {
+				return a.errf(s.line, "bad .float operand %q", arg)
+			}
+			a.data = binary.LittleEndian.AppendUint32(a.data, math.Float32bits(float32(f)))
+		}
+	case ".space":
+		if len(s.args) != 1 {
+			return a.errf(s.line, ".space needs one operand")
+		}
+		n, err := parseInt(s.args[0])
+		if err != nil || n < 0 {
+			return a.errf(s.line, "bad .space size %q", s.args[0])
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".ascii":
+		a.data = append(a.data, s.quoted...)
+	case ".asciiz":
+		a.data = append(a.data, s.quoted...)
+		a.data = append(a.data, 0)
+	case ".align":
+		if len(s.args) != 1 {
+			return a.errf(s.line, ".align needs one operand")
+		}
+		n, err := parseInt(s.args[0])
+		if err != nil || n < 0 || n > 12 {
+			return a.errf(s.line, "bad .align %q", s.args[0])
+		}
+		a.align(1 << n)
+	case ".globl", ".global", ".done":
+		// Visibility is not modelled; accept and ignore.
+	default:
+		return a.errf(s.line, "directive %s not valid in data segment", s.dir)
+	}
+	return nil
+}
+
+// constOrSymbol evaluates an integer literal or a (possibly offset)
+// symbol reference to its absolute value. Text symbols are not laid out
+// yet when the data segment is built, so unresolved references become
+// fixups patched by finish — this is how function-pointer tables work.
+func (a *assembler) constOrSymbol(line int, arg string) (int64, error) {
+	if v, err := parseInt(arg); err == nil {
+		return v, nil
+	}
+	sym, off := splitSymOffset(arg)
+	if addr, ok := a.sym[sym]; ok {
+		return int64(addr) + off, nil
+	}
+	a.fixups = append(a.fixups, fixup{line: line, off: len(a.data), sym: sym, add: off})
+	return 0, nil
+}

@@ -1,0 +1,929 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"delinq/internal/isa"
+	"delinq/internal/obj"
+)
+
+// --- metadata directives ---------------------------------------------------
+
+func (a *assembler) metaDirective(s *stmt) error {
+	switch s.dir {
+	case ".func":
+		f := &pendingFunc{}
+		for _, arg := range s.args {
+			switch {
+			case strings.HasPrefix(arg, "frame="):
+				n, err := parseInt(arg[len("frame="):])
+				if err != nil {
+					return a.errf(s.line, "bad frame size %q", arg)
+				}
+				f.frameSize = int32(n)
+			case f.name == "":
+				f.name = arg
+			default:
+				return a.errf(s.line, "unexpected .func operand %q", arg)
+			}
+		}
+		if f.name == "" {
+			return a.errf(s.line, ".func needs a name")
+		}
+		a.curFunc = f
+		a.funcs = append(a.funcs, f)
+	case ".endfunc":
+		if a.curFunc == nil {
+			return a.errf(s.line, ".endfunc without .func")
+		}
+		a.curFunc = nil
+	case ".local", ".param":
+		if a.curFunc == nil {
+			return a.errf(s.line, "%s outside .func", s.dir)
+		}
+		if len(s.args) != 1 {
+			return a.errf(s.line, "%s wants name:offset:type", s.dir)
+		}
+		parts := strings.SplitN(s.args[0], ":", 3)
+		if len(parts) != 3 {
+			return a.errf(s.line, "%s wants name:offset:type, got %q", s.dir, s.args[0])
+		}
+		off, err := parseInt(parts[1])
+		if err != nil {
+			return a.errf(s.line, "bad local offset %q", parts[1])
+		}
+		ty, err := obj.ParseType(parts[2], a.img.Structs)
+		if err != nil {
+			return a.errf(s.line, "%v", err)
+		}
+		a.curFunc.locals = append(a.curFunc.locals, obj.Local{
+			Name: parts[0], Offset: int32(off), Type: ty,
+		})
+	case ".object":
+		if len(s.args) != 2 {
+			return a.errf(s.line, ".object wants name and type")
+		}
+		ty, err := obj.ParseType(s.args[1], a.img.Structs)
+		if err != nil {
+			return a.errf(s.line, "%v", err)
+		}
+		a.objType[s.args[0]] = ty
+	case ".struct":
+		if len(s.args) < 1 {
+			return a.errf(s.line, ".struct wants a name")
+		}
+		name := s.args[0]
+		st := a.img.Structs[name]
+		if st == nil {
+			st = &obj.Type{Kind: obj.KindStruct, Name: name}
+			a.img.Structs[name] = st
+		}
+		for _, farg := range s.args[1:] {
+			parts := strings.SplitN(farg, ":", 3)
+			if len(parts) != 3 {
+				return a.errf(s.line, "struct field wants name:offset:type, got %q", farg)
+			}
+			off, err := parseInt(parts[1])
+			if err != nil {
+				return a.errf(s.line, "bad field offset %q", parts[1])
+			}
+			ty, err := obj.ParseType(parts[2], a.img.Structs)
+			if err != nil {
+				return a.errf(s.line, "%v", err)
+			}
+			st.Fields = append(st.Fields, obj.Field{Name: parts[0], Offset: int(off), Type: ty})
+		}
+	case ".entry":
+		if len(s.args) != 1 {
+			return a.errf(s.line, ".entry wants a symbol")
+		}
+		a.entry = s.args[0]
+	case ".globl", ".global", ".done":
+		// No-op.
+	default:
+		return a.errf(s.line, "unknown directive %s", s.dir)
+	}
+	return nil
+}
+
+// --- text layout and emission ----------------------------------------------
+
+// instSize returns how many machine words the (possibly pseudo)
+// instruction expands to. It must agree exactly with expand.
+func (a *assembler) instSize(s *stmt) (int, error) {
+	switch s.op {
+	case "li":
+		if len(s.args) != 2 {
+			return 0, a.errf(s.line, "li wants 2 operands")
+		}
+		v, err := parseInt(s.args[1])
+		if err != nil {
+			return 0, a.errf(s.line, "bad li immediate %q", s.args[1])
+		}
+		if fitsSigned16(v) || fitsUnsigned16(v) {
+			return 1, nil
+		}
+		return 2, nil
+	case "la":
+		if len(s.args) != 2 {
+			return 0, a.errf(s.line, "la wants 2 operands")
+		}
+		if a.gpRelOK(s.args[1]) {
+			return 1, nil
+		}
+		return 2, nil
+	case "li.s":
+		return 3, nil
+	case "bge", "bgt", "ble", "blt":
+		return 2, nil
+	case "lw", "lh", "lb", "lbu", "lhu", "sw", "sh", "sb", "lwc1", "swc1", "l.s", "s.s":
+		// Bare-symbol memory operands expand; "off(reg)" forms do not.
+		if len(s.args) == 2 && !strings.Contains(s.args[1], "(") {
+			if a.gpRelOK(s.args[1]) {
+				return 1, nil
+			}
+			return 2, nil
+		}
+		return 1, nil
+	default:
+		return 1, nil
+	}
+}
+
+// gpRelOK reports whether arg names a data symbol (with optional +offset)
+// whose address is reachable from $gp with a signed 16-bit displacement.
+func (a *assembler) gpRelOK(arg string) bool {
+	sym, off := splitSymOffset(arg)
+	addr, ok := a.sym[sym]
+	if !ok || a.symSeg[sym] != segData {
+		return false
+	}
+	d := int64(addr) + off - int64(a.img.GPValue)
+	return fitsSigned16(d)
+}
+
+func (a *assembler) layoutText() error {
+	a.seg = segText
+	loc := obj.TextBase
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		switch {
+		case s.dir == ".text":
+			a.seg = segText
+		case s.dir == ".data":
+			a.seg = segData
+		case a.seg != segText:
+			continue
+		case s.label != "":
+			if _, dup := a.sym[s.label]; dup {
+				return a.errf(s.line, "duplicate symbol %q", s.label)
+			}
+			a.sym[s.label] = loc
+			a.symSeg[s.label] = segText
+		case s.op != "":
+			n, err := a.instSize(s)
+			if err != nil {
+				return err
+			}
+			loc += uint32(n) * 4
+		}
+	}
+	return nil
+}
+
+func (a *assembler) emit() error {
+	a.seg = segText
+	a.emitPC = obj.TextBase
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		switch {
+		case s.dir == ".text":
+			a.seg = segText
+			continue
+		case s.dir == ".data":
+			a.seg = segData
+			continue
+		case a.seg != segText:
+			continue
+		}
+		switch {
+		case s.label != "":
+			// Addresses were assigned by layoutText.
+		case s.dir != "":
+			if err := a.metaDirective(s); err != nil {
+				return err
+			}
+		case s.op != "":
+			insts, err := a.expand(s)
+			if err != nil {
+				return err
+			}
+			for _, in := range insts {
+				w, err := isa.Encode(in)
+				if err != nil {
+					return a.errf(s.line, "%v", err)
+				}
+				a.img.Text = append(a.img.Text, w)
+				a.emitPC += 4
+			}
+		}
+	}
+	return nil
+}
+
+// expand converts one source instruction to its machine instructions.
+// All label addresses are final when this runs.
+func (a *assembler) expand(s *stmt) ([]isa.Inst, error) {
+	op := s.op
+	pc := a.emitPC
+
+	reg := func(i int) (isa.Reg, error) { return a.parseReg(s, i) }
+	freg := func(i int) (isa.Reg, error) { return a.parseFReg(s, i) }
+	imm := func(i int) (int32, error) {
+		v, err := parseInt(s.args[i])
+		if err != nil {
+			return 0, a.errf(s.line, "bad immediate %q", s.args[i])
+		}
+		return int32(v), nil
+	}
+	need := func(n int) error {
+		if len(s.args) != n {
+			return a.errf(s.line, "%s wants %d operands, got %d", op, n, len(s.args))
+		}
+		return nil
+	}
+	// branchOff computes the signed word offset to a label from an
+	// instruction that will be emitted at address at.
+	branchOff := func(i int, at uint32) (int32, error) {
+		target, err := a.resolveText(s, s.args[i])
+		if err != nil {
+			return 0, err
+		}
+		return int32(target-(at+4)) >> 2, nil
+	}
+
+	switch op {
+	case "nop":
+		return []isa.Inst{{Op: isa.NOP}}, nil
+	case "syscall":
+		return []isa.Inst{{Op: isa.SYSCALL}}, nil
+
+	case "add", "addu", "sub", "subu", "and", "or", "xor", "nor", "slt", "sltu", "mul":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		o, _ := isa.OpByName(op)
+		rd, err1 := reg(0)
+		rs, err2 := reg(1)
+		rt, err3 := reg(2)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Rd: rd, Rs: rs, Rt: rt}}, nil
+
+	case "sllv", "srlv", "srav":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		o, _ := isa.OpByName(op)
+		rd, err1 := reg(0)
+		rt, err2 := reg(1)
+		rs, err3 := reg(2)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Rd: rd, Rt: rt, Rs: rs}}, nil
+
+	case "sll", "srl", "sra":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		o, _ := isa.OpByName(op)
+		rd, err1 := reg(0)
+		rt, err2 := reg(1)
+		sh, err3 := imm(2)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Rd: rd, Rt: rt, Imm: sh}}, nil
+
+	case "mult", "div", "divu":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		o, _ := isa.OpByName(op)
+		rs, err1 := reg(0)
+		rt, err2 := reg(1)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Rs: rs, Rt: rt}}, nil
+
+	case "mfhi", "mflo":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		o, _ := isa.OpByName(op)
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Rd: rd}}, nil
+
+	case "addi", "addiu", "slti", "sltiu", "andi", "ori", "xori":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		o, _ := isa.OpByName(op)
+		rt, err1 := reg(0)
+		rs, err2 := reg(1)
+		iv, err3 := imm(2)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Rt: rt, Rs: rs, Imm: iv}}, nil
+
+	case "lui":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err1 := reg(0)
+		iv, err2 := imm(1)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.LUI, Rt: rt, Imm: iv & 0xffff}}, nil
+
+	case "lw", "lh", "lb", "lbu", "lhu", "sw", "sh", "sb":
+		o, _ := isa.OpByName(op)
+		rt, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return a.memAccess(s, o, rt)
+
+	case "lwc1", "swc1", "l.s", "s.s":
+		name := op
+		if op == "l.s" {
+			name = "lwc1"
+		} else if op == "s.s" {
+			name = "swc1"
+		}
+		o, _ := isa.OpByName(name)
+		ft, err := freg(0)
+		if err != nil {
+			return nil, err
+		}
+		return a.memAccess(s, o, ft)
+
+	case "beq", "bne":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		o, _ := isa.OpByName(op)
+		rs, err1 := reg(0)
+		rt, err2 := reg(1)
+		off, err3 := branchOff(2, pc)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Rs: rs, Rt: rt, Imm: off}}, nil
+
+	case "blez", "bgtz", "bltz", "bgez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		o, _ := isa.OpByName(op)
+		rs, err1 := reg(0)
+		off, err2 := branchOff(1, pc)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Rs: rs, Imm: off}}, nil
+
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		o := isa.BEQ
+		if op == "bnez" {
+			o = isa.BNE
+		}
+		rs, err1 := reg(0)
+		off, err2 := branchOff(1, pc)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Rs: rs, Rt: isa.Zero, Imm: off}}, nil
+
+	case "b":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		off, err := branchOff(0, pc)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.BEQ, Rs: isa.Zero, Rt: isa.Zero, Imm: off}}, nil
+
+	case "bge", "bgt", "ble", "blt":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs, err1 := reg(0)
+		rt, err2 := reg(1)
+		off, err3 := branchOff(2, pc+4) // branch is the second word
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		var cmp, br isa.Inst
+		switch op {
+		case "bge": // rs >= rt: !(rs < rt)
+			cmp = isa.Inst{Op: isa.SLT, Rd: isa.AT, Rs: rs, Rt: rt}
+			br = isa.Inst{Op: isa.BEQ, Rs: isa.AT, Rt: isa.Zero, Imm: off}
+		case "blt":
+			cmp = isa.Inst{Op: isa.SLT, Rd: isa.AT, Rs: rs, Rt: rt}
+			br = isa.Inst{Op: isa.BNE, Rs: isa.AT, Rt: isa.Zero, Imm: off}
+		case "bgt": // rs > rt: rt < rs
+			cmp = isa.Inst{Op: isa.SLT, Rd: isa.AT, Rs: rt, Rt: rs}
+			br = isa.Inst{Op: isa.BNE, Rs: isa.AT, Rt: isa.Zero, Imm: off}
+		case "ble": // rs <= rt: !(rt < rs)
+			cmp = isa.Inst{Op: isa.SLT, Rd: isa.AT, Rs: rt, Rt: rs}
+			br = isa.Inst{Op: isa.BEQ, Rs: isa.AT, Rt: isa.Zero, Imm: off}
+		}
+		return []isa.Inst{cmp, br}, nil
+
+	case "bc1t", "bc1f":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		o, _ := isa.OpByName(op)
+		off, err := branchOff(0, pc)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Imm: off}}, nil
+
+	case "j", "jal":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		o, _ := isa.OpByName(op)
+		target, err := a.resolveText(s, s.args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Imm: int32(target >> 2)}}, nil
+
+	case "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.JR, Rs: rs}}, nil
+
+	case "jalr":
+		rd := isa.RA
+		var rs isa.Reg
+		var err error
+		switch len(s.args) {
+		case 1:
+			rs, err = reg(0)
+		case 2:
+			rd, err = reg(0)
+			if err == nil {
+				rs, err = reg(1)
+			}
+		default:
+			return nil, a.errf(s.line, "jalr wants 1 or 2 operands")
+		}
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.JALR, Rd: rd, Rs: rs}}, nil
+
+	case "move":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(0)
+		rs, err2 := reg(1)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.ADDU, Rd: rd, Rs: rs, Rt: isa.Zero}}, nil
+
+	case "neg":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(0)
+		rs, err2 := reg(1)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.SUB, Rd: rd, Rs: isa.Zero, Rt: rs}}, nil
+
+	case "not":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(0)
+		rs, err2 := reg(1)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.NOR, Rd: rd, Rs: rs, Rt: isa.Zero}}, nil
+
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(0)
+		v, err2 := parseInt(s.args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return loadImm(rd, int32(v)), nil
+
+	case "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return a.loadAddr(s, rd, s.args[1])
+
+	case "li.s":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		fd, err := freg(0)
+		if err != nil {
+			return nil, err
+		}
+		f, err := strconv.ParseFloat(s.args[1], 32)
+		if err != nil {
+			return nil, a.errf(s.line, "bad float literal %q", s.args[1])
+		}
+		bits := math.Float32bits(float32(f))
+		return []isa.Inst{
+			{Op: isa.LUI, Rt: isa.AT, Imm: int32(bits >> 16)},
+			{Op: isa.ORI, Rt: isa.AT, Rs: isa.AT, Imm: int32(bits & 0xffff)},
+			{Op: isa.MTC1, Rt: isa.AT, Rd: fd},
+		}, nil
+
+	case "add.s", "sub.s", "mul.s", "div.s":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		o, _ := isa.OpByName(op)
+		fd, err1 := freg(0)
+		fs, err2 := freg(1)
+		ft, err3 := freg(2)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Rd: fd, Rs: fs, Rt: ft}}, nil
+
+	case "mov.s", "neg.s", "cvt.s.w", "cvt.w.s":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		o, _ := isa.OpByName(op)
+		fd, err1 := freg(0)
+		fs, err2 := freg(1)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Rd: fd, Rs: fs}}, nil
+
+	case "c.eq.s", "c.lt.s", "c.le.s":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		o, _ := isa.OpByName(op)
+		fs, err1 := freg(0)
+		ft, err2 := freg(1)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Rs: fs, Rt: ft}}, nil
+
+	case "mfc1", "mtc1":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		o, _ := isa.OpByName(op)
+		rt, err1 := reg(0)
+		fs, err2 := freg(1)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: o, Rt: rt, Rd: fs}}, nil
+	}
+	return nil, a.errf(s.line, "unknown mnemonic %q", op)
+}
+
+// memAccess assembles the address operand of a load/store whose data
+// register is rt.
+func (a *assembler) memAccess(s *stmt, o isa.Op, rt isa.Reg) ([]isa.Inst, error) {
+	if len(s.args) != 2 {
+		return nil, a.errf(s.line, "%s wants 2 operands", o.Name())
+	}
+	arg := s.args[1]
+	if i := strings.IndexByte(arg, '('); i >= 0 {
+		if !strings.HasSuffix(arg, ")") {
+			return nil, a.errf(s.line, "malformed memory operand %q", arg)
+		}
+		base, err := a.regByText(s, arg[i+1:len(arg)-1])
+		if err != nil {
+			return nil, err
+		}
+		offTxt := strings.TrimSpace(arg[:i])
+		var off int64
+		if offTxt != "" {
+			v, err := parseInt(offTxt)
+			if err != nil {
+				// sym+off(reg) with $gp base resolves gp-relative.
+				sym, extra := splitSymOffset(offTxt)
+				addr, ok := a.sym[sym]
+				if !ok || base != isa.GP {
+					return nil, a.errf(s.line, "bad memory offset %q", offTxt)
+				}
+				v = int64(addr) + extra - int64(a.img.GPValue)
+			}
+			off = v
+		}
+		if !fitsSigned16(off) {
+			return nil, a.errf(s.line, "memory offset %d out of range", off)
+		}
+		return []isa.Inst{{Op: o, Rt: rt, Rs: base, Imm: int32(off)}}, nil
+	}
+	// Bare symbol: gp-relative if reachable, else lui+offset.
+	sym, extra := splitSymOffset(arg)
+	addr, ok := a.sym[sym]
+	if !ok {
+		return nil, a.errf(s.line, "unknown symbol %q", sym)
+	}
+	target := int64(addr) + extra
+	if a.gpRelOK(arg) {
+		return []isa.Inst{{Op: o, Rt: rt, Rs: isa.GP, Imm: int32(target - int64(a.img.GPValue))}}, nil
+	}
+	hi, lo := hiLo(uint32(target))
+	return []isa.Inst{
+		{Op: isa.LUI, Rt: isa.AT, Imm: hi},
+		{Op: o, Rt: rt, Rs: isa.AT, Imm: lo},
+	}, nil
+}
+
+// loadAddr assembles `la rd, sym[+off]`.
+func (a *assembler) loadAddr(s *stmt, rd isa.Reg, arg string) ([]isa.Inst, error) {
+	sym, extra := splitSymOffset(arg)
+	addr, ok := a.sym[sym]
+	if !ok {
+		return nil, a.errf(s.line, "unknown symbol %q", sym)
+	}
+	target := int64(addr) + extra
+	if a.gpRelOK(arg) {
+		return []isa.Inst{{Op: isa.ADDIU, Rt: rd, Rs: isa.GP, Imm: int32(target - int64(a.img.GPValue))}}, nil
+	}
+	hi, lo := hiLo(uint32(target))
+	return []isa.Inst{
+		{Op: isa.LUI, Rt: rd, Imm: hi},
+		{Op: isa.ADDIU, Rt: rd, Rs: rd, Imm: lo},
+	}, nil
+}
+
+// loadImm materialises a 32-bit constant.
+func loadImm(rd isa.Reg, v int32) []isa.Inst {
+	if fitsSigned16(int64(v)) {
+		return []isa.Inst{{Op: isa.ADDIU, Rt: rd, Rs: isa.Zero, Imm: v}}
+	}
+	if fitsUnsigned16(int64(v)) {
+		return []isa.Inst{{Op: isa.ORI, Rt: rd, Rs: isa.Zero, Imm: v}}
+	}
+	return []isa.Inst{
+		{Op: isa.LUI, Rt: rd, Imm: int32(uint32(v) >> 16)},
+		{Op: isa.ORI, Rt: rd, Rs: rd, Imm: v & 0xffff},
+	}
+}
+
+// hiLo splits an address for a lui/lo16 pair with sign-compensated low
+// half, as conventional MIPS assemblers do.
+func hiLo(addr uint32) (hi, lo int32) {
+	lo = int32(int16(addr & 0xffff))
+	hi = int32((addr - uint32(lo)) >> 16)
+	return hi, lo
+}
+
+func (a *assembler) resolveText(s *stmt, arg string) (uint32, error) {
+	if v, err := parseInt(arg); err == nil {
+		return uint32(v), nil
+	}
+	sym, off := splitSymOffset(arg)
+	addr, ok := a.sym[sym]
+	if !ok {
+		return 0, a.errf(s.line, "unknown label %q", sym)
+	}
+	return addr + uint32(off), nil
+}
+
+func (a *assembler) parseReg(s *stmt, i int) (isa.Reg, error) {
+	if i >= len(s.args) {
+		return 0, a.errf(s.line, "missing operand %d for %s", i, s.op)
+	}
+	return a.regByText(s, s.args[i])
+}
+
+func (a *assembler) regByText(s *stmt, txt string) (isa.Reg, error) {
+	txt = strings.TrimSpace(txt)
+	if !strings.HasPrefix(txt, "$") {
+		return 0, a.errf(s.line, "expected register, got %q", txt)
+	}
+	r, ok := isa.RegByName(txt[1:])
+	if !ok {
+		return 0, a.errf(s.line, "unknown register %q", txt)
+	}
+	return r, nil
+}
+
+func (a *assembler) parseFReg(s *stmt, i int) (isa.Reg, error) {
+	if i >= len(s.args) {
+		return 0, a.errf(s.line, "missing operand %d for %s", i, s.op)
+	}
+	txt := strings.TrimSpace(s.args[i])
+	if !strings.HasPrefix(txt, "$f") {
+		return 0, a.errf(s.line, "expected FP register, got %q", txt)
+	}
+	n, err := strconv.Atoi(txt[2:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, a.errf(s.line, "bad FP register %q", txt)
+	}
+	return isa.Reg(n), nil
+}
+
+// --- finalisation ------------------------------------------------------------
+
+func (a *assembler) finish() error {
+	// Patch .word fixups now every symbol is placed.
+	for _, fx := range a.fixups {
+		addr, ok := a.sym[fx.sym]
+		if !ok {
+			return a.errf(fx.line, "unknown symbol %q", fx.sym)
+		}
+		binary.LittleEndian.PutUint32(a.img.Data[fx.off:], uint32(int64(addr)+fx.add))
+	}
+
+	// Determine which text labels start functions: .func metadata, call
+	// targets, address-taken labels, function pointers in data, and the
+	// conventional entry names. Plain loop labels stay invisible.
+	starts := map[string]bool{}
+	for _, f := range a.funcs {
+		starts[f.name] = true
+	}
+	textSym := func(arg string) (string, bool) {
+		sym, _ := splitSymOffset(arg)
+		seg, ok := a.symSeg[sym]
+		return sym, ok && seg == segText
+	}
+	for _, s := range a.stmts {
+		switch {
+		case s.op == "jal" && len(s.args) == 1:
+			if sym, ok := textSym(s.args[0]); ok {
+				starts[sym] = true
+			}
+		case s.op == "la" && len(s.args) == 2:
+			if sym, ok := textSym(s.args[1]); ok {
+				starts[sym] = true
+			}
+		case s.dir == ".word":
+			for _, arg := range s.args {
+				if sym, ok := textSym(arg); ok {
+					starts[sym] = true
+				}
+			}
+		}
+	}
+	for _, name := range []string{a.entry, "__start", "main"} {
+		if name != "" {
+			if _, ok := a.sym[name]; ok && a.symSeg[name] == segText {
+				starts[name] = true
+			}
+		}
+	}
+
+	// Function extents: from each start to the next start address.
+	addrs := make([]uint32, 0, len(starts))
+	for name := range starts {
+		addrs = append(addrs, a.sym[name])
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	end := func(addr uint32) uint32 {
+		i := sort.Search(len(addrs), func(i int) bool { return addrs[i] > addr })
+		if i < len(addrs) {
+			return addrs[i]
+		}
+		return obj.TextBase + uint32(len(a.img.Text))*4
+	}
+
+	declared := map[string]bool{}
+	for _, f := range a.funcs {
+		addr, ok := a.sym[f.name]
+		if !ok || a.symSeg[f.name] != segText {
+			return fmt.Errorf("asm: .func %q has no text label", f.name)
+		}
+		declared[f.name] = true
+		a.img.Syms = append(a.img.Syms, obj.Sym{
+			Name: f.name, Addr: addr, Size: end(addr) - addr, Kind: obj.SymFunc,
+			Locals: f.locals, FrameSize: f.frameSize,
+		})
+	}
+	for name := range starts {
+		if declared[name] {
+			continue
+		}
+		addr := a.sym[name]
+		a.img.Syms = append(a.img.Syms, obj.Sym{
+			Name: name, Addr: addr, Size: end(addr) - addr, Kind: obj.SymFunc,
+		})
+	}
+
+	// Entry point.
+	entry := a.entry
+	if entry == "" {
+		if _, ok := a.sym["__start"]; ok {
+			entry = "__start"
+		} else {
+			entry = "main"
+		}
+	}
+	addr, ok := a.sym[entry]
+	if !ok {
+		return fmt.Errorf("asm: entry symbol %q not defined", entry)
+	}
+	a.img.Entry = addr
+	return nil
+}
+
+// --- small helpers -----------------------------------------------------------
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func fitsSigned16(v int64) bool   { return v >= -32768 && v <= 32767 }
+func fitsUnsigned16(v int64) bool { return v >= 0 && v <= 65535 }
+
+// parseInt parses decimal, hex (0x), negative, and character ('c')
+// literals.
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body, err := strconv.Unquote(s)
+		if err != nil || len(body) != 1 {
+			return 0, fmt.Errorf("bad char literal %q", s)
+		}
+		return int64(body[0]), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex like 0xdeadbeef.
+		u, uerr := strconv.ParseUint(s, 0, 32)
+		if uerr != nil {
+			return 0, err
+		}
+		return int64(int32(u)), nil
+	}
+	return v, nil
+}
+
+// splitSymOffset splits "sym+12" / "sym-4" / "sym" into name and offset.
+func splitSymOffset(s string) (string, int64) {
+	s = strings.TrimSpace(s)
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			off, err := parseInt(s[i:])
+			if err != nil {
+				return s, 0
+			}
+			return s[:i], off
+		}
+	}
+	return s, 0
+}

@@ -1,0 +1,107 @@
+// Package baseline implements the two comparison schemes of Section 8.5:
+//
+//   - The OKN method (Ozawa, Kimura, Nishizaki): a load is possibly
+//     delinquent when it involves a pointer dereference or a strided
+//     reference.
+//   - The static BDH method (Burtscher, Diwan, Hauswirth): loads are
+//     classified by memory region (Stack/Heap/Global), reference kind
+//     (Scalar/Array/Field) and reference type (Pointer/Non-pointer)
+//     using symbol-table type analysis plus value propagation, and the
+//     union of classes GAN, HSN, HFN, HAN, HFP and HAP is reported.
+package baseline
+
+import (
+	"delinq/internal/pattern"
+)
+
+// OKN implements the Ozawa–Kimura–Nishizaki heuristics over address
+// patterns: a load is possibly delinquent when it involves a pointer
+// dereference — the access goes through a computed pointer value rather
+// than a constant displacement off the stack or global base — or a
+// strided reference (recurrent address or mul/shift index arithmetic).
+// Only plain scalar accesses (sp+c, gp+c, absolute) are excluded, which
+// is why the method's precision is poor (π of 30-60 % in the original
+// study).
+func OKN(loads []*pattern.Load) map[uint32]bool {
+	out := map[uint32]bool{}
+	for _, ld := range loads {
+		for _, p := range ld.Patterns {
+			if !isPlainScalar(p) {
+				out[ld.PC] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// isPlainScalar reports whether the pattern is a constant displacement
+// off sp, gp or an absolute address.
+func isPlainScalar(p *pattern.Expr) bool {
+	switch p.Kind {
+	case pattern.SP, pattern.GP, pattern.Const:
+		return true
+	case pattern.Add:
+		return isPlainScalar(p.L) && p.R.Kind == pattern.Const ||
+			p.L.Kind == pattern.Const && isPlainScalar(p.R)
+	}
+	return false
+}
+
+// Region is the BDH memory-region axis.
+type Region int
+
+const (
+	RegStack Region = iota
+	RegHeap
+	RegGlobal
+)
+
+func (r Region) letter() byte { return "SHG"[r] }
+
+// RefKind is the BDH reference-kind axis.
+type RefKind int
+
+const (
+	KindScalar RefKind = iota
+	KindArray
+	KindField
+)
+
+func (k RefKind) letter() byte { return "SAF"[k] }
+
+// RefType is the BDH reference-type axis.
+type RefType int
+
+const (
+	TypeNonPointer RefType = iota
+	TypePointer
+)
+
+func (t RefType) letter() byte { return "NP"[t] }
+
+// Class is one BDH three-letter class, e.g. "HFP".
+type Class struct {
+	Region Region
+	Kind   RefKind
+	Type   RefType
+}
+
+// String renders the class in the paper's notation.
+func (c Class) String() string {
+	return string([]byte{c.Region.letter(), c.Kind.letter(), c.Type.letter()})
+}
+
+// delinquentClasses is the union suggested by Burtscher et al.:
+// GAN, HSN, HFN, HAN, HFP, HAP.
+var delinquentClasses = map[Class]bool{
+	{RegGlobal, KindArray, TypeNonPointer}: true,
+	{RegHeap, KindScalar, TypeNonPointer}:  true,
+	{RegHeap, KindField, TypeNonPointer}:   true,
+	{RegHeap, KindArray, TypeNonPointer}:   true,
+	{RegHeap, KindField, TypePointer}:      true,
+	{RegHeap, KindArray, TypePointer}:      true,
+}
+
+// IsDelinquentClass reports whether c is in the BDH delinquent union.
+func IsDelinquentClass(c Class) bool { return delinquentClasses[c] }

@@ -1,0 +1,198 @@
+// Package bench provides the experimental workload: eighteen synthetic
+// mini-C programs, one per SPEC benchmark used in the paper, each
+// modelling its namesake's characteristic memory behaviour, plus the
+// harness that compiles, simulates and analyses them with result
+// caching.
+//
+// The substitution (real SPEC binaries are unavailable here) preserves
+// what the heuristic depends on: the mix of scalar stack traffic, strided
+// array walks, hash probing, and pointer chasing; two input sets per
+// program; and cold initialisation/reporting code around hot kernels.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"delinq/internal/asm"
+	"delinq/internal/cache"
+	"delinq/internal/disasm"
+	"delinq/internal/metrics"
+	"delinq/internal/minic"
+	"delinq/internal/obj"
+	"delinq/internal/pattern"
+	"delinq/internal/vm"
+)
+
+// Benchmark is one synthetic SPEC stand-in.
+type Benchmark struct {
+	Name     string // e.g. "181.mcf"
+	Source   string // mini-C source
+	Training bool   // member of the 11-benchmark training set
+	// Input1 is the training/reference input; Input2 the alternate
+	// (Table 6).
+	Input1, Input2         []int32
+	Input1Name, Input2Name string
+}
+
+// Registry of all benchmarks, ordered as in the paper's tables.
+var registry []*Benchmark
+
+func register(b *Benchmark) { registry = append(registry, attachColdLib(b)) }
+
+// All returns every benchmark in table order.
+func All() []*Benchmark { return registry }
+
+// Training returns the 11 training benchmarks.
+func Training() []*Benchmark {
+	var out []*Benchmark
+	for _, b := range registry {
+		if b.Training {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Test returns the 7 held-out benchmarks (Table 10).
+func Test() []*Benchmark {
+	var out []*Benchmark
+	for _, b := range registry {
+		if !b.Training {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName returns the named benchmark, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range registry {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Build is one compiled benchmark binary with its static analysis.
+type Build struct {
+	Bench    *Benchmark
+	Optimize bool
+	Image    *obj.Image
+	Prog     *disasm.Program
+	Loads    []*pattern.Load
+}
+
+// NumLoads returns |Λ|.
+func (b *Build) NumLoads() int { return len(b.Loads) }
+
+// Run is one completed simulation: the VM profile plus a cache model per
+// requested geometry.
+type Run struct {
+	Build  *Build
+	Input  []int32
+	Result *vm.Result
+	Caches []*cache.Cache
+}
+
+// ExecCount implements classify.ExecProfile.
+func (r *Run) ExecCount(pc uint32) int64 { return r.Result.ExecAt(pc) }
+
+// buildCache memoises compiled binaries and runCache completed
+// simulations; experiments across tables share them.
+var (
+	mu         sync.Mutex
+	buildCache = map[string]*Build{}
+	runCache   = map[string]*Run{}
+)
+
+// ResetCache clears the memoised builds and runs (used by tests).
+func ResetCache() {
+	mu.Lock()
+	defer mu.Unlock()
+	buildCache = map[string]*Build{}
+	runCache = map[string]*Run{}
+}
+
+// Compile builds (or returns the cached) binary for the benchmark.
+func Compile(b *Benchmark, optimize bool) (*Build, error) {
+	key := fmt.Sprintf("%s|%v", b.Name, optimize)
+	mu.Lock()
+	if cached, ok := buildCache[key]; ok {
+		mu.Unlock()
+		return cached, nil
+	}
+	mu.Unlock()
+
+	asmText, err := minic.Compile(b.Source, minic.Options{Optimize: optimize})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	img, err := asm.Assemble(asmText)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	prog, err := disasm.Disassemble(img)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	bd := &Build{
+		Bench:    b,
+		Optimize: optimize,
+		Image:    img,
+		Prog:     prog,
+		Loads:    pattern.AnalyzeProgram(prog, pattern.DefaultConfig()),
+	}
+	mu.Lock()
+	buildCache[key] = bd
+	mu.Unlock()
+	return bd, nil
+}
+
+// Simulate runs the binary on the given input, attaching one D-cache per
+// geometry; results are memoised.
+func Simulate(bd *Build, input []int32, geoms []cache.Config) (*Run, error) {
+	key := fmt.Sprintf("%s|%v|%v|%v", bd.Bench.Name, bd.Optimize, input, geoms)
+	mu.Lock()
+	if cached, ok := runCache[key]; ok {
+		mu.Unlock()
+		return cached, nil
+	}
+	mu.Unlock()
+
+	caches := make([]*cache.Cache, len(geoms))
+	for i, gcfg := range geoms {
+		c, err := cache.New(gcfg)
+		if err != nil {
+			return nil, err
+		}
+		caches[i] = c
+	}
+	res, err := vm.Run(bd.Image, vm.Options{
+		Args:     input,
+		Caches:   caches,
+		MaxInsts: 3e8,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", bd.Bench.Name, err)
+	}
+	run := &Run{Build: bd, Input: input, Result: res, Caches: caches}
+	mu.Lock()
+	runCache[key] = run
+	mu.Unlock()
+	return run, nil
+}
+
+// LoadStats extracts per-load (E(i), M(i,C)) pairs for cache index ci.
+func (r *Run) LoadStats(ci int) []metrics.LoadStat {
+	out := make([]metrics.LoadStat, 0, len(r.Build.Loads))
+	for _, ld := range r.Build.Loads {
+		out = append(out, metrics.LoadStat{
+			PC:     ld.PC,
+			Exec:   r.Result.ExecAt(ld.PC),
+			Misses: r.Result.MissesAt(ci, ld.PC),
+		})
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package bench
+
+// coldlib is a library of support routines appended to every benchmark:
+// option parsing, formatted reporting, checksumming, small sorts, lookup
+// tables — the kind of code that makes up most of a real binary's static
+// loads but almost never executes. None of it runs under the standard
+// inputs, so its loads populate the "rarely executed" classes exactly as
+// SPEC's cold code does; OKN and BDH, which have no execution-frequency
+// axis, classify into it regardless.
+const coldlib = `
+struct ColdOpt {
+	int key;
+	int value;
+	int flags;
+	struct ColdOpt *next;
+};
+struct ColdEnt {
+	char name[12];
+	int kind;
+	int size;
+};
+int cg_opts[64];
+int cg_xlat[256];
+char cg_msgbuf[256];
+int cg_sortbuf[128];
+struct ColdEnt cg_dir[32];
+struct ColdOpt *cg_optlist;
+int cg_errors;
+int cg_verbose;
+
+int cold_hashname(char *s) {
+	int h = 5381;
+	int i = 0;
+	while (s[i]) {
+		h = h * 33 + s[i];
+		i += 1;
+	}
+	return h;
+}
+
+int cold_parseint(char *s) {
+	int v = 0;
+	int i = 0;
+	int neg = 0;
+	if (s[0] == '-') { neg = 1; i = 1; }
+	while (s[i] >= '0' && s[i] <= '9') {
+		v = v * 10 + (s[i] - '0');
+		i += 1;
+	}
+	if (neg) return -v;
+	return v;
+}
+
+void cold_recordopt(int key, int value) {
+	struct ColdOpt *o = malloc(sizeof(struct ColdOpt));
+	o->key = key;
+	o->value = value;
+	o->flags = 0;
+	o->next = cg_optlist;
+	cg_optlist = o;
+	if (key >= 0 && key < 64) cg_opts[key] = value;
+}
+
+int cold_findopt(int key) {
+	struct ColdOpt *o = cg_optlist;
+	while (o) {
+		if (o->key == key) return o->value;
+		o = o->next;
+	}
+	return -1;
+}
+
+int cold_crc(char *buf, int n) {
+	int c = -1;
+	int i;
+	for (i = 0; i < n; i++) {
+		c = c ^ buf[i];
+		int k;
+		for (k = 0; k < 8; k++) {
+			if (c & 1) c = (c >> 1) ^ 0x6DB88320;
+			else c = c >> 1;
+		}
+	}
+	return ~c;
+}
+
+void cold_initxlat() {
+	int i;
+	for (i = 0; i < 256; i++) cg_xlat[i] = (i * 7 + 11) & 255;
+	for (i = 0; i < 64; i++) cg_opts[i] = 0;
+}
+
+int cold_translate(char *s, int n) {
+	int i;
+	int acc = 0;
+	for (i = 0; i < n; i++) {
+		int c = s[i] & 255;
+		acc += cg_xlat[c];
+		cg_msgbuf[i & 255] = cg_xlat[c];
+	}
+	return acc;
+}
+
+void cold_sortsmall(int *a, int n) {
+	int i; int j;
+	for (i = 1; i < n; i++) {
+		int v = a[i];
+		j = i - 1;
+		while (j >= 0 && a[j] > v) {
+			a[j + 1] = a[j];
+			j = j - 1;
+		}
+		a[j + 1] = v;
+	}
+}
+
+int cold_median(int n) {
+	int i;
+	for (i = 0; i < n && i < 128; i++) cg_sortbuf[i] = cg_xlat[i & 255] * (i + 3);
+	cold_sortsmall(cg_sortbuf, n);
+	return cg_sortbuf[n / 2];
+}
+
+void cold_fmtnum(int v, char *out) {
+	int i = 0;
+	if (v == 0) { out[0] = '0'; out[1] = 0; return; }
+	if (v < 0) { out[i] = '-'; i = 1; v = -v; }
+	char tmp[16];
+	int n = 0;
+	while (v > 0) {
+		tmp[n] = '0' + v % 10;
+		v = v / 10;
+		n += 1;
+	}
+	while (n > 0) {
+		n -= 1;
+		out[i] = tmp[n];
+		i += 1;
+	}
+	out[i] = 0;
+}
+
+void cold_direntry(int slot, int kind, int size) {
+	if (slot < 0 || slot >= 32) { cg_errors += 1; return; }
+	cg_dir[slot].kind = kind;
+	cg_dir[slot].size = size;
+	cg_dir[slot].name[0] = 'e';
+	cg_dir[slot].name[1] = '0' + (slot % 10);
+	cg_dir[slot].name[2] = 0;
+}
+
+int cold_dirscan(int kind) {
+	int i;
+	int total = 0;
+	for (i = 0; i < 32; i++) {
+		if (cg_dir[i].kind == kind) {
+			total += cg_dir[i].size;
+			total += cold_hashname(cg_dir[i].name) & 15;
+		}
+	}
+	return total;
+}
+
+int cold_report(int code) {
+	char buf[24];
+	cold_fmtnum(code, buf);
+	print_str("status ");
+	print_str(buf);
+	print_char('\n');
+	int crc = cold_crc(cg_msgbuf, 64);
+	int med = cold_median(63);
+	int dir = cold_dirscan(1);
+	return crc + med + dir;
+}
+
+struct ColdRec {
+	int id;
+	int kind;
+	int flags;
+	int refcount;
+	int offset;
+	int length;
+	int crc;
+	int owner;
+	int perm;
+	int mtime;
+	struct ColdRec *parent;
+	struct ColdRec *peer;
+};
+
+int cold_validate(struct ColdRec *r) {
+	int bad = 0;
+	if (r->id < 0) bad += 1;
+	if (r->kind > 9) bad += 1;
+	if (r->flags & 0x8000) bad += 1;
+	if (r->refcount < 0) bad += 1;
+	if (r->offset < 0) bad += 1;
+	if (r->length < 0) bad += 1;
+	if (r->owner == 0 && r->perm != 0) bad += 1;
+	if (r->mtime < 0) bad += 1;
+	if (r->parent) {
+		if (r->parent->id == r->id) bad += 1;
+		if (r->parent->kind > 9) bad += 1;
+	}
+	return bad;
+}
+
+int cold_sameRec(struct ColdRec *a, struct ColdRec *b) {
+	if (a->id != b->id) return 0;
+	if (a->kind != b->kind) return 0;
+	if (a->flags != b->flags) return 0;
+	if (a->offset != b->offset) return 0;
+	if (a->length != b->length) return 0;
+	if (a->crc != b->crc) return 0;
+	if (a->owner != b->owner) return 0;
+	return 1;
+}
+
+void cold_fixup(struct ColdRec *r) {
+	if (r->refcount < 1) r->refcount = 1;
+	if (r->perm == 0) r->perm = r->owner & 7;
+	if (r->peer) {
+		if (r->peer->id < r->id) {
+			struct ColdRec *t = r->peer;
+			r->peer = t->parent;
+		}
+	}
+	r->crc = r->id ^ r->kind ^ r->flags ^ r->offset;
+}
+
+int cold_summary(struct ColdRec *r, struct ColdRec *prev) {
+	int score = r->length + r->offset;
+	if (prev) {
+		if (cold_sameRec(r, prev)) score = score / 2;
+		if (prev->peer == r) score += prev->mtime;
+	}
+	if (r->kind == 3) score += r->crc & 255;
+	if (r->kind == 4) score -= r->perm;
+	if (r->kind == 5) score += r->refcount * 3;
+	return score;
+}
+
+int cold_merge(struct ColdRec *dst, struct ColdRec *src) {
+	int moved = 0;
+	if (src->length > dst->length) { dst->length = src->length; moved += 1; }
+	if (src->mtime > dst->mtime) { dst->mtime = src->mtime; moved += 1; }
+	if (src->flags & 1) { dst->flags = dst->flags | 1; moved += 1; }
+	if (src->refcount > 0) { dst->refcount += src->refcount; moved += 1; }
+	if (src->parent && dst->parent == 0) { dst->parent = src->parent; moved += 1; }
+	return moved;
+}
+
+int cold_selftest() {
+	cold_initxlat();
+	cold_recordopt(3, 17);
+	cold_recordopt(9, 99);
+	cold_direntry(1, 1, 100);
+	cold_direntry(2, 2, 50);
+	int v = cold_findopt(3);
+	int t = cold_translate("selftest", 8);
+	if (v != 17) cg_errors += 1;
+	if (cold_parseint("-341") != -341) cg_errors += 1;
+	struct ColdRec *r1 = malloc(sizeof(struct ColdRec));
+	struct ColdRec *r2 = malloc(sizeof(struct ColdRec));
+	r1->id = 1; r2->id = 2;
+	cold_fixup(r1);
+	cold_fixup(r2);
+	cg_errors += cold_validate(r1);
+	cg_errors += cold_merge(r1, r2);
+	cg_errors += cold_summary(r1, r2);
+	return cold_report(t + cg_errors);
+}
+`
+
+// attachColdLib appends the cold library to a benchmark source.
+func attachColdLib(b *Benchmark) *Benchmark {
+	b.Source += coldlib
+	return b
+}

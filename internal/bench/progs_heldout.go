@@ -1,0 +1,605 @@
+package bench
+
+func init() {
+	register(&Benchmark{
+		Name: "022.li",
+		// Lisp interpreter: cons-cell allocation, list construction and
+		// recursive traversal — short pointer chains, moderate misses.
+		Input1: []int32{18000, 12, 7}, Input1Name: "ref.lsp",
+		Input2: []int32{15000, 12, 43}, Input2Name: "test.lsp",
+		Source: prelude + `
+struct Cons {
+	int tag;
+	int val;
+	struct Cons *car;
+	struct Cons *cdr;
+};
+struct Cons *heaplist;
+int ncells;
+int rounds;
+
+struct Cons *cons(struct Cons *a, struct Cons *d) {
+	struct Cons *c = malloc(sizeof(struct Cons));
+	c->tag = 1;
+	c->val = 0;
+	c->car = a;
+	c->cdr = d;
+	return c;
+}
+
+struct Cons *atomi(int v) {
+	struct Cons *c = malloc(sizeof(struct Cons));
+	c->tag = 0;
+	c->val = v;
+	c->car = 0;
+	c->cdr = 0;
+	return c;
+}
+
+struct Cons *buildlist(int n) {
+	struct Cons *l = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		l = cons(atomi(rnd() % 100), l);
+	}
+	return l;
+}
+
+int sumlist(struct Cons *l) {
+	int s = 0;
+	while (l) {
+		if (l->car) {
+			if (l->car->tag == 0) s += l->car->val;
+		}
+		if (l->cdr) {
+			if (l->cdr->cdr) {
+				s += l->cdr->cdr->val & 1;
+			}
+		}
+		l = l->cdr;
+	}
+	return s;
+}
+
+int cellval(struct Cons *c) {
+	return c->val + (c->tag & 3);
+}
+
+int mark(struct Cons *c) {
+	int n = 0;
+	while (c) {
+		c->tag = c->tag | 4;
+		if (c->car) {
+			n += cellval(c->car);
+		}
+		n += 1;
+		c = c->cdr;
+	}
+	return n;
+}
+
+int coldwalk() {
+	struct Cons *c = heaplist;
+	int i = 0;
+	int s = 0;
+	while (c && i < 70) {
+		s += c->tag;
+		c = c->cdr;
+		i += 1;
+	}
+	return s;
+}
+
+int main() {
+	ncells = geti(0, 18000);
+	rounds = geti(1, 12);
+	__seed = geti(2, 7);
+	heaplist = buildlist(ncells / 2);
+	int total = 0;
+	int r;
+	for (r = 0; r < rounds; r++) {
+		total += sumlist(heaplist);
+		total += mark(heaplist);
+	}
+	total += coldwalk();
+	print_int(total);
+	print_char('\n');
+	return total & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name: "072.sc",
+		// Spreadsheet: a matrix of heap cells addressed through a
+		// pointer table, recalculation following dependency pointers.
+		Input1: []int32{72, 18, 11}, Input1Name: "loada1",
+		Input2: []int32{64, 16, 53}, Input2Name: "loada2",
+		Source: prelude + `
+struct Cell {
+	int val;
+	int kind;
+	struct Cell *dep;
+};
+struct Cell *sheet[8192];
+int side;
+int recalcs;
+
+void build() {
+	int n = side * side;
+	int i;
+	for (i = 0; i < n; i++) {
+		struct Cell *c = malloc(sizeof(struct Cell));
+		c->val = rnd() % 1000;
+		c->kind = rnd() & 3;
+		c->dep = 0;
+		sheet[i] = c;
+	}
+	for (i = 0; i < n; i++) {
+		if (sheet[i]->kind == 1) sheet[i]->dep = sheet[rnd() % n];
+	}
+	for (i = 0; i < n; i++) {
+		if (sheet[i]->dep) {
+			if (sheet[i]->dep->kind == 2) sheet[i]->dep->dep = sheet[(i * 7) % n];
+		}
+	}
+}
+
+int cellv(struct Cell *c) {
+	return c->val;
+}
+
+int coldscan() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 120; i++) {
+		if (sheet[i * 43 % (side * side)]) s += 1;
+	}
+	return s;
+}
+
+int recalc() {
+	int n = side * side;
+	int changed = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		struct Cell *c = sheet[i];
+		if (c->kind == 1) {
+			if (c->dep) {
+				int nv = c->dep->val + 1;
+				if (c->dep->dep) {
+					nv += c->dep->dep->val & 1;
+				}
+				if (nv != c->val) { c->val = nv; changed += 1; }
+			}
+		}
+		if (c->kind == 2) c->val = c->val * 2 % 10007;
+	}
+	return changed;
+}
+
+int main() {
+	side = geti(0, 72);
+	recalcs = geti(1, 18);
+	__seed = geti(2, 11);
+	build();
+	int total = 0;
+	int r;
+	for (r = 0; r < recalcs; r++) total += recalc();
+	int i;
+	int check = coldscan();
+	for (i = 0; i < side * side; i++) check += cellv(sheet[i]);
+	print_int(total);
+	print_char('\n');
+	return (total + check) & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name: "101.tomcatv",
+		// Mesh generation: 2D float stencil sweeps over arrays far
+		// larger than L1; pure strided FP traffic.
+		Input1: []int32{130, 3, 3}, Input1Name: "TOMCATV ref",
+		Input2: []int32{114, 3, 67}, Input2Name: "TOMCATV train",
+		Source: prelude + `
+float xg[17424];
+float yg[17424];
+float rx[17424];
+int n;
+int iters;
+
+void initmesh() {
+	int i; int j;
+	for (i = 0; i < n; i++) {
+		for (j = 0; j < n; j++) {
+			xg[i * n + j] = i * 0.5 + j * 0.25;
+			yg[i * n + j] = i * 0.25 - j * 0.5;
+		}
+	}
+}
+
+float audit() {
+	int i;
+	float s = 0.0;
+	for (i = 0; i < 100; i++) s += xg[i * 167 % (n * n)];
+	return s;
+}
+
+float relax() {
+	int i; int j;
+	float maxr = 0.0;
+	for (i = 1; i < n - 1; i++) {
+		for (j = 1; j < n - 1; j++) {
+			int p = i * n + j;
+			float r = xg[p - 1] + xg[p + 1] + xg[p - n] + xg[p + n] - 4.0 * xg[p];
+			rx[p] = r;
+			if (r > maxr) maxr = r;
+		}
+	}
+	for (i = 1; i < n - 1; i++) {
+		for (j = 1; j < n - 1; j++) {
+			int p = i * n + j;
+			xg[p] = xg[p] + 0.25 * rx[p] + 0.01 * yg[p];
+		}
+	}
+	return maxr;
+}
+
+int main() {
+	n = geti(0, 130);
+	iters = geti(1, 3);
+	__seed = geti(2, 3);
+	initmesh();
+	float last = 0.0;
+	int t;
+	for (t = 0; t < iters; t++) last = relax();
+	last += audit() * 0.001;
+	int scaled = last * 10.0;
+	print_int(scaled);
+	print_char('\n');
+	return scaled & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name: "124.m88ksim",
+		// CPU simulator: fetch/decode/execute over an instruction
+		// memory image with a register file and data memory; highly
+		// branchy with a small hot working set plus a cold setup.
+		Input1: []int32{60000, 3}, Input1Name: "ctl.in",
+		Input2: []int32{52000, 59}, Input2Name: "ctl.raw",
+		Source: prelude + `
+int imem[16384];
+int dmem[16384];
+int regs[32];
+int icount;
+char ccmap[2048];
+int st_alu; int st_pad1[8];
+int st_mem; int st_pad2[8];
+int st_br;  int st_pad3[8];
+int st_imm; int st_pad4[8];
+
+void loadprog() {
+	int i;
+	for (i = 0; i < 16384; i++) {
+		imem[i] = rnd() << 16 | rnd();
+		dmem[i] = rnd();
+	}
+	for (i = 0; i < 32; i++) regs[i] = i;
+	for (i = 0; i < 2048; i++) ccmap[i] = i & 3;
+}
+
+int audit() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 48; i++) s += dmem[i * 331 & 16383];
+	for (i = 0; i < 300; i++) s += imem[i * 53 & 16383];
+	return s;
+}
+
+int main() {
+	icount = geti(0, 60000);
+	__seed = geti(1, 3);
+	loadprog();
+	int pc = 0;
+	int executed = 0;
+	while (executed < icount) {
+		int w = imem[pc & 16383];
+		int op = w >> 26 & 7;
+		int rd = w >> 21 & 31;
+		int ra = w >> 16 & 31;
+		int rb = w >> 11 & 31;
+		if (op == 0) { regs[rd] = regs[ra] + regs[rb]; st_alu += 1; }
+		if (op == 1) regs[rd] = regs[ra] - regs[rb];
+		if (op == 2) regs[rd] = regs[ra] & regs[rb];
+		if (op == 3) { regs[rd] = dmem[regs[ra] + regs[rb] & 16383]; st_mem += 1; }
+		if (op == 4) dmem[regs[ra] + rd & 16383] = regs[rb];
+		if (op == 5) {
+			st_br += 1;
+			if (regs[ra] > 0) pc = pc + (w & 255) - 128;
+		}
+		if (op == 6) { regs[rd] = w & 65535; st_imm += 1; }
+		if (op == 7) regs[rd] = regs[ra] * 3;
+		if ((executed & 15) == 0) {
+			regs[1] = regs[1] + ccmap[(w * 2654435 + executed) & 2047];
+		}
+		regs[0] = 0;
+		pc += 1;
+		executed += 1;
+	}
+	int sum = (audit() + st_alu + st_mem + st_br + st_imm) & 31;
+	int i;
+	for (i = 0; i < 32; i++) sum += regs[i];
+	print_int(sum);
+	print_char('\n');
+	return sum & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name: "126.gcc",
+		// Compiler: heap expression trees built and repeatedly folded,
+		// plus a symbol hash table — many small heap structs, recursive
+		// walks, and the largest static code footprint of the suite.
+		Input1: []int32{400, 10, 4, 3}, Input1Name: "cccp.i",
+		Input2: []int32{340, 10, 4, 83}, Input2Name: "amptjp.i",
+		Source: prelude + `
+struct Tree {
+	int op;
+	int val;
+	struct Tree *l;
+	struct Tree *r;
+};
+struct Sym {
+	int key;
+	int uses;
+	struct Sym *next;
+};
+struct Sym *symtab[2048];
+struct Tree *funcs[1024];
+int nfuncs;
+int depth;
+int folds;
+
+void intern(int key) {
+	int h = key & 2047;
+	struct Sym *s = symtab[h];
+	while (s) {
+		if (s->key == key) { s->uses += 1; return; }
+		s = s->next;
+	}
+	s = malloc(sizeof(struct Sym));
+	s->key = key;
+	s->uses = 1;
+	s->next = symtab[h];
+	symtab[h] = s;
+}
+
+struct Tree *mknode(int d) {
+	struct Tree *t = malloc(sizeof(struct Tree));
+	if (d <= 0 || rnd() % 4 == 0) {
+		t->op = 0;
+		t->val = rnd() % 1000;
+		t->l = 0;
+		t->r = 0;
+		intern(t->val * 7);
+		return t;
+	}
+	t->op = rnd() % 3 + 1;
+	t->val = 0;
+	t->l = mknode(d - 1);
+	t->r = mknode(d - 1);
+	return t;
+}
+
+int coldscan() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 90; i++) {
+		if (funcs[i * 11 & 1023]) s += 1;
+	}
+	return s;
+}
+
+int fold(struct Tree *t) {
+	if (t->op == 0) return t->val;
+	int a = fold(t->l);
+	int b = fold(t->r);
+	int v = 0;
+	if (t->op == 1) v = a + b;
+	if (t->op == 2) v = a - b;
+	if (t->op == 3) v = a ^ b;
+	t->val = v;
+	return v;
+}
+
+int main() {
+	nfuncs = geti(0, 400);
+	depth = geti(1, 10);
+	folds = geti(2, 4);
+	__seed = geti(3, 3);
+	int i;
+	for (i = 0; i < 2048; i++) symtab[i] = 0;
+	for (i = 0; i < nfuncs; i++) funcs[i & 1023] = mknode(depth % 12);
+	int total = coldscan();
+	int f;
+	for (f = 0; f < folds; f++) {
+		for (i = 0; i < nfuncs; i++) {
+			if (i < 1024) total += fold(funcs[i]);
+		}
+	}
+	print_int(total);
+	print_char('\n');
+	return total & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name: "132.ijpeg",
+		// Image compression: blocked integer transforms over a 2D
+		// image; strided block access with shift-heavy arithmetic.
+		Input1: []int32{192, 2, 5}, Input1Name: "vigo.ppm",
+		Input2: []int32{160, 2, 89}, Input2Name: "penguin.ppm",
+		Source: prelude + `
+int image[36864];
+int quant[64];
+int dim;
+int sweeps;
+int st_rows; int st_qpad1[8];
+int st_enc;  int st_qpad2[8];
+char noise[4096];
+
+void initimage() {
+	int i;
+	for (i = 0; i < dim * dim; i++) image[i] = rnd() & 255;
+	for (i = 0; i < 64; i++) quant[i] = (i & 7) + 1;
+	for (i = 0; i < 4096; i++) noise[i] = i * 31 & 7;
+}
+
+int audit() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 64; i++) s += quant[i];
+	for (i = 0; i < 400; i++) s += image[i * 89 % (dim * dim)];
+	return s;
+}
+
+int blockxform(int bx, int by) {
+	int u; int v;
+	int acc = 0;
+	for (u = 0; u < 8; u++) {
+		st_rows += 1;
+		int base = (by * 8 + u) * dim + bx * 8;
+		int s0 = image[base] + image[base + 7];
+		int s1 = image[base + 1] + image[base + 6];
+		int s2 = image[base + 2] + image[base + 5];
+		int s3 = image[base + 3] + image[base + 4];
+		int t = (s0 + s3 << 2) - (s1 + s2 << 1);
+		st_enc += t & 1;
+		for (v = 0; v < 8; v++) {
+			int q = quant[u * 8 + v];
+			image[base + v] = (image[base + v] * q + t) >> 3 & 255;
+			acc += image[base + v];
+		}
+		acc += noise[(acc * 13 + u) & 4095];
+	}
+	return acc;
+}
+
+int main() {
+	dim = geti(0, 192);
+	sweeps = geti(1, 2);
+	__seed = geti(2, 5);
+	initimage();
+	int blocks = dim / 8;
+	int total = 0;
+	int s; int bx; int by;
+	for (s = 0; s < sweeps; s++) {
+		for (by = 0; by < blocks; by++) {
+			for (bx = 0; bx < blocks; bx++) {
+				total += blockxform(bx, by);
+			}
+		}
+	}
+	total += (audit() + st_rows + st_enc) & 15;
+	print_int(total);
+	print_char('\n');
+	return total & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name: "300.twolf",
+		// Standard-cell placement: arrays of pointers to heap cell
+		// records, net cost evaluation through double indirection, and
+		// an annealing swap loop.
+		Input1: []int32{2500, 16000, 9}, Input1Name: "ref",
+		Input2: []int32{2200, 14000, 97}, Input2Name: "test",
+		Source: prelude + `
+struct Net {
+	int weight;
+	int pins;
+};
+struct Gate {
+	int x;
+	int y;
+	int w;
+	struct Net *net;
+};
+struct Gate *gates[4096];
+struct Net *nets[1024];
+int ngates;
+int nswaps;
+
+void build() {
+	int i;
+	for (i = 0; i < 1024; i++) {
+		struct Net *n = malloc(sizeof(struct Net));
+		n->weight = rnd() % 10 + 1;
+		n->pins = 0;
+		nets[i] = n;
+	}
+	for (i = 0; i < ngates; i++) {
+		struct Gate *g = malloc(sizeof(struct Gate));
+		g->x = rnd() % 256;
+		g->y = rnd() % 256;
+		g->w = rnd() % 8 + 1;
+		g->net = nets[rnd() % 1024];
+		g->net->pins += 1;
+		gates[i] = g;
+	}
+}
+
+int coldscan() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 80; i++) s += gates[i * 29 % ngates]->w;
+	return s;
+}
+
+int wirelen(int a, int b) {
+	struct Gate *ga = gates[a];
+	struct Gate *gb = gates[b];
+	int dx = ga->x - gb->x;
+	int dy = ga->y - gb->y;
+	if (dx < 0) dx = -dx;
+	if (dy < 0) dy = -dy;
+	return (dx + dy) * ga->net->weight + gb->net->pins;
+}
+
+int main() {
+	ngates = geti(0, 2500);
+	nswaps = geti(1, 16000);
+	__seed = geti(2, 9);
+	build();
+	int cost = 0;
+	int s;
+	for (s = 0; s < nswaps; s++) {
+		int a = rnd() % ngates;
+		int b = rnd() % ngates;
+		int before = wirelen(a, b);
+		int t = gates[a]->x;
+		gates[a]->x = gates[b]->x;
+		gates[b]->x = t;
+		int after = wirelen(a, b);
+		if (after > before) {
+			t = gates[a]->x;
+			gates[a]->x = gates[b]->x;
+			gates[b]->x = t;
+		} else {
+			cost += before - after;
+		}
+	}
+	cost += coldscan() & 7;
+	print_int(cost);
+	print_char('\n');
+	return cost & 255;
+}
+`,
+	})
+}

@@ -1,0 +1,501 @@
+package bench
+
+// Shared mini-C prelude: deterministic LCG and defaulted argument
+// fetching, prepended to every benchmark program.
+const prelude = `
+int __seed = 12345;
+int rnd() {
+	__seed = __seed * 1103515245 + 12345;
+	int r = __seed >> 16;
+	return r & 32767;
+}
+int geti(int i, int dflt) {
+	if (i < nargs()) return arg(i);
+	return dflt;
+}
+`
+
+func init() {
+	register(&Benchmark{
+		Name:     "008.espresso",
+		Training: true,
+		// Boolean function minimisation: wide bitset rows, row-vs-row
+		// AND/OR sweeps, and a cover count. Hot loads are strided int
+		// array reads indexed by two loop variables.
+		Input1: []int32{192, 64, 3, 1}, Input1Name: "bca.in",
+		Input2: []int32{160, 64, 3, 7}, Input2Name: "cps.in",
+		Source: prelude + `
+int rows;
+int width;
+int passes;
+int table[20480];
+int cover[512];
+int ncontained = 0;
+int st_cmps; int st_epad1[8];
+int st_hits; int st_epad2[8];
+
+void setup() {
+	int i;
+	for (i = 0; i < rows * width; i++) table[i] = rnd();
+	for (i = 0; i < rows; i++) cover[i] = 0;
+}
+
+int contains(int a, int b) {
+	int j;
+	for (j = 0; j < width; j++) {
+		int va = table[a * width + j];
+		int vb = table[b * width + j];
+		if ((va & vb) != vb) return 0;
+	}
+	return 1;
+}
+
+int audit(int k) {
+	int i;
+	int s = 0;
+	for (i = 0; i < k; i++) s += table[i * width + (i & 7)];
+	for (i = 0; i < 48; i++) s += cover[i];
+	return s;
+}
+
+void sweep() {
+	int i; int j;
+	for (i = 0; i < rows; i++) {
+		int best = 0;
+		for (j = 0; j < rows; j++) {
+			if (i != j) {
+				st_cmps += 1;
+				if (contains(i, j)) {
+					cover[i] += 1;
+					st_hits += 1;
+					best = j;
+				}
+			}
+		}
+		table[i * width] = table[i * width] | cover[best & 255];
+	}
+}
+
+int main() {
+	rows = geti(0, 192);
+	width = geti(1, 64);
+	passes = geti(2, 3);
+	__seed = geti(3, 1);
+	setup();
+	int p;
+	for (p = 0; p < passes; p++) {
+		sweep();
+	}
+	int sum = 0;
+	int i;
+	for (i = 0; i < rows; i++) {
+		sum += cover[i];
+		ncontained += 1;
+	}
+	sum += audit(300) + (st_cmps & 7) + (st_hits & 7);
+	print_int(sum);
+	print_char('\n');
+	return sum & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:     "099.go",
+		Training: true,
+		// Board-game evaluation: a small board that fits in cache (go's
+		// miss rate is the lowest in Table 2), heavy branching, plus a
+		// modest history table. Most loads hit.
+		Input1: []int32{56, 400, 9}, Input1Name: "50 9 2stone9.in",
+		Input2: []int32{64, 470, 21}, Input2Name: "60 20 9stone21.in",
+		Source: prelude + `
+int board[361];
+int liberty[361];
+int history[16384];
+int moves;
+int games;
+
+void clearboard() {
+	int i;
+	for (i = 0; i < 361; i++) { board[i] = 0; liberty[i] = 4; }
+}
+
+int evalpoint(int p) {
+	int score = 0;
+	if (board[p] == 1) score += liberty[p];
+	if (board[p] == 2) score -= liberty[p];
+	int up = p - 19;
+	int dn = p + 19;
+	if (up >= 0) { if (board[up] == board[p]) score += 2; }
+	if (dn < 361) { if (board[dn] == board[p]) score += 2; }
+	return score;
+}
+
+int audit() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 361; i++) s += board[i] * liberty[i];
+	return s;
+}
+
+int playgame(int g) {
+	clearboard();
+	int m;
+	int score = 0;
+	for (m = 0; m < moves; m++) {
+		int p = rnd() % 361;
+		int color = (m & 1) + 1;
+		board[p] = color;
+		liberty[p] = (rnd() & 3) + 1;
+		score += evalpoint(p);
+		history[(g * 64 + m) & 16383] = p;
+	}
+	return score;
+}
+
+int main() {
+	games = geti(0, 56);
+	moves = geti(1, 400);
+	__seed = geti(2, 9);
+	int total = 0;
+	int g;
+	for (g = 0; g < games; g++) total += playgame(g);
+	int i;
+	int hsum = audit();
+	for (i = 0; i < 16384; i += 2) hsum += history[i];
+	print_int(total);
+	print_char('\n');
+	return (total + hsum) & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:     "129.compress",
+		Training: true,
+		// LZW-style compression: hash-table probing with a multiplied
+		// hash, prefix/suffix code tables larger than L1.
+		Input1: []int32{40000, 3}, Input1Name: "test.in",
+		Input2: []int32{34000, 11}, Input2Name: "bigtest.in",
+		Source: prelude + `
+int htab[16384];
+int codetab[16384];
+int freecode;
+int insize;
+
+int probe(int code, int c) {
+	int h = (c << 7 ^ code) & 16383;
+	int steps = 0;
+	while (steps < 16384) {
+		if (htab[h] == 0) return -h;
+		if (htab[h] == (code << 9 | c)) return codetab[h];
+		h = h + 113;
+		if (h >= 16384) h -= 16384;
+		steps += 1;
+	}
+	return 0;
+}
+
+int audit() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 96; i++) s += htab[i * 37 & 16383];
+	for (i = 0; i < 400; i++) s += codetab[i * 11 & 16383];
+	return s;
+}
+
+int main() {
+	insize = geti(0, 40000);
+	__seed = geti(1, 3);
+	int i;
+	for (i = 0; i < 16384; i++) { htab[i] = 0; codetab[i] = 0; }
+	freecode = 257;
+	int code = rnd() & 255;
+	int emitted = 0;
+	for (i = 1; i < insize; i++) {
+		int c = rnd() & 255;
+		int r = probe(code, c);
+		if (r > 0) {
+			code = r;
+		} else {
+			emitted += 1;
+			int h = -r;
+			if (freecode < 12545) {
+				htab[h] = code << 9 | c;
+				codetab[h] = freecode;
+				freecode += 1;
+			}
+			code = c;
+		}
+	}
+	emitted += audit() & 7;
+	print_int(emitted);
+	print_char('\n');
+	return (emitted + freecode) & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:     "147.vortex",
+		Training: true,
+		// Object-oriented database: heap records behind an index array,
+		// field-heavy access, chained hash buckets.
+		Input1: []int32{4000, 30000, 5}, Input1Name: "input1_lendian",
+		Input2: []int32{3500, 26000, 17}, Input2Name: "input3_lendian",
+		Source: prelude + `
+struct Rec {
+	int key;
+	int val;
+	int flags;
+	int pad;
+	struct Rec *chain;
+};
+struct Rec *index[8192];
+int nrecs;
+int nlookups;
+int inserted = 0;
+
+void insert(int key) {
+	struct Rec *r = malloc(sizeof(struct Rec));
+	r->key = key;
+	r->val = key * 3 + 1;
+	r->flags = key & 15;
+	int h = key & 8191;
+	r->chain = index[h];
+	index[h] = r;
+	inserted += 1;
+}
+
+int getval(struct Rec *r) {
+	return r->val + r->flags;
+}
+
+int audit() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 80; i++) {
+		if (index[i * 97 & 8191]) s += 1;
+	}
+	return s;
+}
+
+int lookup(int key) {
+	int h = key & 8191;
+	struct Rec *r = index[h];
+	while (r) {
+		if (r->key == key) return r->val;
+		r = r->chain;
+	}
+	return 0;
+}
+
+int main() {
+	nrecs = geti(0, 4000);
+	nlookups = geti(1, 30000);
+	__seed = geti(2, 5);
+	int i;
+	for (i = 0; i < 8192; i++) index[i] = 0;
+	for (i = 0; i < nrecs; i++) insert(rnd() * 7 + i);
+	int found = 0;
+	for (i = 0; i < nlookups; i++) {
+		int k = rnd() * 7 + (rnd() % nrecs);
+		found += lookup(k);
+	}
+	for (i = 0; i < 8192; i++) {
+		if (index[i]) found += getval(index[i]);
+	}
+	found += audit();
+	print_int(found);
+	print_char('\n');
+	return (found + inserted) & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:     "164.gzip",
+		Training: true,
+		// LZ77: a large sliding window of bytes and int hash chains;
+		// match scanning walks the window byte by byte.
+		Input1: []int32{15000, 2}, Input1Name: "input.source 60",
+		Input2: []int32{13000, 29}, Input2Name: "input.log 60",
+		Source: prelude + `
+char window[65536];
+char crctab[8192];
+int head[8192];
+int prev[32768];
+int insize;
+int st_lit;   int st_gpad1[8];
+int st_match; int st_gpad2[8];
+
+int matchlen(int a, int b) {
+	int n = 0;
+	while (n < 32) {
+		if (window[a + n] != window[b + n]) return n;
+		n += 1;
+	}
+	return n;
+}
+
+int audit() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 200; i++) s += prev[i * 151 & 32767];
+	for (i = 0; i < 64; i++) s += head[i];
+	return s;
+}
+
+int main() {
+	insize = geti(0, 15000);
+	__seed = geti(1, 2);
+	int i;
+	for (i = 0; i < 8192; i++) head[i] = -1;
+	for (i = 0; i < 32768; i++) prev[i] = -1;
+	for (i = 0; i < 65536; i++) window[i] = rnd() & 63;
+	for (i = 0; i < 8192; i++) crctab[i] = i * 7 & 31;
+	int pos = 3;
+	int totlen = 0;
+	int steps = 0;
+	while (steps < insize) {
+		int h = (window[pos] << 6 ^ window[pos+1] << 3 ^ window[pos+2]) & 8191;
+		int cand = head[h];
+		int chain = 0;
+		int best = 0;
+		while (cand >= 0 && chain < 8) {
+			int l = matchlen(cand, pos);
+			if (l > best) best = l;
+			cand = prev[cand & 32767];
+			chain += 1;
+		}
+		prev[pos & 32767] = head[h];
+		head[h] = pos;
+		if (best > 2) st_match += 1;
+		else st_lit += 1;
+		totlen += best + crctab[(totlen * 2246822 + pos) & 8191];
+		pos += 1;
+		if (pos > 65500) pos = 3;
+		steps += 1;
+	}
+	totlen += (audit() + st_lit + st_match) & 15;
+	print_int(totlen);
+	print_char('\n');
+	return totlen & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:     "197.parser",
+		Training: true,
+		// Natural-language parsing: a word dictionary with hashed
+		// lookup, collision chains, and char-level string comparison.
+		Input1: []int32{3000, 12000, 13}, Input1Name: "input_ref",
+		Input2: []int32{2600, 10000, 31}, Input2Name: "input_test",
+		Source: prelude + `
+struct Word {
+	char text[12];
+	int count;
+	struct Word *next;
+};
+struct Word *dict[4096];
+char affix[8192];
+int nwords;
+int nqueries;
+
+void makeword(char *buf) {
+	int len = (rnd() % 8) + 3;
+	int i;
+	for (i = 0; i < len; i++) buf[i] = 'a' + (rnd() % 26);
+	buf[len] = 0;
+}
+
+int hash(char *s) {
+	int h = 0;
+	int i = 0;
+	while (s[i]) {
+		h = h * 31 + s[i];
+		i += 1;
+	}
+	return h & 4095;
+}
+
+int same(char *a, char *b) {
+	int i = 0;
+	while (a[i] && b[i]) {
+		if (a[i] != b[i]) return 0;
+		i += 1;
+	}
+	if (a[i] != b[i]) return 0;
+	return 1;
+}
+
+void learn(char *s) {
+	int h = hash(s);
+	struct Word *w = dict[h];
+	while (w) {
+		if (same(w->text, s)) { w->count += 1; return; }
+		w = w->next;
+	}
+	w = malloc(sizeof(struct Word));
+	int i = 0;
+	while (s[i]) { w->text[i] = s[i]; i += 1; }
+	w->text[i] = 0;
+	w->count = 1;
+	w->next = dict[h];
+	dict[h] = w;
+}
+
+int winfo(struct Word *w) {
+	return w->count + w->text[0];
+}
+
+int stats() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 4096; i++) {
+		struct Word *w = dict[i];
+		while (w) {
+			s += winfo(w);
+			w = w->next;
+		}
+	}
+	return s;
+}
+
+int frequency(char *s) {
+	int h = hash(s);
+	struct Word *w = dict[h];
+	while (w) {
+		if (same(w->text, s)) return w->count;
+		w = w->next;
+	}
+	return 0;
+}
+
+int main() {
+	nwords = geti(0, 3000);
+	nqueries = geti(1, 12000);
+	__seed = geti(2, 13);
+	char buf[16];
+	int i;
+	for (i = 0; i < 8192; i++) affix[i] = i % 3;
+	for (i = 0; i < 4096; i++) dict[i] = 0;
+	for (i = 0; i < nwords; i++) {
+		makeword(buf);
+		learn(buf);
+	}
+	int hits = 0;
+	for (i = 0; i < nqueries; i++) {
+		makeword(buf);
+		hits += frequency(buf);
+		hits += affix[(hits * 40503 + i) & 8191];
+	}
+	hits += stats();
+	print_int(hits);
+	print_char('\n');
+	return hits & 255;
+}
+`,
+	})
+}

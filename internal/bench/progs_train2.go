@@ -1,0 +1,413 @@
+package bench
+
+func init() {
+	register(&Benchmark{
+		Name:     "181.mcf",
+		Training: true,
+		// Network simplex: nodes and arcs allocated on the heap, arc
+		// lists chased pointer by pointer; the paper's highest
+		// miss-rate benchmark.
+		Input1: []int32{3000, 3, 10, 19}, Input1Name: "input_ref",
+		Input2: []int32{2600, 3, 9, 41}, Input2Name: "input_test",
+		Source: prelude + `
+struct Arc {
+	int cost;
+	int flow;
+	struct Nd *head;
+	struct Arc *nextout;
+};
+struct Nd {
+	int potential;
+	int balance;
+	int depth;
+	struct Arc *first;
+};
+struct Nd *nodes[4096];
+int nnodes;
+int degree;
+int passes;
+
+void buildnet() {
+	int i;
+	for (i = 0; i < nnodes; i++) {
+		struct Nd *n = malloc(sizeof(struct Nd));
+		n->potential = rnd();
+		n->balance = rnd() - 16384;
+		n->depth = 0;
+		n->first = 0;
+		nodes[i] = n;
+	}
+	int a;
+	for (i = 0; i < nnodes; i++) {
+		for (a = 0; a < degree; a++) {
+			struct Arc *arc = malloc(sizeof(struct Arc));
+			arc->cost = rnd() % 1000;
+			arc->flow = 0;
+			arc->head = nodes[rnd() % nnodes];
+			arc->nextout = nodes[i]->first;
+			nodes[i]->first = arc;
+		}
+	}
+}
+
+int arcinfo(struct Arc *a) {
+	return a->cost + a->flow;
+}
+
+int netaudit() {
+	int i;
+	int s = 0;
+	for (i = 0; i < nnodes; i++) {
+		struct Arc *arc = nodes[i]->first;
+		while (arc) {
+			s += arcinfo(arc);
+			arc = arc->nextout;
+		}
+	}
+	return s;
+}
+
+int coldscan() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 64; i++) s += nodes[i * 41 % nnodes]->depth;
+	return s;
+}
+
+int pricepass() {
+	int i;
+	int improved = 0;
+	for (i = 0; i < nnodes; i++) {
+		struct Nd *n = nodes[i];
+		struct Arc *arc = n->first;
+		while (arc) {
+			int red = arc->cost + n->potential - arc->head->potential;
+			if (red < 0) {
+				arc->flow += 1;
+				arc->head->potential += red / 2;
+				improved += 1;
+			}
+			arc = arc->nextout;
+		}
+	}
+	return improved;
+}
+
+int main() {
+	nnodes = geti(0, 3000);
+	degree = geti(1, 3);
+	passes = geti(2, 10);
+	__seed = geti(3, 19);
+	buildnet();
+	int total = 0;
+	int p;
+	for (p = 0; p < passes; p++) total += pricepass();
+	total += netaudit() + coldscan();
+	print_int(total);
+	print_char('\n');
+	return total & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:     "175.vpr",
+		Training: true,
+		// FPGA placement: a cell grid of structs, net membership
+		// arrays, and a random-swap annealing loop with incremental
+		// bounding-box cost.
+		Input1: []int32{64, 18000, 23}, Input1Name: "input_ref",
+		Input2: []int32{56, 16000, 47}, Input2Name: "input_train",
+		Source: prelude + `
+struct Cell {
+	int occ;
+	int net;
+	int xcost;
+	int ycost;
+};
+struct Cell grid[4096];
+int netpin[4096];
+int side;
+int nswaps;
+int accepted = 0;
+
+void place() {
+	int i;
+	int n = side * side;
+	for (i = 0; i < n; i++) {
+		grid[i].occ = 1;
+		grid[i].net = rnd() % 512;
+		grid[i].xcost = i % side;
+		grid[i].ycost = i / side;
+	}
+	for (i = 0; i < 4096; i++) netpin[i] = rnd() % n;
+}
+
+int audit() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 150; i++) s += grid[i * 23 & 4095].xcost;
+	return s;
+}
+
+int swapcost(int a, int b) {
+	int c = 0;
+	c += grid[a].xcost - grid[b].xcost;
+	c += grid[a].ycost - grid[b].ycost;
+	int pa = netpin[grid[a].net & 4095];
+	int pb = netpin[grid[b].net & 4095];
+	c += grid[pa].xcost - grid[pb].xcost;
+	return c;
+}
+
+int main() {
+	side = geti(0, 64);
+	nswaps = geti(1, 18000);
+	__seed = geti(2, 23);
+	place();
+	int n = side * side;
+	int cost = 0;
+	int s;
+	for (s = 0; s < nswaps; s++) {
+		int a = rnd() % n;
+		int b = rnd() % n;
+		int d = swapcost(a, b);
+		if (d < 0) {
+			int t = grid[a].net;
+			grid[a].net = grid[b].net;
+			grid[b].net = t;
+			accepted += 1;
+			cost += d;
+		}
+	}
+	accepted += audit() & 7;
+	print_int(accepted);
+	print_char('\n');
+	return (cost + accepted) & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:     "179.art",
+		Training: true,
+		// Adaptive resonance theory neural net: repeated full scans of
+		// large float weight arrays, the classic streaming-FP miss
+		// pattern.
+		Input1: []int32{6144, 8, 4, 3}, Input1Name: "input_ref1",
+		Input2: []int32{5120, 8, 4, 57}, Input2Name: "input_ref2",
+		Source: prelude + `
+float w[49152];
+float y[6144];
+float x[6144];
+int neurons;
+int fanin;
+int passes;
+
+void init() {
+	int i;
+	for (i = 0; i < neurons * fanin; i++) w[i] = (rnd() % 100) / 100.0;
+	for (i = 0; i < neurons; i++) {
+		x[i] = (rnd() % 100) / 100.0;
+		y[i] = 0.0;
+	}
+}
+
+float audit() {
+	int i;
+	float s = 0.0;
+	for (i = 0; i < 80; i++) s += w[i * 509 % (neurons * fanin)];
+	return s;
+}
+
+float scanpass() {
+	int i; int j;
+	float best = 0.0;
+	for (i = 0; i < neurons; i++) {
+		float sum = 0.0;
+		for (j = 0; j < fanin; j++) {
+			sum += w[i * fanin + j] * x[(i + j) % neurons];
+		}
+		y[i] = y[i] * 0.5 + sum;
+		if (y[i] > best) best = y[i];
+	}
+	return best;
+}
+
+int main() {
+	neurons = geti(0, 6144);
+	fanin = geti(1, 8);
+	passes = geti(2, 4);
+	__seed = geti(3, 3);
+	init();
+	float best = 0.0;
+	int p;
+	for (p = 0; p < passes; p++) best = scanpass();
+	int winner = 0;
+	int i;
+	for (i = 0; i < neurons; i++) {
+		if (y[i] == best) winner = i;
+	}
+	if (audit() < 0.0) winner += 1;
+	print_int(winner);
+	print_char('\n');
+	return winner & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:     "183.equake",
+		Training: true,
+		// Earthquake simulation: sparse matrix-vector products in CSR
+		// form; the column-index indirection defeats spatial locality.
+		Input1: []int32{3000, 9, 6, 29}, Input1Name: "input_ref",
+		Input2: []int32{2600, 9, 6, 61}, Input2Name: "input_test",
+		Source: prelude + `
+float val[27000];
+int colidx[27000];
+int rowstart[3001];
+float xv[3000];
+float yv[3000];
+int nrows;
+int nnzrow;
+int iters;
+
+void buildmat() {
+	int i; int k;
+	int nz = 0;
+	for (i = 0; i < nrows; i++) {
+		rowstart[i] = nz;
+		for (k = 0; k < nnzrow; k++) {
+			val[nz] = (rnd() % 1000) / 1000.0;
+			colidx[nz] = rnd() % nrows;
+			nz += 1;
+		}
+	}
+	rowstart[nrows] = nz;
+	for (i = 0; i < nrows; i++) xv[i] = 1.0;
+}
+
+float audit() {
+	int i;
+	float s = 0.0;
+	for (i = 0; i < 250; i++) s += val[i * 101 % 27000] + colidx[i * 61 % 27000];
+	return s;
+}
+
+void smvp() {
+	int i; int k;
+	for (i = 0; i < nrows; i++) {
+		float sum = 0.0;
+		int lo = rowstart[i];
+		int hi = rowstart[i + 1];
+		for (k = lo; k < hi; k++) {
+			sum += val[k] * xv[colidx[k]];
+		}
+		yv[i] = sum;
+	}
+	for (i = 0; i < nrows; i++) xv[i] = yv[i] / nnzrow + 0.01;
+}
+
+int main() {
+	nrows = geti(0, 3000);
+	nnzrow = geti(1, 9);
+	iters = geti(2, 6);
+	__seed = geti(3, 29);
+	buildmat();
+	int t;
+	for (t = 0; t < iters; t++) smvp();
+	float total = audit() * 0.0001;
+	int i;
+	for (i = 0; i < nrows; i++) total += yv[i];
+	int scaled = total;
+	print_int(scaled);
+	print_char('\n');
+	return scaled & 255;
+}
+`,
+	})
+
+	register(&Benchmark{
+		Name:     "188.ammp",
+		Training: true,
+		// Molecular dynamics: an array of atom structs with float
+		// coordinate/force fields and a random neighbour list.
+		Input1: []int32{3000, 8, 3, 37}, Input1Name: "input_ref",
+		Input2: []int32{2600, 8, 3, 71}, Input2Name: "input_test",
+		Source: prelude + `
+struct Atom {
+	float px;
+	float py;
+	float pz;
+	float fx;
+	float fy;
+	float fz;
+	int id;
+	int kind;
+};
+struct Atom *atoms;
+int nbr[24000];
+int natoms;
+int nnbr;
+int steps;
+
+void setup() {
+	atoms = malloc(natoms * sizeof(struct Atom));
+	int i;
+	for (i = 0; i < natoms; i++) {
+		atoms[i].px = (rnd() % 1000) / 10.0;
+		atoms[i].py = (rnd() % 1000) / 10.0;
+		atoms[i].pz = (rnd() % 1000) / 10.0;
+		atoms[i].fx = 0.0;
+		atoms[i].fy = 0.0;
+		atoms[i].fz = 0.0;
+		atoms[i].id = i;
+		atoms[i].kind = i & 3;
+	}
+	for (i = 0; i < natoms * nnbr; i++) nbr[i] = rnd() % natoms;
+}
+
+float audit() {
+	int i;
+	float s = 0.0;
+	for (i = 0; i < 90; i++) s += atoms[i * 31 % natoms].py;
+	return s;
+}
+
+void forces() {
+	int i; int k;
+	for (i = 0; i < natoms; i++) {
+		float fx = 0.0;
+		float fy = 0.0;
+		for (k = 0; k < nnbr; k++) {
+			int j = nbr[i * nnbr + k];
+			float dx = atoms[j].px - atoms[i].px;
+			float dy = atoms[j].py - atoms[i].py;
+			fx += dx * 0.001;
+			fy += dy * 0.001;
+		}
+		atoms[i].fx += fx;
+		atoms[i].fy += fy;
+	}
+}
+
+int main() {
+	natoms = geti(0, 3000);
+	nnbr = geti(1, 8);
+	steps = geti(2, 3);
+	__seed = geti(3, 37);
+	setup();
+	int s;
+	for (s = 0; s < steps; s++) forces();
+	float tot = audit() * 0.001;
+	int i;
+	for (i = 0; i < natoms; i++) tot += atoms[i].fx;
+	int scaled = tot * 1000.0;
+	print_int(scaled);
+	print_char('\n');
+	return scaled & 255;
+}
+`,
+	})
+}

@@ -1,0 +1,206 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		Training, Baseline,
+		{SizeBytes: 16 * 1024, Assoc: 2, BlockBytes: 32},
+		{SizeBytes: 64 * 1024, Assoc: 8, BlockBytes: 64},
+		{SizeBytes: 1024, Assoc: 1, BlockBytes: 16},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v", c, err)
+		}
+	}
+	bad := []Config{
+		{},
+		{SizeBytes: 8192, Assoc: 4, BlockBytes: 24},
+		{SizeBytes: 8192, Assoc: 3, BlockBytes: 32}, // 85.33 sets
+		{SizeBytes: -1, Assoc: 1, BlockBytes: 32},
+		{SizeBytes: 8192 + 32, Assoc: 1, BlockBytes: 32},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%v) succeeded; want error", c)
+		}
+	}
+}
+
+func TestConfigDerived(t *testing.T) {
+	if Training.Sets() != 256 {
+		t.Errorf("Training sets = %d", Training.Sets())
+	}
+	if Baseline.Sets() != 64 {
+		t.Errorf("Baseline sets = %d", Baseline.Sets())
+	}
+	if s := Baseline.String(); s != "8KB/4-way/32B" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := MustNew(Baseline)
+	if c.Access(0x1000, false) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000, false) {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x101c, false) {
+		t.Error("same-block access missed")
+	}
+	if c.Access(0x1020, false) {
+		t.Error("next block hit on cold access")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Misses != 2 || st.LoadMisses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped 2-set cache, 16B blocks: addresses 0 and 32 collide.
+	c := MustNew(Config{SizeBytes: 32, Assoc: 1, BlockBytes: 16})
+	c.Access(0, false)
+	c.Access(32, false) // evicts 0
+	if c.Access(0, false) {
+		t.Error("evicted line still present")
+	}
+}
+
+func TestLRUOrdering(t *testing.T) {
+	// One set, 2-way: A, B, touch A, insert C -> B evicted, A retained.
+	c := MustNew(Config{SizeBytes: 32, Assoc: 2, BlockBytes: 16})
+	a, b, d := uint32(0), uint32(32), uint32(64)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // refresh A
+	c.Access(d, false) // must evict B
+	if !c.Access(a, false) {
+		t.Error("A evicted despite being MRU")
+	}
+	if c.Access(b, false) {
+		t.Error("B retained despite being LRU")
+	}
+}
+
+func TestStoreMissesCountedSeparately(t *testing.T) {
+	c := MustNew(Baseline)
+	c.Access(0x2000, true)
+	c.Access(0x3000, false)
+	st := c.Stats()
+	if st.StoreMisses != 1 || st.LoadMisses != 1 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Write-allocate: subsequent load of the stored block hits.
+	if !c.Access(0x2000, false) {
+		t.Error("write-allocate failed")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := MustNew(Baseline)
+	c.Access(0x4000, false)
+	c.Reset()
+	if st := c.Stats(); st.Accesses != 0 || st.Misses != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+	if c.Access(0x4000, false) {
+		t.Error("line survived reset")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	if (Stats{}).MissRate() != 0 {
+		t.Error("empty MissRate != 0")
+	}
+	s := Stats{Accesses: 8, Misses: 2}
+	if s.MissRate() != 0.25 {
+		t.Errorf("MissRate = %v", s.MissRate())
+	}
+}
+
+// Property: a working set no larger than one set's capacity never misses
+// after the first touch of each block (LRU never evicts a live block).
+func TestQuickWorkingSetFits(t *testing.T) {
+	cfg := Config{SizeBytes: 1024, Assoc: 4, BlockBytes: 32}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := MustNew(cfg)
+		// 4 blocks mapping to the same set (set 0 of 8).
+		blocks := make([]uint32, 4)
+		for i := range blocks {
+			blocks[i] = uint32(i) * uint32(cfg.BlockBytes) * uint32(cfg.Sets())
+		}
+		seen := map[uint32]bool{}
+		for i := 0; i < 200; i++ {
+			b := blocks[rng.Intn(len(blocks))]
+			hit := c.Access(b, false)
+			if seen[b] && !hit {
+				return false
+			}
+			seen[b] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: miss count is monotonically non-increasing in associativity
+// for a fixed-size cache under any access sequence? Not in general (Belady
+// anomalies exist for some policies), but LRU is a stack algorithm in
+// *capacity*: for fixed block count per set, doubling ways while halving
+// sets may reshuffle. We instead check the stack property that a larger
+// fully-associative LRU cache never misses more than a smaller one.
+func TestQuickLRUStackProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		small := MustNew(Config{SizeBytes: 256, Assoc: 8, BlockBytes: 32})   // 1 set
+		large := MustNew(Config{SizeBytes: 1024, Assoc: 32, BlockBytes: 32}) // 1 set
+		for i := 0; i < 500; i++ {
+			addr := uint32(rng.Intn(64)) * 32
+			small.Access(addr, false)
+			large.Access(addr, false)
+		}
+		return large.Stats().Misses <= small.Stats().Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFIFOReplacement(t *testing.T) {
+	// One set, 2-way. FIFO: A, B, touch A, insert C evicts A (oldest
+	// fill); under LRU the same sequence evicts B.
+	cfg := Config{SizeBytes: 32, Assoc: 2, BlockBytes: 16, Repl: FIFO}
+	c := MustNew(cfg)
+	a, b, d := uint32(0), uint32(32), uint32(64)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // reuse does not refresh under FIFO
+	c.Access(d, false) // evicts A
+	// Check the survivor first: probing the victim would refill it.
+	if !c.Access(b, false) {
+		t.Error("FIFO evicted the younger line")
+	}
+	if c.Access(a, false) {
+		t.Error("FIFO retained the oldest line")
+	}
+	if cfg.String() != "0KB/2-way/16B/FIFO" {
+		t.Errorf("String = %q", cfg.String())
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "LRU" || FIFO.String() != "FIFO" {
+		t.Error("policy names wrong")
+	}
+}

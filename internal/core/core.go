@@ -1,0 +1,193 @@
+// Package core is the library facade: one-call static identification of
+// delinquent loads for a compiled program, wiring together the mini-C
+// compiler, assembler, disassembler, address-pattern analysis, heuristic
+// classifier, simulator, and evaluation metrics.
+//
+// Typical use:
+//
+//	res, err := core.IdentifySource(src, core.Options{})
+//	for _, d := range res.Delinquent() { fmt.Println(d) }
+//
+// With an execution profile (simulate first, or bring your own), the
+// frequency classes AG8/AG9 sharpen the result; without one the purely
+// structural heuristic AG1-AG7 is applied.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"delinq/internal/asm"
+	"delinq/internal/baseline"
+	"delinq/internal/cache"
+	"delinq/internal/classify"
+	"delinq/internal/disasm"
+	"delinq/internal/metrics"
+	"delinq/internal/minic"
+	"delinq/internal/obj"
+	"delinq/internal/pattern"
+	"delinq/internal/vm"
+)
+
+// Options configures identification.
+type Options struct {
+	// Optimize selects the compiler's -O mode for IdentifySource.
+	Optimize bool
+	// Classify configures the heuristic; zero value means the trained
+	// default (paper weights, δ=0.10, frequency classes enabled when a
+	// profile is available).
+	Classify *classify.Config
+	// Profile supplies execution counts; nil disables AG8/AG9.
+	Profile classify.ExecProfile
+}
+
+// Result is a completed identification.
+type Result struct {
+	Image  *obj.Image
+	Prog   *disasm.Program
+	Loads  []*pattern.Load
+	Scored []*classify.Scored
+	Config classify.Config
+}
+
+// Delinquent returns the loads reported possibly delinquent, highest
+// score first.
+func (r *Result) Delinquent() []*classify.Scored {
+	out := classify.Delinquent(r.Scored)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Phi != out[j].Phi {
+			return out[i].Phi > out[j].Phi
+		}
+		return out[i].Load.PC < out[j].Load.PC
+	})
+	return out
+}
+
+// Pi returns the precision measure |Δ|/|Λ|.
+func (r *Result) Pi() float64 {
+	if len(r.Scored) == 0 {
+		return 0
+	}
+	return float64(len(classify.Delinquent(r.Scored))) / float64(len(r.Scored))
+}
+
+// DeltaSet returns Δ as a PC set, ready for metrics.Evaluate.
+func (r *Result) DeltaSet() map[uint32]bool {
+	out := map[uint32]bool{}
+	for _, s := range classify.Delinquent(r.Scored) {
+		out[s.Load.PC] = true
+	}
+	return out
+}
+
+// IdentifyImage runs the post-compilation analysis on a linked image.
+func IdentifyImage(img *obj.Image, opts Options) (*Result, error) {
+	prog, err := disasm.Disassemble(img)
+	if err != nil {
+		return nil, err
+	}
+	cfg := classify.DefaultConfig()
+	if opts.Classify != nil {
+		cfg = *opts.Classify
+	}
+	if opts.Profile == nil {
+		cfg.UseFrequency = false
+	}
+	loads := pattern.AnalyzeProgram(prog, cfg.Pattern)
+	return &Result{
+		Image:  img,
+		Prog:   prog,
+		Loads:  loads,
+		Scored: classify.Score(loads, opts.Profile, cfg),
+		Config: cfg,
+	}, nil
+}
+
+// IdentifySource compiles mini-C source and identifies its delinquent
+// loads.
+func IdentifySource(src string, opts Options) (*Result, error) {
+	img, err := BuildSource(src, opts.Optimize)
+	if err != nil {
+		return nil, err
+	}
+	return IdentifyImage(img, opts)
+}
+
+// BuildSource compiles and assembles mini-C source to a linked image.
+func BuildSource(src string, optimize bool) (*obj.Image, error) {
+	asmText, err := minic.Compile(src, minic.Options{Optimize: optimize})
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(asmText)
+}
+
+// BuildAsm assembles assembly text to a linked image.
+func BuildAsm(src string) (*obj.Image, error) { return asm.Assemble(src) }
+
+// Simulation couples a run's profile with its cache statistics.
+type Simulation struct {
+	Result *vm.Result
+	Caches []*cache.Cache
+}
+
+// ExecCount implements classify.ExecProfile.
+func (s *Simulation) ExecCount(pc uint32) int64 { return s.Result.ExecAt(pc) }
+
+// LoadStats extracts per-load statistics for cache index ci.
+func (s *Simulation) LoadStats(loads []*pattern.Load, ci int) []metrics.LoadStat {
+	out := make([]metrics.LoadStat, 0, len(loads))
+	for _, ld := range loads {
+		out = append(out, metrics.LoadStat{
+			PC:     ld.PC,
+			Exec:   s.Result.ExecAt(ld.PC),
+			Misses: s.Result.MissesAt(ci, ld.PC),
+		})
+	}
+	return out
+}
+
+// Simulate executes the image with the given inputs against one or more
+// cache geometries (defaulting to the 8 KB baseline).
+func Simulate(img *obj.Image, args []int32, geoms ...cache.Config) (*Simulation, error) {
+	if len(geoms) == 0 {
+		geoms = []cache.Config{cache.Baseline}
+	}
+	caches := make([]*cache.Cache, len(geoms))
+	for i, g := range geoms {
+		c, err := cache.New(g)
+		if err != nil {
+			return nil, err
+		}
+		caches[i] = c
+	}
+	res, err := vm.Run(img, vm.Options{Args: args, Caches: caches, CaptureOutput: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{Result: res, Caches: caches}, nil
+}
+
+// Evaluate computes π and ρ of the identification against a simulation.
+func (r *Result) Evaluate(sim *Simulation, cacheIdx int) metrics.SetEval {
+	return metrics.Evaluate(r.DeltaSet(), sim.LoadStats(r.Loads, cacheIdx))
+}
+
+// Baselines evaluates the OKN and BDH comparison methods on the same
+// binary and simulation.
+func (r *Result) Baselines(sim *Simulation, cacheIdx int) (okn, bdh metrics.SetEval) {
+	stats := sim.LoadStats(r.Loads, cacheIdx)
+	okn = metrics.Evaluate(baseline.OKN(r.Loads), stats)
+	bdh = metrics.Evaluate(baseline.BDH(r.Prog, r.Loads), stats)
+	return okn, bdh
+}
+
+// Describe renders one scored load for reports.
+func Describe(s *classify.Scored) string {
+	pat := "?"
+	if len(s.Load.Patterns) > 0 {
+		pat = s.Load.Patterns[0].String()
+	}
+	return fmt.Sprintf("%s+%#x  %-24s phi=%+.2f  classes=%v  pattern=%s",
+		s.Load.Func.Name, s.Load.PC-s.Load.Func.Entry, s.Load.Inst, s.Phi, s.Classes, pat)
+}

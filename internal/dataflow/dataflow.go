@@ -1,0 +1,204 @@
+// Package dataflow computes reaching definitions over the integer
+// register file of one function — the analysis that lets the
+// address-pattern builder substitute each register use with the
+// expressions that may have produced its value.
+//
+// Three definition kinds exist: ordinary instruction definitions, a
+// synthetic entry definition per register (the value the register had
+// when the function was entered), and synthetic call-clobber definitions
+// for every caller-saved register at each call site.
+package dataflow
+
+import (
+	"delinq/internal/cfg"
+	"delinq/internal/isa"
+)
+
+// DefKind discriminates definition sites.
+type DefKind int
+
+const (
+	// DefInst is a definition by an ordinary instruction.
+	DefInst DefKind = iota
+	// DefEntry is the register's value at function entry.
+	DefEntry
+	// DefCall is a clobber by a call instruction (jal/jalr) or syscall.
+	DefCall
+)
+
+// Def is one definition site of one register.
+type Def struct {
+	ID   int
+	Kind DefKind
+	Inst int // instruction index; -1 for DefEntry
+	Reg  isa.Reg
+}
+
+// callClobbered lists the caller-saved registers redefined by a call
+// under the o32 convention (plus $ra). $v0 is also written by syscalls.
+var callClobbered = []isa.Reg{
+	isa.V0, isa.V1,
+	isa.A0, isa.A1, isa.A2, isa.A3,
+	isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5, isa.T6, isa.T7,
+	isa.T8, isa.T9, isa.AT, isa.RA,
+}
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)   { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool {
+	return b[i/64]&(1<<(i%64)) != 0
+}
+func (b bitset) orWith(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			changed = true
+			b[i] = n
+		}
+	}
+	return changed
+}
+func (b bitset) copyFrom(o bitset) { copy(b, o) }
+
+// Result holds the reaching-definition sets of one function.
+type Result struct {
+	Graph *cfg.Graph
+	Defs  []Def
+	// defsOf[reg] lists the IDs of all definitions of reg.
+	defsOf [32][]int
+	// instDefs[i] lists definition IDs made by instruction i.
+	instDefs [][]int
+	// in[b] is the set of definition IDs reaching the entry of block b.
+	in []bitset
+}
+
+// Analyze runs reaching definitions to a fixed point.
+func Analyze(g *cfg.Graph) *Result {
+	r := &Result{Graph: g, instDefs: make([][]int, len(g.Fn.Insts))}
+
+	addDef := func(kind DefKind, inst int, reg isa.Reg) int {
+		id := len(r.Defs)
+		r.Defs = append(r.Defs, Def{ID: id, Kind: kind, Inst: inst, Reg: reg})
+		r.defsOf[reg] = append(r.defsOf[reg], id)
+		if inst >= 0 {
+			r.instDefs[inst] = append(r.instDefs[inst], id)
+		}
+		return id
+	}
+
+	// Entry definitions for every register except $zero.
+	entryIDs := make([]int, 32)
+	for reg := isa.Reg(1); reg < 32; reg++ {
+		entryIDs[reg] = addDef(DefEntry, -1, reg)
+	}
+	// Instruction and call-clobber definitions.
+	for i, in := range g.Fn.Insts {
+		for _, reg := range in.Defs() {
+			if reg != isa.Zero {
+				addDef(DefInst, i, reg)
+			}
+		}
+		if in.IsCall() || in.Op == isa.SYSCALL {
+			for _, reg := range callClobbered {
+				addDef(DefCall, i, reg)
+			}
+		}
+	}
+
+	n := len(r.Defs)
+	nb := len(g.Blocks)
+	r.in = make([]bitset, nb)
+	out := make([]bitset, nb)
+	gen := make([]bitset, nb)
+	killMask := make([]bitset, nb)
+	for b := 0; b < nb; b++ {
+		r.in[b] = newBitset(n)
+		out[b] = newBitset(n)
+		gen[b] = newBitset(n)
+		killMask[b] = newBitset(n)
+		for i := range killMask[b] {
+			killMask[b][i] = ^uint64(0)
+		}
+	}
+
+	// Per-block gen/kill: walk forward; a def kills all other defs of
+	// the same register.
+	for _, b := range g.Blocks {
+		for i := b.Start; i < b.End; i++ {
+			for _, id := range r.instDefs[i] {
+				reg := r.Defs[id].Reg
+				for _, other := range r.defsOf[reg] {
+					gen[b.Index].clear(other)
+					killMask[b.Index].clear(other)
+				}
+				gen[b.Index].set(id)
+				killMask[b.Index].set(id)
+			}
+		}
+	}
+
+	// Entry block starts with all entry defs.
+	if nb > 0 {
+		for reg := isa.Reg(1); reg < 32; reg++ {
+			r.in[0].set(entryIDs[reg])
+		}
+	}
+
+	// Iterate to fixed point over reverse postorder.
+	order := g.ReversePostorder()
+	tmp := newBitset(n)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			bi := b.Index
+			for _, p := range b.Preds {
+				if r.in[bi].orWith(out[p.Index]) {
+					changed = true
+				}
+			}
+			// out = gen | (in & kept)
+			tmp.copyFrom(r.in[bi])
+			for i := range tmp {
+				tmp[i] = gen[bi][i] | (tmp[i] & killMask[bi][i])
+			}
+			if out[bi].orWith(tmp) {
+				changed = true
+			}
+		}
+	}
+	return r
+}
+
+// ReachingAt returns the definitions of reg that may reach instruction
+// index inst (i.e. the values reg may hold immediately before inst
+// executes).
+func (r *Result) ReachingAt(inst int, reg isa.Reg) []Def {
+	if reg == isa.Zero {
+		return nil
+	}
+	b := r.Graph.BlockOf[inst]
+	// Scan backwards within the block for a local definition.
+	for i := inst - 1; i >= b.Start; i-- {
+		var local []Def
+		for _, id := range r.instDefs[i] {
+			if r.Defs[id].Reg == reg {
+				local = append(local, r.Defs[id])
+			}
+		}
+		if len(local) > 0 {
+			return local
+		}
+	}
+	// Fall back to the block-entry set.
+	var defs []Def
+	for _, id := range r.defsOf[reg] {
+		if r.in[b.Index].has(id) {
+			defs = append(defs, r.Defs[id])
+		}
+	}
+	return defs
+}

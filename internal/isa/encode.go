@@ -1,0 +1,290 @@
+package isa
+
+import "fmt"
+
+// Binary instruction formats follow MIPS I conventions:
+//
+//	R-type:  op(6) rs(5) rt(5) rd(5) shamt(5) funct(6)
+//	I-type:  op(6) rs(5) rt(5) imm(16)
+//	J-type:  op(6) index(26)
+//	COP1:    op=0x11, sub-format in the rs field or fmt field
+//
+// MUL uses the MIPS32 SPECIAL2 encoding (op=0x1c funct=0x02).
+
+const (
+	opSpecial  = 0x00
+	opRegimm   = 0x01
+	opJ        = 0x02
+	opJal      = 0x03
+	opBeq      = 0x04
+	opBne      = 0x05
+	opBlez     = 0x06
+	opBgtz     = 0x07
+	opAddi     = 0x08
+	opAddiu    = 0x09
+	opSlti     = 0x0a
+	opSltiu    = 0x0b
+	opAndi     = 0x0c
+	opOri      = 0x0d
+	opXori     = 0x0e
+	opLui      = 0x0f
+	opCop1     = 0x11
+	opSpecial2 = 0x1c
+	opLb       = 0x20
+	opLh       = 0x21
+	opLw       = 0x23
+	opLbu      = 0x24
+	opLhu      = 0x25
+	opSb       = 0x28
+	opSh       = 0x29
+	opSw       = 0x2b
+	opLwc1     = 0x31
+	opSwc1     = 0x39
+)
+
+const (
+	fnSll     = 0x00
+	fnSrl     = 0x02
+	fnSra     = 0x03
+	fnSllv    = 0x04
+	fnSrlv    = 0x06
+	fnSrav    = 0x07
+	fnJr      = 0x08
+	fnJalr    = 0x09
+	fnSyscall = 0x0c
+	fnMfhi    = 0x10
+	fnMflo    = 0x12
+	fnMult    = 0x18
+	fnDiv     = 0x1a
+	fnDivu    = 0x1b
+	fnAdd     = 0x20
+	fnAddu    = 0x21
+	fnSub     = 0x22
+	fnSubu    = 0x23
+	fnAnd     = 0x24
+	fnOr      = 0x25
+	fnXor     = 0x26
+	fnNor     = 0x27
+	fnSlt     = 0x2a
+	fnSltu    = 0x2b
+)
+
+// COP1 fmt and function codes.
+const (
+	c1Mfc1 = 0x00
+	c1Mtc1 = 0x04
+	c1Bc   = 0x08
+	c1FmtS = 0x10
+	c1FmtW = 0x14
+
+	fpAdd   = 0x00
+	fpSub   = 0x01
+	fpMul   = 0x02
+	fpDiv   = 0x03
+	fpMov   = 0x06
+	fpNeg   = 0x07
+	fpCvtS  = 0x20 // cvt.s.w under fmt W
+	fpCvtW  = 0x24 // cvt.w.s under fmt S
+	fpCmpEq = 0x32
+	fpCmpLt = 0x3c
+	fpCmpLe = 0x3e
+)
+
+var rFunct = map[Op]uint32{
+	SLL: fnSll, SRL: fnSrl, SRA: fnSra, SLLV: fnSllv, SRLV: fnSrlv, SRAV: fnSrav,
+	JR: fnJr, JALR: fnJalr, SYSCALL: fnSyscall,
+	MFHI: fnMfhi, MFLO: fnMflo, MULT: fnMult, DIV: fnDiv, DIVU: fnDivu,
+	ADD: fnAdd, ADDU: fnAddu, SUB: fnSub, SUBU: fnSubu,
+	AND: fnAnd, OR: fnOr, XOR: fnXor, NOR: fnNor, SLT: fnSlt, SLTU: fnSltu,
+}
+
+var functR = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(rFunct))
+	for op, fn := range rFunct {
+		m[fn] = op
+	}
+	return m
+}()
+
+var iOpcode = map[Op]uint32{
+	BEQ: opBeq, BNE: opBne, BLEZ: opBlez, BGTZ: opBgtz,
+	ADDI: opAddi, ADDIU: opAddiu, SLTI: opSlti, SLTIU: opSltiu,
+	ANDI: opAndi, ORI: opOri, XORI: opXori, LUI: opLui,
+	LB: opLb, LH: opLh, LW: opLw, LBU: opLbu, LHU: opLhu,
+	SB: opSb, SH: opSh, SW: opSw, LWC1: opLwc1, SWC1: opSwc1,
+}
+
+var opcodeI = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(iOpcode))
+	for op, code := range iOpcode {
+		m[code] = op
+	}
+	return m
+}()
+
+var fpFunct = map[Op]uint32{
+	ADDS: fpAdd, SUBS: fpSub, MULS: fpMul, DIVS: fpDiv,
+	MOVS: fpMov, NEGS: fpNeg, CVTWS: fpCvtW,
+	CEQS: fpCmpEq, CLTS: fpCmpLt, CLES: fpCmpLe,
+}
+
+var functFP = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(fpFunct))
+	for op, fn := range fpFunct {
+		m[fn] = op
+	}
+	return m
+}()
+
+func imm16(v int32) uint32 { return uint32(v) & 0xffff }
+
+// Encode converts an instruction to its 32-bit machine word.
+func Encode(i Inst) (uint32, error) {
+	rd, rs, rt := uint32(i.Rd), uint32(i.Rs), uint32(i.Rt)
+	switch i.Op {
+	case NOP:
+		return 0, nil
+	case SLL, SRL, SRA:
+		return rt<<16 | rd<<11 | (uint32(i.Imm)&0x1f)<<6 | rFunct[i.Op], nil
+	case SLLV, SRLV, SRAV, ADD, ADDU, SUB, SUBU, AND, OR, XOR, NOR, SLT, SLTU:
+		return rs<<21 | rt<<16 | rd<<11 | rFunct[i.Op], nil
+	case MULT, DIV, DIVU:
+		return rs<<21 | rt<<16 | rFunct[i.Op], nil
+	case MFHI, MFLO:
+		return rd<<11 | rFunct[i.Op], nil
+	case JR:
+		return rs<<21 | fnJr, nil
+	case JALR:
+		return rs<<21 | rd<<11 | fnJalr, nil
+	case SYSCALL:
+		return fnSyscall, nil
+	case MUL:
+		return uint32(opSpecial2)<<26 | rs<<21 | rt<<16 | rd<<11 | 0x02, nil
+	case J, JAL:
+		code := uint32(opJ)
+		if i.Op == JAL {
+			code = opJal
+		}
+		return code<<26 | uint32(i.Imm)&0x03ffffff, nil
+	case BEQ, BNE:
+		return iOpcode[i.Op]<<26 | rs<<21 | rt<<16 | imm16(i.Imm), nil
+	case BLEZ, BGTZ:
+		return iOpcode[i.Op]<<26 | rs<<21 | imm16(i.Imm), nil
+	case BLTZ:
+		return uint32(opRegimm)<<26 | rs<<21 | 0<<16 | imm16(i.Imm), nil
+	case BGEZ:
+		return uint32(opRegimm)<<26 | rs<<21 | 1<<16 | imm16(i.Imm), nil
+	case ADDI, ADDIU, SLTI, SLTIU, ANDI, ORI, XORI,
+		LB, LH, LW, LBU, LHU, SB, SH, SW, LWC1, SWC1:
+		return iOpcode[i.Op]<<26 | rs<<21 | rt<<16 | imm16(i.Imm), nil
+	case LUI:
+		return uint32(opLui)<<26 | rt<<16 | imm16(i.Imm), nil
+	case MFC1:
+		return uint32(opCop1)<<26 | uint32(c1Mfc1)<<21 | rt<<16 | rd<<11, nil
+	case MTC1:
+		return uint32(opCop1)<<26 | uint32(c1Mtc1)<<21 | rt<<16 | rd<<11, nil
+	case BC1F:
+		return uint32(opCop1)<<26 | uint32(c1Bc)<<21 | 0<<16 | imm16(i.Imm), nil
+	case BC1T:
+		return uint32(opCop1)<<26 | uint32(c1Bc)<<21 | 1<<16 | imm16(i.Imm), nil
+	case ADDS, SUBS, MULS, DIVS, MOVS, NEGS, CVTWS, CEQS, CLTS, CLES:
+		return uint32(opCop1)<<26 | uint32(c1FmtS)<<21 | rt<<16 | rs<<11 | rd<<6 | fpFunct[i.Op], nil
+	case CVTSW:
+		return uint32(opCop1)<<26 | uint32(c1FmtW)<<21 | rs<<11 | rd<<6 | fpCvtS, nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode %v", i.Op)
+}
+
+func signExt16(v uint32) int32 { return int32(int16(v)) }
+
+// Decode converts a 32-bit machine word back to an instruction.
+func Decode(word uint32) (Inst, error) {
+	if word == 0 {
+		return Inst{Op: NOP}, nil
+	}
+	op := word >> 26
+	rs := Reg(word >> 21 & 0x1f)
+	rt := Reg(word >> 16 & 0x1f)
+	rd := Reg(word >> 11 & 0x1f)
+	shamt := int32(word >> 6 & 0x1f)
+	funct := word & 0x3f
+	imm := word & 0xffff
+
+	switch op {
+	case opSpecial:
+		rop, ok := functR[funct]
+		if !ok {
+			return Inst{}, fmt.Errorf("isa: unknown SPECIAL funct %#x in word %#08x", funct, word)
+		}
+		switch rop {
+		case SLL, SRL, SRA:
+			return Inst{Op: rop, Rd: rd, Rt: rt, Imm: shamt}, nil
+		case JR:
+			return Inst{Op: JR, Rs: rs}, nil
+		case JALR:
+			return Inst{Op: JALR, Rd: rd, Rs: rs}, nil
+		case SYSCALL:
+			return Inst{Op: SYSCALL}, nil
+		case MFHI, MFLO:
+			return Inst{Op: rop, Rd: rd}, nil
+		case MULT, DIV, DIVU:
+			return Inst{Op: rop, Rs: rs, Rt: rt}, nil
+		default:
+			return Inst{Op: rop, Rd: rd, Rs: rs, Rt: rt}, nil
+		}
+	case opSpecial2:
+		if funct == 0x02 {
+			return Inst{Op: MUL, Rd: rd, Rs: rs, Rt: rt}, nil
+		}
+		return Inst{}, fmt.Errorf("isa: unknown SPECIAL2 funct %#x", funct)
+	case opRegimm:
+		switch rt {
+		case 0:
+			return Inst{Op: BLTZ, Rs: rs, Imm: signExt16(imm)}, nil
+		case 1:
+			return Inst{Op: BGEZ, Rs: rs, Imm: signExt16(imm)}, nil
+		}
+		return Inst{}, fmt.Errorf("isa: unknown REGIMM rt %d", rt)
+	case opJ:
+		return Inst{Op: J, Imm: int32(word & 0x03ffffff)}, nil
+	case opJal:
+		return Inst{Op: JAL, Imm: int32(word & 0x03ffffff)}, nil
+	case opCop1:
+		switch uint32(rs) {
+		case c1Mfc1:
+			return Inst{Op: MFC1, Rt: rt, Rd: rd}, nil
+		case c1Mtc1:
+			return Inst{Op: MTC1, Rt: rt, Rd: rd}, nil
+		case c1Bc:
+			o := BC1F
+			if rt&1 == 1 {
+				o = BC1T
+			}
+			return Inst{Op: o, Imm: signExt16(imm)}, nil
+		case c1FmtS:
+			fop, ok := functFP[funct]
+			if !ok {
+				return Inst{}, fmt.Errorf("isa: unknown COP1.S funct %#x", funct)
+			}
+			fd := Reg(word >> 6 & 0x1f)
+			return Inst{Op: fop, Rd: fd, Rs: rd, Rt: rt}, nil
+		case c1FmtW:
+			if funct == fpCvtS {
+				fd := Reg(word >> 6 & 0x1f)
+				return Inst{Op: CVTSW, Rd: fd, Rs: rd}, nil
+			}
+			return Inst{}, fmt.Errorf("isa: unknown COP1.W funct %#x", funct)
+		}
+		return Inst{}, fmt.Errorf("isa: unknown COP1 sub-op %d", rs)
+	case opLui:
+		return Inst{Op: LUI, Rt: rt, Imm: int32(imm)}, nil
+	case opAndi, opOri, opXori:
+		return Inst{Op: opcodeI[op], Rt: rt, Rs: rs, Imm: int32(imm)}, nil
+	case opBlez, opBgtz:
+		return Inst{Op: opcodeI[op], Rs: rs, Imm: signExt16(imm)}, nil
+	}
+	if iop, ok := opcodeI[op]; ok {
+		return Inst{Op: iop, Rt: rt, Rs: rs, Imm: signExt16(imm)}, nil
+	}
+	return Inst{}, fmt.Errorf("isa: unknown opcode %#x in word %#08x", op, word)
+}

@@ -1,0 +1,396 @@
+// Package isa defines the MIPS-like 32-bit instruction set used throughout
+// the repository: register names, opcodes, a decoded instruction
+// representation, and binary encoding/decoding of the R/I/J/COP1 formats.
+//
+// The ISA is a close subset of MIPS I plus the MIPS32 mul instruction and
+// single-precision COP1 arithmetic. Unlike real MIPS there are no branch
+// delay slots: a taken branch transfers control directly to its target.
+package isa
+
+import "fmt"
+
+// Reg is an integer or floating-point register number (0-31). Whether a
+// Reg names the integer or the FP file depends on the instruction field it
+// appears in; see the comments on Inst.
+type Reg uint8
+
+// Integer register conventions (MIPS o32).
+const (
+	Zero Reg = 0 // hardwired zero
+	AT   Reg = 1 // assembler temporary
+	V0   Reg = 2 // return value 0
+	V1   Reg = 3 // return value 1
+	A0   Reg = 4 // argument 0
+	A1   Reg = 5 // argument 1
+	A2   Reg = 6 // argument 2
+	A3   Reg = 7 // argument 3
+	T0   Reg = 8 // caller-saved temporaries T0-T7
+	T1   Reg = 9
+	T2   Reg = 10
+	T3   Reg = 11
+	T4   Reg = 12
+	T5   Reg = 13
+	T6   Reg = 14
+	T7   Reg = 15
+	S0   Reg = 16 // callee-saved S0-S7
+	S1   Reg = 17
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	T8   Reg = 24
+	T9   Reg = 25
+	K0   Reg = 26 // kernel reserved
+	K1   Reg = 27
+	GP   Reg = 28 // global pointer: base of the small-data area
+	SP   Reg = 29 // stack pointer
+	FP   Reg = 30 // frame pointer
+	RA   Reg = 31 // return address
+)
+
+var intRegNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// RegName returns the canonical assembly name ("$sp", "$t0") of an integer
+// register.
+func RegName(r Reg) string {
+	if int(r) < len(intRegNames) {
+		return "$" + intRegNames[r]
+	}
+	return fmt.Sprintf("$r%d", r)
+}
+
+// FRegName returns the assembly name ("$f12") of a floating-point register.
+func FRegName(r Reg) string { return fmt.Sprintf("$f%d", r) }
+
+// RegByName maps an assembly register name (without the '$') to its
+// number. It accepts both symbolic ("sp") and numeric ("29") names.
+func RegByName(name string) (Reg, bool) {
+	for i, n := range intRegNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "%d", &n); err == nil && n >= 0 && n < 32 {
+		return Reg(n), true
+	}
+	return 0, false
+}
+
+// Op identifies an operation of the ISA.
+type Op uint8
+
+// Operations. The zero value is NOP.
+const (
+	NOP Op = iota
+
+	// R-type integer arithmetic and logic.
+	SLL  // rd = rt << shamt
+	SRL  // rd = rt >> shamt (logical)
+	SRA  // rd = rt >> shamt (arithmetic)
+	SLLV // rd = rt << rs
+	SRLV // rd = rt >> rs (logical)
+	SRAV // rd = rt >> rs (arithmetic)
+	ADD  // rd = rs + rt (no trap on overflow in this ISA)
+	ADDU // rd = rs + rt
+	SUB  // rd = rs - rt
+	SUBU // rd = rs - rt
+	AND  // rd = rs & rt
+	OR   // rd = rs | rt
+	XOR  // rd = rs ^ rt
+	NOR  // rd = ^(rs | rt)
+	SLT  // rd = (rs < rt) signed
+	SLTU // rd = (rs < rt) unsigned
+	MUL  // rd = rs * rt (MIPS32 SPECIAL2)
+	MULT // hi:lo = rs * rt signed
+	DIV  // lo = rs / rt, hi = rs % rt (signed)
+	DIVU // lo, hi unsigned
+	MFHI // rd = hi
+	MFLO // rd = lo
+
+	// Control transfer.
+	JR      // pc = rs
+	JALR    // rd = pc+4; pc = rs
+	J       // pc = target
+	JAL     // ra = pc+4; pc = target
+	BEQ     // if rs == rt branch
+	BNE     // if rs != rt branch
+	BLEZ    // if rs <= 0 branch
+	BGTZ    // if rs > 0 branch
+	BLTZ    // if rs < 0 branch
+	BGEZ    // if rs >= 0 branch
+	SYSCALL // system call; service number in $v0
+
+	// I-type arithmetic and logic.
+	ADDI  // rt = rs + imm
+	ADDIU // rt = rs + imm
+	SLTI  // rt = (rs < imm) signed
+	SLTIU // rt = (rs < imm) unsigned
+	ANDI  // rt = rs & uimm
+	ORI   // rt = rs | uimm
+	XORI  // rt = rs ^ uimm
+	LUI   // rt = imm << 16
+
+	// Memory access. rt is the data register, rs the base.
+	LB  // load byte, sign-extend
+	LH  // load half, sign-extend
+	LW  // load word
+	LBU // load byte, zero-extend
+	LHU // load half, zero-extend
+	SB  // store byte
+	SH  // store half
+	SW  // store word
+
+	// COP1 single-precision floating point. Rd/Rs/Rt name FP registers
+	// except where noted.
+	LWC1  // load word to FP reg; Rt = FP dest, Rs = integer base
+	SWC1  // store word from FP reg
+	MFC1  // Rt(int) = Rd(fp)
+	MTC1  // Rd(fp) = Rt(int)
+	ADDS  // fd = fs + ft
+	SUBS  // fd = fs - ft
+	MULS  // fd = fs * ft
+	DIVS  // fd = fs / ft
+	MOVS  // fd = fs
+	NEGS  // fd = -fs
+	CVTSW // fd = float32(int32 bits of fs)
+	CVTWS // fd = int32(float32 of fs), truncating
+	CEQS  // cc = (fs == ft)
+	CLTS  // cc = (fs < ft)
+	CLES  // cc = (fs <= ft)
+	BC1T  // branch if cc set
+	BC1F  // branch if cc clear
+
+	numOps // sentinel
+)
+
+var opNames = [numOps]string{
+	NOP: "nop",
+	SLL: "sll", SRL: "srl", SRA: "sra", SLLV: "sllv", SRLV: "srlv", SRAV: "srav",
+	ADD: "add", ADDU: "addu", SUB: "sub", SUBU: "subu",
+	AND: "and", OR: "or", XOR: "xor", NOR: "nor", SLT: "slt", SLTU: "sltu",
+	MUL: "mul", MULT: "mult", DIV: "div", DIVU: "divu", MFHI: "mfhi", MFLO: "mflo",
+	JR: "jr", JALR: "jalr", J: "j", JAL: "jal",
+	BEQ: "beq", BNE: "bne", BLEZ: "blez", BGTZ: "bgtz", BLTZ: "bltz", BGEZ: "bgez",
+	SYSCALL: "syscall",
+	ADDI:    "addi", ADDIU: "addiu", SLTI: "slti", SLTIU: "sltiu",
+	ANDI: "andi", ORI: "ori", XORI: "xori", LUI: "lui",
+	LB: "lb", LH: "lh", LW: "lw", LBU: "lbu", LHU: "lhu", SB: "sb", SH: "sh", SW: "sw",
+	LWC1: "lwc1", SWC1: "swc1", MFC1: "mfc1", MTC1: "mtc1",
+	ADDS: "add.s", SUBS: "sub.s", MULS: "mul.s", DIVS: "div.s",
+	MOVS: "mov.s", NEGS: "neg.s", CVTSW: "cvt.s.w", CVTWS: "cvt.w.s",
+	CEQS: "c.eq.s", CLTS: "c.lt.s", CLES: "c.le.s", BC1T: "bc1t", BC1F: "bc1f",
+}
+
+// Name returns the assembly mnemonic of op.
+func (op Op) Name() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// OpByName maps a mnemonic to its Op.
+func OpByName(name string) (Op, bool) {
+	for op, n := range opNames {
+		if n == name && n != "" {
+			return Op(op), true
+		}
+	}
+	return 0, false
+}
+
+// Inst is one decoded instruction.
+//
+// Field usage by format:
+//
+//   - Three-register ALU ops: Rd = Rs op Rt.
+//   - Shifts by immediate (SLL/SRL/SRA): Rd = Rt shift Imm.
+//   - I-type ALU ops: Rt = Rs op Imm.
+//   - Loads/stores: Rt is the data register (FP register for LWC1/SWC1),
+//     Rs the integer base, Imm the byte offset.
+//   - Branches: Imm is the signed word offset from the instruction after
+//     the branch (see Inst.BranchTarget).
+//   - J/JAL: Imm holds target>>2 (the 26-bit instruction index).
+//   - COP1 arithmetic: Rd=fd, Rs=fs, Rt=ft, all FP registers.
+//   - MFC1/MTC1: Rt is the integer register, Rd the FP register.
+type Inst struct {
+	Op         Op
+	Rd, Rs, Rt Reg
+	Imm        int32
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (i Inst) IsLoad() bool {
+	switch i.Op {
+	case LB, LH, LW, LBU, LHU, LWC1:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the instruction writes data memory.
+func (i Inst) IsStore() bool {
+	switch i.Op {
+	case SB, SH, SW, SWC1:
+		return true
+	}
+	return false
+}
+
+// MemBytes returns the access width of a load or store, or 0.
+func (i Inst) MemBytes() int {
+	switch i.Op {
+	case LB, LBU, SB:
+		return 1
+	case LH, LHU, SH:
+		return 2
+	case LW, SW, LWC1, SWC1:
+		return 4
+	}
+	return 0
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsBranch() bool {
+	switch i.Op {
+	case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ, BC1T, BC1F:
+		return true
+	}
+	return false
+}
+
+// IsJump reports whether the instruction is an unconditional control
+// transfer (J, JR, JAL, JALR).
+func (i Inst) IsJump() bool {
+	switch i.Op {
+	case J, JR, JAL, JALR:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the instruction is a function call.
+func (i Inst) IsCall() bool { return i.Op == JAL || i.Op == JALR }
+
+// IsReturn reports whether the instruction is the conventional function
+// return (jr $ra).
+func (i Inst) IsReturn() bool { return i.Op == JR && i.Rs == RA }
+
+// EndsBlock reports whether the instruction terminates a basic block.
+func (i Inst) EndsBlock() bool { return i.IsBranch() || i.IsJump() || i.Op == SYSCALL }
+
+// BranchTarget returns the target address of a branch at address pc.
+func (i Inst) BranchTarget(pc uint32) uint32 {
+	return pc + 4 + uint32(i.Imm)<<2
+}
+
+// JumpTarget returns the absolute target of a J or JAL at address pc.
+func (i Inst) JumpTarget(pc uint32) uint32 {
+	return (pc+4)&0xF0000000 | uint32(i.Imm)<<2
+}
+
+// Defs returns the integer registers written by the instruction.
+// FP register definitions are not tracked: address computation, the only
+// consumer of def-use information, is integer-only.
+func (i Inst) Defs() []Reg {
+	switch i.Op {
+	case SLL, SRL, SRA, SLLV, SRLV, SRAV, ADD, ADDU, SUB, SUBU,
+		AND, OR, XOR, NOR, SLT, SLTU, MUL, MFHI, MFLO:
+		return []Reg{i.Rd}
+	case ADDI, ADDIU, SLTI, SLTIU, ANDI, ORI, XORI, LUI,
+		LB, LH, LW, LBU, LHU:
+		return []Reg{i.Rt}
+	case MFC1:
+		return []Reg{i.Rt}
+	case JAL:
+		return []Reg{RA}
+	case JALR:
+		return []Reg{i.Rd}
+	}
+	return nil
+}
+
+// Uses returns the integer registers read by the instruction.
+func (i Inst) Uses() []Reg {
+	switch i.Op {
+	case SLL, SRL, SRA:
+		return []Reg{i.Rt}
+	case SLLV, SRLV, SRAV, ADD, ADDU, SUB, SUBU, AND, OR, XOR, NOR,
+		SLT, SLTU, MUL, MULT, DIV, DIVU:
+		return []Reg{i.Rs, i.Rt}
+	case ADDI, ADDIU, SLTI, SLTIU, ANDI, ORI, XORI:
+		return []Reg{i.Rs}
+	case LB, LH, LW, LBU, LHU, LWC1:
+		return []Reg{i.Rs}
+	case SB, SH, SW:
+		return []Reg{i.Rs, i.Rt}
+	case SWC1:
+		return []Reg{i.Rs}
+	case BEQ, BNE:
+		return []Reg{i.Rs, i.Rt}
+	case BLEZ, BGTZ, BLTZ, BGEZ:
+		return []Reg{i.Rs}
+	case JR, JALR:
+		return []Reg{i.Rs}
+	case MTC1:
+		return []Reg{i.Rt}
+	}
+	return nil
+}
+
+// String renders the instruction in assembly syntax. Branch and jump
+// targets are rendered as raw offsets/indices; use Disasm for
+// address-aware rendering.
+func (i Inst) String() string {
+	switch i.Op {
+	case NOP, SYSCALL:
+		return i.Op.Name()
+	case SLL, SRL, SRA:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op.Name(), RegName(i.Rd), RegName(i.Rt), i.Imm)
+	case SLLV, SRLV, SRAV:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op.Name(), RegName(i.Rd), RegName(i.Rt), RegName(i.Rs))
+	case ADD, ADDU, SUB, SUBU, AND, OR, XOR, NOR, SLT, SLTU, MUL:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op.Name(), RegName(i.Rd), RegName(i.Rs), RegName(i.Rt))
+	case MULT, DIV, DIVU:
+		return fmt.Sprintf("%s %s, %s", i.Op.Name(), RegName(i.Rs), RegName(i.Rt))
+	case MFHI, MFLO:
+		return fmt.Sprintf("%s %s", i.Op.Name(), RegName(i.Rd))
+	case JR:
+		return fmt.Sprintf("jr %s", RegName(i.Rs))
+	case JALR:
+		return fmt.Sprintf("jalr %s, %s", RegName(i.Rd), RegName(i.Rs))
+	case J, JAL:
+		return fmt.Sprintf("%s 0x%x", i.Op.Name(), uint32(i.Imm)<<2)
+	case BEQ, BNE:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op.Name(), RegName(i.Rs), RegName(i.Rt), i.Imm)
+	case BLEZ, BGTZ, BLTZ, BGEZ:
+		return fmt.Sprintf("%s %s, %d", i.Op.Name(), RegName(i.Rs), i.Imm)
+	case BC1T, BC1F:
+		return fmt.Sprintf("%s %d", i.Op.Name(), i.Imm)
+	case ADDI, ADDIU, SLTI, SLTIU, ANDI, ORI, XORI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op.Name(), RegName(i.Rt), RegName(i.Rs), i.Imm)
+	case LUI:
+		return fmt.Sprintf("lui %s, %d", RegName(i.Rt), i.Imm)
+	case LB, LH, LW, LBU, LHU, SB, SH, SW:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op.Name(), RegName(i.Rt), i.Imm, RegName(i.Rs))
+	case LWC1, SWC1:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op.Name(), FRegName(i.Rt), i.Imm, RegName(i.Rs))
+	case MFC1, MTC1:
+		return fmt.Sprintf("%s %s, %s", i.Op.Name(), RegName(i.Rt), FRegName(i.Rd))
+	case ADDS, SUBS, MULS, DIVS:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op.Name(), FRegName(i.Rd), FRegName(i.Rs), FRegName(i.Rt))
+	case MOVS, NEGS, CVTSW, CVTWS:
+		return fmt.Sprintf("%s %s, %s", i.Op.Name(), FRegName(i.Rd), FRegName(i.Rs))
+	case CEQS, CLTS, CLES:
+		return fmt.Sprintf("%s %s, %s", i.Op.Name(), FRegName(i.Rs), FRegName(i.Rt))
+	}
+	return i.Op.Name()
+}

@@ -1,0 +1,335 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegByName(t *testing.T) {
+	cases := []struct {
+		name string
+		want Reg
+	}{
+		{"zero", Zero}, {"sp", SP}, {"gp", GP}, {"ra", RA},
+		{"t0", T0}, {"a3", A3}, {"v1", V1}, {"29", SP}, {"28", GP},
+	}
+	for _, c := range cases {
+		got, ok := RegByName(c.name)
+		if !ok || got != c.want {
+			t.Errorf("RegByName(%q) = %v, %v; want %v", c.name, got, ok, c.want)
+		}
+	}
+	if _, ok := RegByName("bogus"); ok {
+		t.Error("RegByName(bogus) succeeded")
+	}
+	if _, ok := RegByName("32"); ok {
+		t.Error("RegByName(32) succeeded")
+	}
+}
+
+func TestRegNameRoundtrip(t *testing.T) {
+	for r := Reg(0); r < 32; r++ {
+		name := RegName(r)
+		got, ok := RegByName(name[1:])
+		if !ok || got != r {
+			t.Errorf("round trip of %s failed: got %v, %v", name, got, ok)
+		}
+	}
+}
+
+func TestOpByName(t *testing.T) {
+	for op := Op(1); op < numOps; op++ {
+		got, ok := OpByName(op.Name())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v", op.Name(), got, ok, op)
+		}
+	}
+}
+
+// sampleInsts returns a representative instruction of every encodable form.
+func sampleInsts() []Inst {
+	return []Inst{
+		{Op: NOP},
+		{Op: SLL, Rd: T0, Rt: T1, Imm: 2},
+		{Op: SRL, Rd: T0, Rt: T1, Imm: 31},
+		{Op: SRA, Rd: S0, Rt: S1, Imm: 16},
+		{Op: SLLV, Rd: T0, Rt: T1, Rs: T2},
+		{Op: ADD, Rd: T0, Rs: T1, Rt: T2},
+		{Op: ADDU, Rd: SP, Rs: SP, Rt: T0},
+		{Op: SUB, Rd: V0, Rs: A0, Rt: A1},
+		{Op: AND, Rd: T3, Rs: T4, Rt: T5},
+		{Op: OR, Rd: T3, Rs: T4, Rt: T5},
+		{Op: XOR, Rd: T3, Rs: T4, Rt: T5},
+		{Op: NOR, Rd: T3, Rs: T4, Rt: T5},
+		{Op: SLT, Rd: T3, Rs: T4, Rt: T5},
+		{Op: SLTU, Rd: T3, Rs: T4, Rt: T5},
+		{Op: MUL, Rd: T0, Rs: T1, Rt: T2},
+		{Op: MULT, Rs: T1, Rt: T2},
+		{Op: DIV, Rs: T1, Rt: T2},
+		{Op: DIVU, Rs: T1, Rt: T2},
+		{Op: MFHI, Rd: T0},
+		{Op: MFLO, Rd: T0},
+		{Op: JR, Rs: RA},
+		{Op: JALR, Rd: RA, Rs: T9},
+		{Op: J, Imm: 0x100040},
+		{Op: JAL, Imm: 0x100100},
+		{Op: BEQ, Rs: T0, Rt: T1, Imm: -4},
+		{Op: BNE, Rs: T0, Rt: Zero, Imm: 12},
+		{Op: BLEZ, Rs: T0, Imm: 3},
+		{Op: BGTZ, Rs: T0, Imm: -1},
+		{Op: BLTZ, Rs: T0, Imm: 7},
+		{Op: BGEZ, Rs: T0, Imm: -7},
+		{Op: SYSCALL},
+		{Op: ADDI, Rt: T0, Rs: SP, Imm: -32},
+		{Op: ADDIU, Rt: T0, Rs: GP, Imm: 1024},
+		{Op: SLTI, Rt: T0, Rs: T1, Imm: 100},
+		{Op: SLTIU, Rt: T0, Rs: T1, Imm: 100},
+		{Op: ANDI, Rt: T0, Rs: T1, Imm: 0xff},
+		{Op: ORI, Rt: T0, Rs: T1, Imm: 0xffff},
+		{Op: XORI, Rt: T0, Rs: T1, Imm: 0xabc},
+		{Op: LUI, Rt: T0, Imm: 0x1000},
+		{Op: LB, Rt: T0, Rs: SP, Imm: 4},
+		{Op: LH, Rt: T0, Rs: SP, Imm: 8},
+		{Op: LW, Rt: T0, Rs: SP, Imm: -16},
+		{Op: LBU, Rt: T0, Rs: GP, Imm: 2},
+		{Op: LHU, Rt: T0, Rs: GP, Imm: 6},
+		{Op: SB, Rt: T0, Rs: SP, Imm: 1},
+		{Op: SH, Rt: T0, Rs: SP, Imm: 2},
+		{Op: SW, Rt: RA, Rs: SP, Imm: 0},
+		{Op: LWC1, Rt: 4, Rs: SP, Imm: 20},
+		{Op: SWC1, Rt: 4, Rs: SP, Imm: 24},
+		{Op: MFC1, Rt: T0, Rd: 2},
+		{Op: MTC1, Rt: T0, Rd: 2},
+		{Op: ADDS, Rd: 0, Rs: 2, Rt: 4},
+		{Op: SUBS, Rd: 6, Rs: 8, Rt: 10},
+		{Op: MULS, Rd: 1, Rs: 3, Rt: 5},
+		{Op: DIVS, Rd: 7, Rs: 9, Rt: 11},
+		{Op: MOVS, Rd: 12, Rs: 13},
+		{Op: NEGS, Rd: 14, Rs: 15},
+		{Op: CVTSW, Rd: 0, Rs: 1},
+		{Op: CVTWS, Rd: 2, Rs: 3},
+		{Op: CEQS, Rs: 0, Rt: 2},
+		{Op: CLTS, Rs: 4, Rt: 6},
+		{Op: CLES, Rs: 8, Rt: 10},
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	for _, in := range sampleInsts() {
+		word, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		out, err := Decode(word)
+		if err != nil {
+			t.Fatalf("Decode(%#08x) of %v: %v", word, in, err)
+		}
+		if out != in {
+			t.Errorf("round trip of %v gave %v (word %#08x)", in, out, word)
+		}
+	}
+}
+
+func TestDecodeUnknown(t *testing.T) {
+	bad := []uint32{
+		0x0000003f,        // SPECIAL funct 0x3f
+		0x70000000 | 0x3f, // SPECIAL2 funct 0x3f
+		0xfc000000,        // opcode 0x3f
+		0x04190000,        // REGIMM rt=25
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) succeeded; want error", w)
+		}
+	}
+}
+
+// TestQuickALURoundtrip exercises random register/immediate combinations of
+// the common ALU and memory forms through encode/decode.
+func TestQuickALURoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(op8 uint8, rd, rs, rt uint8, imm int16) bool {
+		ops := []Op{ADD, SUB, AND, OR, XOR, SLT, ADDI, ADDIU, LW, SW, LB, SB, BEQ, BNE}
+		in := Inst{
+			Op: ops[int(op8)%len(ops)],
+			Rd: Reg(rd % 32), Rs: Reg(rs % 32), Rt: Reg(rt % 32),
+			Imm: int32(imm),
+		}
+		switch in.Op {
+		case ADD, SUB, AND, OR, XOR, SLT:
+			in.Imm = 0
+		case ADDI, ADDIU, LW, SW, LB, SB, BEQ, BNE:
+			in.Rd = 0
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w)
+		return err == nil && out == in
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstPredicates(t *testing.T) {
+	lw := Inst{Op: LW, Rt: T0, Rs: SP, Imm: 4}
+	if !lw.IsLoad() || lw.IsStore() || lw.MemBytes() != 4 {
+		t.Errorf("LW predicates wrong: %+v", lw)
+	}
+	sb := Inst{Op: SB, Rt: T0, Rs: SP}
+	if sb.IsLoad() || !sb.IsStore() || sb.MemBytes() != 1 {
+		t.Errorf("SB predicates wrong: %+v", sb)
+	}
+	lwc1 := Inst{Op: LWC1, Rt: 2, Rs: GP}
+	if !lwc1.IsLoad() || lwc1.MemBytes() != 4 {
+		t.Errorf("LWC1 predicates wrong: %+v", lwc1)
+	}
+	if !(Inst{Op: JR, Rs: RA}).IsReturn() {
+		t.Error("jr $ra not a return")
+	}
+	if (Inst{Op: JR, Rs: T0}).IsReturn() {
+		t.Error("jr $t0 is a return")
+	}
+	if !(Inst{Op: JAL}).IsCall() || !(Inst{Op: JALR, Rs: T9}).IsCall() {
+		t.Error("call predicate wrong")
+	}
+	for _, op := range []Op{BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ, BC1T, BC1F} {
+		if !(Inst{Op: op}).IsBranch() {
+			t.Errorf("%v not a branch", op)
+		}
+	}
+	if !(Inst{Op: SYSCALL}).EndsBlock() || !(Inst{Op: J}).EndsBlock() {
+		t.Error("EndsBlock wrong")
+	}
+	if (Inst{Op: ADD}).EndsBlock() {
+		t.Error("ADD ends block")
+	}
+}
+
+func TestBranchAndJumpTargets(t *testing.T) {
+	b := Inst{Op: BNE, Rs: T0, Rt: Zero, Imm: -2}
+	if got := b.BranchTarget(0x400010); got != 0x40000c {
+		t.Errorf("BranchTarget = %#x, want 0x40000c", got)
+	}
+	j := Inst{Op: J, Imm: int32(0x00400040 >> 2)}
+	if got := j.JumpTarget(0x00400000); got != 0x00400040 {
+		t.Errorf("JumpTarget = %#x, want 0x00400040", got)
+	}
+}
+
+func TestDefsUses(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		defs []Reg
+		uses []Reg
+	}{
+		{Inst{Op: ADD, Rd: T0, Rs: T1, Rt: T2}, []Reg{T0}, []Reg{T1, T2}},
+		{Inst{Op: ADDIU, Rt: T0, Rs: SP, Imm: 8}, []Reg{T0}, []Reg{SP}},
+		{Inst{Op: LW, Rt: T0, Rs: SP, Imm: 8}, []Reg{T0}, []Reg{SP}},
+		{Inst{Op: SW, Rt: T0, Rs: SP, Imm: 8}, nil, []Reg{SP, T0}},
+		{Inst{Op: LUI, Rt: T0, Imm: 1}, []Reg{T0}, nil},
+		{Inst{Op: JAL, Imm: 100}, []Reg{RA}, nil},
+		{Inst{Op: JR, Rs: RA}, nil, []Reg{RA}},
+		{Inst{Op: SLL, Rd: T0, Rt: T1, Imm: 2}, []Reg{T0}, []Reg{T1}},
+		{Inst{Op: LWC1, Rt: 4, Rs: GP, Imm: 0}, nil, []Reg{GP}},
+		{Inst{Op: MFC1, Rt: T0, Rd: 2}, []Reg{T0}, nil},
+		{Inst{Op: MTC1, Rt: T0, Rd: 2}, nil, []Reg{T0}},
+	}
+	for _, c := range cases {
+		gotD, gotU := c.in.Defs(), c.in.Uses()
+		if !regsEqual(gotD, c.defs) {
+			t.Errorf("%v Defs = %v, want %v", c.in, gotD, c.defs)
+		}
+		if !regsEqualUnordered(gotU, c.uses) {
+			t.Errorf("%v Uses = %v, want %v", c.in, gotU, c.uses)
+		}
+	}
+}
+
+func regsEqual(a, b []Reg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func regsEqualUnordered(a, b []Reg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[Reg]int{}
+	for _, r := range a {
+		m[r]++
+	}
+	for _, r := range b {
+		m[r]--
+	}
+	for _, n := range m {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: LW, Rt: T0, Rs: SP, Imm: 8}, "lw $t0, 8($sp)"},
+		{Inst{Op: ADD, Rd: T0, Rs: T1, Rt: T2}, "add $t0, $t1, $t2"},
+		{Inst{Op: SLL, Rd: T0, Rt: T1, Imm: 2}, "sll $t0, $t1, 2"},
+		{Inst{Op: ADDIU, Rt: V0, Rs: GP, Imm: -4}, "addiu $v0, $gp, -4"},
+		{Inst{Op: LUI, Rt: AT, Imm: 4096}, "lui $at, 4096"},
+		{Inst{Op: JR, Rs: RA}, "jr $ra"},
+		{Inst{Op: NOP}, "nop"},
+		{Inst{Op: SYSCALL}, "syscall"},
+		{Inst{Op: LWC1, Rt: 4, Rs: SP, Imm: 12}, "lwc1 $f4, 12($sp)"},
+		{Inst{Op: ADDS, Rd: 0, Rs: 2, Rt: 4}, "add.s $f0, $f2, $f4"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestQuickDecodeEncodeIdempotent: for any word that decodes, encoding
+// the decoded instruction must yield a word that decodes to the same
+// instruction (the canonical encoding may clear don't-care bits).
+func TestQuickDecodeEncodeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for i := 0; i < 200000; i++ {
+		w := rng.Uint32()
+		in, err := Decode(w)
+		if err != nil {
+			continue
+		}
+		checked++
+		w2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("decoded %v (from %#08x) does not encode: %v", in, w, err)
+		}
+		in2, err := Decode(w2)
+		if err != nil {
+			t.Fatalf("canonical word %#08x does not decode: %v", w2, err)
+		}
+		if in2 != in {
+			t.Fatalf("%#08x -> %v -> %#08x -> %v", w, in, w2, in2)
+		}
+	}
+	if checked < 1000 {
+		t.Errorf("only %d random words decoded; generator too narrow", checked)
+	}
+}

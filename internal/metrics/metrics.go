@@ -1,0 +1,213 @@
+// Package metrics implements the paper's evaluation measures: the
+// precision measure π, the coverage ρ (Section 8), the dynamic
+// false-positive impact ξ (Section 8.5), the greedy ideal set and the
+// profiling-based hotspot set (Section 4), and the ε-factor combination
+// of heuristic and profile (Section 9).
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+
+	"delinq/internal/cfg"
+	"delinq/internal/disasm"
+)
+
+// LoadStat couples one static load with its dynamic behaviour under one
+// cache configuration: E(i) and M(i, C).
+type LoadStat struct {
+	PC     uint32
+	Exec   int64
+	Misses int64
+}
+
+// TotalMisses sums M(i,C) over the loads: M(P(I), C) restricted to loads.
+func TotalMisses(stats []LoadStat) int64 {
+	var t int64
+	for _, s := range stats {
+		t += s.Misses
+	}
+	return t
+}
+
+// TotalExec sums the dynamic load count.
+func TotalExec(stats []LoadStat) int64 {
+	var t int64
+	for _, s := range stats {
+		t += s.Exec
+	}
+	return t
+}
+
+// SetEval reports π and ρ for one candidate set Δ.
+type SetEval struct {
+	Selected      int   // |Δ|
+	Loads         int   // |Λ|
+	MissesCovered int64 // M_Δ(P(I), C)
+	TotalMisses   int64 // M(P(I), C)
+	Pi            float64
+	Rho           float64
+}
+
+// Evaluate computes π = |Δ|/|Λ| and ρ = M_Δ/M for the set delta over the
+// program's loads.
+func Evaluate(delta map[uint32]bool, stats []LoadStat) SetEval {
+	ev := SetEval{Loads: len(stats), TotalMisses: TotalMisses(stats)}
+	for _, s := range stats {
+		if delta[s.PC] {
+			ev.Selected++
+			ev.MissesCovered += s.Misses
+		}
+	}
+	if ev.Loads > 0 {
+		ev.Pi = float64(ev.Selected) / float64(ev.Loads)
+	}
+	if ev.TotalMisses > 0 {
+		ev.Rho = float64(ev.MissesCovered) / float64(ev.TotalMisses)
+	}
+	return ev
+}
+
+// IdealSet returns the smallest load set reaching coverage targetRho,
+// built greedily by descending miss count (the "Ideal" column of
+// Table 1).
+func IdealSet(stats []LoadStat, targetRho float64) map[uint32]bool {
+	sorted := append([]LoadStat(nil), stats...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Misses != sorted[j].Misses {
+			return sorted[i].Misses > sorted[j].Misses
+		}
+		return sorted[i].PC < sorted[j].PC
+	})
+	total := TotalMisses(stats)
+	need := int64(targetRho * float64(total))
+	out := map[uint32]bool{}
+	var got int64
+	for _, s := range sorted {
+		if got >= need || s.Misses == 0 {
+			break
+		}
+		out[s.PC] = true
+		got += s.Misses
+	}
+	return out
+}
+
+// ExecFunc supplies per-instruction execution counts.
+type ExecFunc func(pc uint32) int64
+
+// HotspotLoads implements Section 4's profiling identifier: the loads
+// inside the basic blocks that cumulatively account for frac of the
+// program's compute cycles (instruction executions are the cycle proxy).
+// It returns the load set Δ_P and the set of hot block start PCs.
+func HotspotLoads(prog *disasm.Program, exec ExecFunc, frac float64) map[uint32]bool {
+	type blockCost struct {
+		fn     *disasm.Func
+		blk    *cfg.Block
+		cycles int64
+	}
+	var blocks []blockCost
+	var total int64
+	for _, fn := range prog.Funcs {
+		g := cfg.Build(fn)
+		for _, b := range g.Blocks {
+			var cyc int64
+			for i := b.Start; i < b.End; i++ {
+				cyc += exec(fn.PC(i))
+			}
+			total += cyc
+			if cyc > 0 {
+				blocks = append(blocks, blockCost{fn, b, cyc})
+			}
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		if blocks[i].cycles != blocks[j].cycles {
+			return blocks[i].cycles > blocks[j].cycles
+		}
+		return blocks[i].fn.PC(blocks[i].blk.Start) < blocks[j].fn.PC(blocks[j].blk.Start)
+	})
+	need := int64(frac * float64(total))
+	out := map[uint32]bool{}
+	var got int64
+	for _, bc := range blocks {
+		if got >= need {
+			break
+		}
+		got += bc.cycles
+		for i := bc.blk.Start; i < bc.blk.End; i++ {
+			if bc.fn.Insts[i].IsLoad() {
+				out[bc.fn.PC(i)] = true
+			}
+		}
+	}
+	return out
+}
+
+// Xi computes the dynamic false-positive impact (Section 8.5): the
+// fraction of dynamic load executions issued by loads that are in delta
+// but not in the ideal set.
+func Xi(delta, ideal map[uint32]bool, stats []LoadStat) float64 {
+	total := TotalExec(stats)
+	if total == 0 {
+		return 0
+	}
+	var fp int64
+	for _, s := range stats {
+		if delta[s.PC] && !ideal[s.PC] {
+			fp += s.Exec
+		}
+	}
+	return float64(fp) / float64(total)
+}
+
+// ScoreFunc supplies the heuristic score φ(i) of a load.
+type ScoreFunc func(pc uint32) float64
+
+// Combine implements the ε-factor combination of Section 9: the
+// intersection of the profiling and heuristic sets, plus the ε·|Δ_d|
+// highest-scoring heuristic-only loads (Δ_d = Δ_H − Δ_P∩Δ_H).
+func Combine(profSet, heurSet map[uint32]bool, score ScoreFunc, eps float64) map[uint32]bool {
+	out := map[uint32]bool{}
+	var dd []uint32
+	for pc := range heurSet {
+		if profSet[pc] {
+			out[pc] = true
+		} else {
+			dd = append(dd, pc)
+		}
+	}
+	sort.Slice(dd, func(i, j int) bool {
+		si, sj := score(dd[i]), score(dd[j])
+		if si != sj {
+			return si > sj
+		}
+		return dd[i] < dd[j]
+	})
+	n := int(eps * float64(len(dd)))
+	for i := 0; i < n && i < len(dd); i++ {
+		out[dd[i]] = true
+	}
+	return out
+}
+
+// RandomFromHotspots labels n random loads drawn from the hotspot set as
+// delinquent — the ρ* baseline of Table 14. The draw is deterministic in
+// seed.
+func RandomFromHotspots(hotspot map[uint32]bool, n int, seed int64) map[uint32]bool {
+	pcs := make([]uint32, 0, len(hotspot))
+	for pc := range hotspot {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pcs), func(i, j int) { pcs[i], pcs[j] = pcs[j], pcs[i] })
+	if n > len(pcs) {
+		n = len(pcs)
+	}
+	out := map[uint32]bool{}
+	for _, pc := range pcs[:n] {
+		out[pc] = true
+	}
+	return out
+}

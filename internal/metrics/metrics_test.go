@@ -1,0 +1,305 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"delinq/internal/asm"
+	"delinq/internal/disasm"
+)
+
+func stats4() []LoadStat {
+	return []LoadStat{
+		{PC: 0x100, Exec: 1000, Misses: 900},
+		{PC: 0x104, Exec: 1000, Misses: 90},
+		{PC: 0x108, Exec: 1000, Misses: 9},
+		{PC: 0x10c, Exec: 1000, Misses: 1},
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	ev := Evaluate(map[uint32]bool{0x100: true}, stats4())
+	if ev.Selected != 1 || ev.Loads != 4 {
+		t.Errorf("selected/loads = %d/%d", ev.Selected, ev.Loads)
+	}
+	if math.Abs(ev.Pi-0.25) > 1e-12 {
+		t.Errorf("pi = %v", ev.Pi)
+	}
+	if math.Abs(ev.Rho-0.9) > 1e-12 {
+		t.Errorf("rho = %v", ev.Rho)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	ev := Evaluate(map[uint32]bool{}, nil)
+	if ev.Pi != 0 || ev.Rho != 0 {
+		t.Errorf("empty eval = %+v", ev)
+	}
+}
+
+func TestIdealSetGreedy(t *testing.T) {
+	s := stats4()
+	ideal := IdealSet(s, 0.90)
+	if len(ideal) != 1 || !ideal[0x100] {
+		t.Errorf("ideal 90%% = %v", ideal)
+	}
+	ideal = IdealSet(s, 0.99)
+	if len(ideal) != 2 || !ideal[0x104] {
+		t.Errorf("ideal 99%% = %v", ideal)
+	}
+	ideal = IdealSet(s, 1.0)
+	if len(ideal) != 4 {
+		t.Errorf("ideal 100%% = %v", ideal)
+	}
+	if got := IdealSet(s, 0); len(got) != 0 {
+		t.Errorf("ideal 0%% = %v", got)
+	}
+}
+
+func TestIdealSkipsZeroMissLoads(t *testing.T) {
+	s := append(stats4(), LoadStat{PC: 0x200, Exec: 5, Misses: 0})
+	ideal := IdealSet(s, 1.0)
+	if ideal[0x200] {
+		t.Error("zero-miss load in ideal set")
+	}
+}
+
+// Property: the ideal set always reaches the target coverage and is
+// minimal in the sense that dropping its smallest member falls short.
+func TestQuickIdealReachesTarget(t *testing.T) {
+	f := func(misses []uint16, frac8 uint8) bool {
+		if len(misses) == 0 {
+			return true
+		}
+		target := float64(frac8%101) / 100
+		var stats []LoadStat
+		for i, m := range misses {
+			stats = append(stats, LoadStat{PC: uint32(i * 4), Exec: 10, Misses: int64(m)})
+		}
+		ideal := IdealSet(stats, target)
+		ev := Evaluate(ideal, stats)
+		total := TotalMisses(stats)
+		if total == 0 {
+			return len(ideal) == 0
+		}
+		return ev.MissesCovered >= int64(target*float64(total))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXi(t *testing.T) {
+	s := stats4()
+	delta := map[uint32]bool{0x100: true, 0x108: true}
+	ideal := map[uint32]bool{0x100: true}
+	// False positive: 0x108 with 1000 of 4000 dynamic loads.
+	if got := Xi(delta, ideal, s); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("xi = %v", got)
+	}
+	if got := Xi(ideal, ideal, s); got != 0 {
+		t.Errorf("xi of ideal = %v", got)
+	}
+	if got := Xi(delta, ideal, nil); got != 0 {
+		t.Errorf("xi with no stats = %v", got)
+	}
+}
+
+func TestHotspotLoads(t *testing.T) {
+	img, err := asm.Assemble(`
+main:
+	li $t1, 0
+	li $t2, 1000
+hot:
+	lw $t3, 0($sp)
+	addiu $t1, $t1, 1
+	bne $t1, $t2, hot
+	lw $t4, 4($sp)     # cold load, executed once
+	jr $ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := disasm.Disassemble(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.FuncByName("main")
+	exec := func(pc uint32) int64 {
+		i := fn.Index(pc)
+		switch {
+		case i >= 2 && i <= 4: // loop body
+			return 1000
+		default:
+			return 1
+		}
+	}
+	hot := HotspotLoads(prog, exec, 0.9)
+	if !hot[fn.PC(2)] {
+		t.Error("hot load not in hotspot set")
+	}
+	if hot[fn.PC(5)] {
+		t.Error("cold load in hotspot set")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	prof := map[uint32]bool{1: true, 2: true}
+	heur := map[uint32]bool{2: true, 3: true, 4: true, 5: true}
+	score := func(pc uint32) float64 { return float64(pc) }
+	// eps=0: intersection only.
+	got := Combine(prof, heur, score, 0)
+	if len(got) != 1 || !got[2] {
+		t.Errorf("eps=0 -> %v", got)
+	}
+	// eps=0.34 of |Δ_d|=3 -> 1 extra load, the highest scoring (5).
+	got = Combine(prof, heur, score, 0.34)
+	if len(got) != 2 || !got[5] {
+		t.Errorf("eps=0.34 -> %v", got)
+	}
+	// eps=1: everything in Δ_H plus intersection.
+	got = Combine(prof, heur, score, 1)
+	if len(got) != 4 {
+		t.Errorf("eps=1 -> %v", got)
+	}
+}
+
+func TestRandomFromHotspots(t *testing.T) {
+	hs := map[uint32]bool{}
+	for i := uint32(0); i < 100; i++ {
+		hs[i*4] = true
+	}
+	a := RandomFromHotspots(hs, 10, 1)
+	b := RandomFromHotspots(hs, 10, 1)
+	c := RandomFromHotspots(hs, 10, 2)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("sizes = %d, %d", len(a), len(b))
+	}
+	same := true
+	for pc := range a {
+		if !hs[pc] {
+			t.Error("sample outside hotspot set")
+		}
+		if !b[pc] {
+			same = false
+		}
+	}
+	if !same {
+		t.Error("same seed produced different samples")
+	}
+	diff := false
+	for pc := range a {
+		if !c[pc] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical samples (unlikely)")
+	}
+	if got := RandomFromHotspots(hs, 1000, 3); len(got) != len(hs) {
+		t.Errorf("oversampling = %d", len(got))
+	}
+}
+
+// Property: HotspotLoads grows monotonically with the cycle fraction.
+func TestQuickHotspotMonotonicInFraction(t *testing.T) {
+	img, err := asm.Assemble(`
+main:
+	li $t1, 0
+	li $t2, 100
+a:
+	lw $t3, 0($sp)
+	addiu $t1, $t1, 1
+	bne $t1, $t2, a
+	lw $t4, 4($sp)
+	lw $t5, 8($sp)
+	jr $ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := disasm.Disassemble(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.FuncByName("main")
+	exec := func(pc uint32) int64 {
+		i := fn.Index(pc)
+		if i >= 2 && i <= 4 {
+			return 100
+		}
+		return 1
+	}
+	prev := -1
+	for _, frac := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+		n := len(HotspotLoads(prog, exec, frac))
+		if n < prev {
+			t.Errorf("hotspot set shrank: frac=%v n=%d prev=%d", frac, n, prev)
+		}
+		prev = n
+	}
+}
+
+// Property: Combine is monotonic in epsilon and bounded by the heuristic
+// set united with the intersection.
+func TestQuickCombineMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prof := map[uint32]bool{}
+		heur := map[uint32]bool{}
+		for i := 0; i < 40; i++ {
+			pc := uint32(i * 4)
+			if rng.Intn(2) == 0 {
+				prof[pc] = true
+			}
+			if rng.Intn(2) == 0 {
+				heur[pc] = true
+			}
+		}
+		score := func(pc uint32) float64 { return float64(pc % 13) }
+		prev := -1
+		for _, eps := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			set := Combine(prof, heur, score, eps)
+			if len(set) < prev {
+				return false
+			}
+			prev = len(set)
+			for pc := range set {
+				if !heur[pc] {
+					return false // combine only ever reports heuristic loads
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Xi stays within [0, 1].
+func TestQuickXiBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var stats []LoadStat
+		delta := map[uint32]bool{}
+		ideal := map[uint32]bool{}
+		for i := 0; i < 30; i++ {
+			pc := uint32(i * 4)
+			stats = append(stats, LoadStat{PC: pc, Exec: int64(rng.Intn(1000)), Misses: int64(rng.Intn(100))})
+			if rng.Intn(2) == 0 {
+				delta[pc] = true
+			}
+			if rng.Intn(3) == 0 {
+				ideal[pc] = true
+			}
+		}
+		xi := Xi(delta, ideal, stats)
+		return xi >= 0 && xi <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

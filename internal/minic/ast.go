@@ -1,0 +1,234 @@
+package minic
+
+import "delinq/internal/obj"
+
+// Expr is an expression node. After type checking, T holds the node's
+// value type.
+type Expr interface {
+	exprNode()
+	Type() *obj.Type
+	setType(*obj.Type)
+	Line() int
+}
+
+type exprBase struct {
+	T  *obj.Type
+	Ln int
+}
+
+func (e *exprBase) exprNode()           {}
+func (e *exprBase) Type() *obj.Type     { return e.T }
+func (e *exprBase) setType(t *obj.Type) { e.T = t }
+func (e *exprBase) Line() int           { return e.Ln }
+
+// IntLit is an integer (or char) literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	exprBase
+	Val float64
+}
+
+// StrLit is a string literal; the checker assigns it a data label.
+type StrLit struct {
+	exprBase
+	Val   string
+	Label string
+}
+
+// Ident references a variable; the checker binds it.
+type Ident struct {
+	exprBase
+	Name string
+	Sym  *VarSym
+}
+
+// Unary is a prefix operator (-, !, ~, *, &, ++, --) or, with Postfix
+// set, a postfix ++/--.
+type Unary struct {
+	exprBase
+	Op      TokKind
+	X       Expr
+	Postfix bool
+}
+
+// Binary is an infix arithmetic/logical/comparison operator.
+type Binary struct {
+	exprBase
+	Op   TokKind
+	X, Y Expr
+}
+
+// AssignExpr is =, +=, -=, *= or /=.
+type AssignExpr struct {
+	exprBase
+	Op       TokKind
+	LHS, RHS Expr
+}
+
+// Call invokes a named function or builtin.
+type Call struct {
+	exprBase
+	Name    string
+	Args    []Expr
+	Builtin Builtin // resolved by the checker; BNone for user functions
+}
+
+// Index is X[I].
+type Index struct {
+	exprBase
+	X, I Expr
+}
+
+// Member is X.Name or X->Name (Arrow).
+type Member struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool
+	Field *obj.Field // resolved by the checker
+}
+
+// SizeofExpr is sizeof(type).
+type SizeofExpr struct {
+	exprBase
+	Of *obj.Type
+}
+
+// Builtin identifies a runtime-provided function.
+type Builtin int
+
+// Builtins.
+const (
+	BNone Builtin = iota
+	BMalloc
+	BFree
+	BSbrk
+	BPrintInt
+	BPrintChar
+	BPrintStr
+	BPrintFloat
+	BArg
+	BNargs
+)
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+type stmtBase struct{ Ln int }
+
+func (stmtBase) stmtNode() {}
+
+// DeclStmt declares a local variable with an optional initialiser.
+type DeclStmt struct {
+	stmtBase
+	Name string
+	Ty   *obj.Type
+	Init Expr
+	Sym  *VarSym
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	stmtBase
+	Cond       Expr
+	Then, Else Stmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a for loop; any clause may be nil.
+type ForStmt struct {
+	stmtBase
+	Init Stmt // DeclStmt or ExprStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	stmtBase
+	X Expr // nil for void
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ stmtBase }
+
+// Block is { ... }.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// VarSym is a resolved variable: a global (Label set) or a local/param
+// (stack Offset, or register promotion in -O mode).
+type VarSym struct {
+	Name    string
+	Ty      *obj.Type
+	Global  bool
+	Label   string // globals: data symbol
+	Offset  int32  // locals: sp-relative slot
+	IsParam bool
+	ParamIx int
+	// AddrTaken blocks register promotion.
+	AddrTaken bool
+	// Reg is the callee-saved register the optimiser assigned, or -1.
+	Reg int
+}
+
+// Param is a function parameter declaration.
+type Param struct {
+	Name string
+	Ty   *obj.Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    *obj.Type
+	Body   *Block
+	Ln     int
+	// Syms lists every variable of the function (parameters first),
+	// filled in by the checker and laid out by the code generator.
+	Syms []*VarSym
+}
+
+// GlobalDecl is a file-scope variable.
+type GlobalDecl struct {
+	Name string
+	Ty   *obj.Type
+	// Init holds scalar constant initialisers (ints/floats); nil means
+	// zero-initialised.
+	InitInt   *int64
+	InitFloat *float64
+	Ln        int
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Structs map[string]*obj.Type
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+	// Strings collects string literals; the checker labels them.
+	Strings []*StrLit
+}

@@ -1,0 +1,452 @@
+package minic
+
+import (
+	"fmt"
+
+	"delinq/internal/obj"
+)
+
+var builtins = map[string]struct {
+	b     Builtin
+	arity int
+	ret   *obj.Type
+}{
+	"malloc":      {BMalloc, 1, obj.PointerTo(obj.TypeChar)},
+	"free":        {BFree, 1, obj.TypeVoid},
+	"sbrk":        {BSbrk, 1, obj.PointerTo(obj.TypeChar)},
+	"print_int":   {BPrintInt, 1, obj.TypeVoid},
+	"print_char":  {BPrintChar, 1, obj.TypeVoid},
+	"print_str":   {BPrintStr, 1, obj.TypeVoid},
+	"print_float": {BPrintFloat, 1, obj.TypeVoid},
+	"arg":         {BArg, 1, obj.TypeInt},
+	"nargs":       {BNargs, 0, obj.TypeInt},
+}
+
+type checker struct {
+	prog    *Program
+	funcs   map[string]*FuncDecl
+	globals map[string]*VarSym
+	scopes  []map[string]*VarSym
+	fn      *FuncDecl
+	nstr    int
+}
+
+// Check resolves names, types every expression, and labels string
+// literals. It mutates the AST in place.
+func Check(prog *Program) error {
+	c := &checker{
+		prog:    prog,
+		funcs:   map[string]*FuncDecl{},
+		globals: map[string]*VarSym{},
+	}
+	for name, st := range prog.Structs {
+		if len(st.Fields) == 0 {
+			return &Error{Msg: fmt.Sprintf("struct %s declared but never defined", name)}
+		}
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return &Error{Line: g.Ln, Msg: fmt.Sprintf("global %s redefined", g.Name)}
+		}
+		if g.Ty.Kind == obj.KindVoid {
+			return &Error{Line: g.Ln, Msg: fmt.Sprintf("global %s has void type", g.Name)}
+		}
+		c.globals[g.Name] = &VarSym{
+			Name: g.Name, Ty: g.Ty, Global: true, Label: g.Name, Reg: -1,
+		}
+	}
+	for _, fn := range prog.Funcs {
+		if _, dup := c.funcs[fn.Name]; dup {
+			return &Error{Line: fn.Ln, Msg: fmt.Sprintf("function %s redefined", fn.Name)}
+		}
+		if _, isB := builtins[fn.Name]; isB {
+			return &Error{Line: fn.Ln, Msg: fmt.Sprintf("function %s shadows a builtin", fn.Name)}
+		}
+		c.funcs[fn.Name] = fn
+	}
+	if _, ok := c.funcs["main"]; !ok {
+		return &Error{Msg: "no main function"}
+	}
+	for _, fn := range prog.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func errAt(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.fn = fn
+	c.scopes = []map[string]*VarSym{{}}
+	for i, p := range fn.Params {
+		if p.Ty.IsAggregate() {
+			return errAt(fn.Ln, "parameter %s: aggregates are passed by pointer", p.Name)
+		}
+		sym := &VarSym{Name: p.Name, Ty: p.Ty, IsParam: true, ParamIx: i, Reg: -1}
+		c.scopes[0][p.Name] = sym
+		fn.Syms = append(fn.Syms, sym)
+	}
+	return c.checkBlock(fn.Body)
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*VarSym{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+func (c *checker) lookup(name string) *VarSym {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return c.checkBlock(st)
+	case *DeclStmt:
+		return c.checkDecl(st)
+	case *ExprStmt:
+		return c.checkExpr(st.X)
+	case *IfStmt:
+		if err := c.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkExpr(st.Cond); err != nil {
+			return err
+		}
+		return c.checkStmt(st.Body)
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkExpr(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkExpr(st.Post); err != nil {
+				return err
+			}
+		}
+		return c.checkStmt(st.Body)
+	case *ReturnStmt:
+		if st.X != nil {
+			if err := c.checkExpr(st.X); err != nil {
+				return err
+			}
+			if c.fn.Ret.Kind == obj.KindVoid {
+				return errAt(st.Ln, "return with value in void function %s", c.fn.Name)
+			}
+		} else if c.fn.Ret.Kind != obj.KindVoid {
+			return errAt(st.Ln, "return without value in %s", c.fn.Name)
+		}
+		return nil
+	case *BreakStmt, *ContinueStmt:
+		return nil
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+func (c *checker) checkDecl(st *DeclStmt) error {
+	if st.Ty.Kind == obj.KindVoid {
+		return errAt(st.Ln, "variable %s has void type", st.Name)
+	}
+	if st.Ty.Kind == obj.KindStruct && len(st.Ty.Fields) == 0 {
+		return errAt(st.Ln, "variable %s has incomplete struct type", st.Name)
+	}
+	scope := c.scopes[len(c.scopes)-1]
+	if _, dup := scope[st.Name]; dup {
+		return errAt(st.Ln, "variable %s redeclared", st.Name)
+	}
+	sym := &VarSym{Name: st.Name, Ty: st.Ty, Reg: -1}
+	scope[st.Name] = sym
+	st.Sym = sym
+	c.fn.Syms = append(c.fn.Syms, sym)
+	if st.Init != nil {
+		if st.Ty.IsAggregate() {
+			return errAt(st.Ln, "aggregate %s cannot have an initialiser", st.Name)
+		}
+		if err := c.checkExpr(st.Init); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decay converts array-typed expressions to pointers to their element.
+func decay(t *obj.Type) *obj.Type {
+	if t != nil && t.Kind == obj.KindArray {
+		return obj.PointerTo(t.Elem)
+	}
+	return t
+}
+
+func isNumeric(t *obj.Type) bool {
+	return t.Kind == obj.KindInt || t.Kind == obj.KindChar || t.Kind == obj.KindFloat
+}
+
+func isIntegral(t *obj.Type) bool {
+	return t.Kind == obj.KindInt || t.Kind == obj.KindChar
+}
+
+// isLvalue reports whether the expression designates a memory location
+// (or register-resident variable).
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return true
+	case *Index:
+		return true
+	case *Member:
+		return true
+	case *Unary:
+		return x.Op == Star
+	}
+	return false
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch x := e.(type) {
+	case *IntLit:
+		x.setType(obj.TypeInt)
+	case *FloatLit:
+		x.setType(obj.TypeFloat)
+	case *StrLit:
+		x.Label = fmt.Sprintf(".str_%d", c.nstr)
+		c.nstr++
+		c.prog.Strings = append(c.prog.Strings, x)
+		x.setType(obj.PointerTo(obj.TypeChar))
+	case *Ident:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			return errAt(x.Ln, "undefined variable %s", x.Name)
+		}
+		x.Sym = sym
+		x.setType(sym.Ty)
+	case *SizeofExpr:
+		x.setType(obj.TypeInt)
+	case *Unary:
+		return c.checkUnary(x)
+	case *Binary:
+		return c.checkBinary(x)
+	case *AssignExpr:
+		return c.checkAssign(x)
+	case *Call:
+		return c.checkCall(x)
+	case *Index:
+		if err := c.checkExpr(x.X); err != nil {
+			return err
+		}
+		if err := c.checkExpr(x.I); err != nil {
+			return err
+		}
+		bt := decay(x.X.Type())
+		if !bt.IsPointer() {
+			return errAt(x.Ln, "indexing a non-array/pointer value")
+		}
+		if !isIntegral(x.I.Type()) {
+			return errAt(x.Ln, "array index must be integral")
+		}
+		x.setType(bt.Elem)
+	case *Member:
+		if err := c.checkExpr(x.X); err != nil {
+			return err
+		}
+		bt := x.X.Type()
+		if x.Arrow {
+			if !bt.IsPointer() || bt.Elem.Kind != obj.KindStruct {
+				return errAt(x.Ln, "-> on non-pointer-to-struct")
+			}
+			bt = bt.Elem
+		} else if bt.Kind != obj.KindStruct {
+			return errAt(x.Ln, ". on non-struct value")
+		}
+		for i := range bt.Fields {
+			if bt.Fields[i].Name == x.Name {
+				x.Field = &bt.Fields[i]
+				x.setType(x.Field.Type)
+				return nil
+			}
+		}
+		return errAt(x.Ln, "struct %s has no field %s", bt.Name, x.Name)
+	default:
+		return fmt.Errorf("minic: unknown expression %T", e)
+	}
+	return nil
+}
+
+func (c *checker) checkUnary(x *Unary) error {
+	if err := c.checkExpr(x.X); err != nil {
+		return err
+	}
+	t := x.X.Type()
+	switch x.Op {
+	case Minus:
+		if !isNumeric(t) {
+			return errAt(x.Ln, "unary - on non-numeric value")
+		}
+		x.setType(t)
+	case Not:
+		x.setType(obj.TypeInt)
+	case Tilde:
+		if !isIntegral(t) {
+			return errAt(x.Ln, "~ on non-integral value")
+		}
+		x.setType(obj.TypeInt)
+	case Star:
+		dt := decay(t)
+		if !dt.IsPointer() {
+			return errAt(x.Ln, "dereferencing a non-pointer")
+		}
+		x.setType(dt.Elem)
+	case Amp:
+		if !isLvalue(x.X) {
+			return errAt(x.Ln, "& of a non-lvalue")
+		}
+		if id, ok := x.X.(*Ident); ok {
+			id.Sym.AddrTaken = true
+		}
+		x.setType(obj.PointerTo(t))
+	case Inc, Dec:
+		if !isLvalue(x.X) {
+			return errAt(x.Ln, "++/-- of a non-lvalue")
+		}
+		if !isIntegral(t) && !decay(t).IsPointer() {
+			return errAt(x.Ln, "++/-- on unsupported type")
+		}
+		x.setType(t)
+	default:
+		return errAt(x.Ln, "unknown unary operator %v", x.Op)
+	}
+	return nil
+}
+
+func (c *checker) checkBinary(x *Binary) error {
+	if err := c.checkExpr(x.X); err != nil {
+		return err
+	}
+	if err := c.checkExpr(x.Y); err != nil {
+		return err
+	}
+	lt, rt := decay(x.X.Type()), decay(x.Y.Type())
+	switch x.Op {
+	case AndAnd, OrOr:
+		x.setType(obj.TypeInt)
+	case Eq, Ne, Lt, Gt, Le, Ge:
+		x.setType(obj.TypeInt)
+	case Pipe, Caret, Amp, Shl, Shr, Percent:
+		if !isIntegral(lt) || !isIntegral(rt) {
+			return errAt(x.Ln, "bitwise/modulo operator on non-integral values")
+		}
+		x.setType(obj.TypeInt)
+	case Plus, Minus:
+		switch {
+		case lt.IsPointer() && isIntegral(rt):
+			x.setType(lt)
+		case x.Op == Plus && isIntegral(lt) && rt.IsPointer():
+			x.setType(rt)
+		case x.Op == Minus && lt.IsPointer() && rt.IsPointer():
+			x.setType(obj.TypeInt)
+		case isNumeric(lt) && isNumeric(rt):
+			x.setType(arith(lt, rt))
+		default:
+			return errAt(x.Ln, "invalid operands to %v", x.Op)
+		}
+	case Star, Slash:
+		if !isNumeric(lt) || !isNumeric(rt) {
+			return errAt(x.Ln, "arithmetic on non-numeric values")
+		}
+		x.setType(arith(lt, rt))
+	default:
+		return errAt(x.Ln, "unknown binary operator %v", x.Op)
+	}
+	return nil
+}
+
+// arith returns the usual arithmetic result type.
+func arith(a, b *obj.Type) *obj.Type {
+	if a.Kind == obj.KindFloat || b.Kind == obj.KindFloat {
+		return obj.TypeFloat
+	}
+	return obj.TypeInt
+}
+
+func (c *checker) checkAssign(x *AssignExpr) error {
+	if err := c.checkExpr(x.LHS); err != nil {
+		return err
+	}
+	if err := c.checkExpr(x.RHS); err != nil {
+		return err
+	}
+	if !isLvalue(x.LHS) {
+		return errAt(x.Ln, "assignment to non-lvalue")
+	}
+	lt := x.LHS.Type()
+	if lt.IsAggregate() {
+		return errAt(x.Ln, "aggregate assignment is not supported")
+	}
+	rt := decay(x.RHS.Type())
+	if x.Op != Assign && !isNumeric(lt) && !(lt.IsPointer() && isIntegral(rt)) {
+		return errAt(x.Ln, "compound assignment on unsupported types")
+	}
+	if lt.IsPointer() && rt.Kind == obj.KindFloat {
+		return errAt(x.Ln, "cannot assign float to pointer")
+	}
+	x.setType(lt)
+	return nil
+}
+
+func (c *checker) checkCall(x *Call) error {
+	for _, a := range x.Args {
+		if err := c.checkExpr(a); err != nil {
+			return err
+		}
+	}
+	if b, ok := builtins[x.Name]; ok {
+		if len(x.Args) != b.arity {
+			return errAt(x.Ln, "%s expects %d argument(s)", x.Name, b.arity)
+		}
+		x.Builtin = b.b
+		x.setType(b.ret)
+		return nil
+	}
+	fn, ok := c.funcs[x.Name]
+	if !ok {
+		return errAt(x.Ln, "call to undefined function %s", x.Name)
+	}
+	if len(x.Args) != len(fn.Params) {
+		return errAt(x.Ln, "%s expects %d argument(s), got %d",
+			x.Name, len(fn.Params), len(x.Args))
+	}
+	x.setType(fn.Ret)
+	return nil
+}

@@ -1,0 +1,534 @@
+package minic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"delinq/internal/isa"
+	"delinq/internal/obj"
+)
+
+// Options selects the code-generation mode.
+type Options struct {
+	// Optimize enables -O: scalar locals and parameters whose address is
+	// never taken are promoted to callee-saved registers, removing the
+	// stack traffic that dominates unoptimised code.
+	Optimize bool
+}
+
+// Compile translates mini-C source to assembly text accepted by the asm
+// package, including the program entry stub and the runtime.
+func Compile(src string, opts Options) (string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	if err := Check(prog); err != nil {
+		return "", err
+	}
+	g := &gen{prog: prog, opts: opts}
+	if err := g.run(); err != nil {
+		return "", err
+	}
+	return g.sb.String(), nil
+}
+
+// Temp register pools.
+var intTemps = []isa.Reg{isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5, isa.T6, isa.T7, isa.T8, isa.T9}
+var fltTemps = []isa.Reg{4, 6, 8, 10, 14, 16, 18, 20}
+var sRegs = []isa.Reg{isa.S0, isa.S1, isa.S2, isa.S3, isa.S4, isa.S5, isa.S6, isa.S7}
+
+// value is an expression result: a register of one of the two classes.
+type value struct {
+	reg   isa.Reg
+	isFlt bool
+}
+
+type gen struct {
+	prog   *Program
+	opts   Options
+	sb     strings.Builder
+	fn     *FuncDecl
+	labelN int
+
+	frameSize int32
+	spillBase int32 // base of the temp spill area
+	nSpill    int32 // slots in the spill area
+
+	intBusy map[isa.Reg]bool
+	fltBusy map[isa.Reg]bool
+	// spilled maps a busy register to its spill slot while a call is in
+	// flight.
+	usedS []isa.Reg
+
+	breakL, contL []string
+}
+
+func (g *gen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.sb, format+"\n", args...)
+}
+
+func (g *gen) label(prefix string) string {
+	g.labelN++
+	return fmt.Sprintf(".L%s_%d", prefix, g.labelN)
+}
+
+func (g *gen) errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// --- register pool -----------------------------------------------------------
+
+func (g *gen) allocInt(line int) (isa.Reg, error) {
+	for _, r := range intTemps {
+		if !g.intBusy[r] {
+			g.intBusy[r] = true
+			return r, nil
+		}
+	}
+	return 0, g.errf(line, "expression too complex (out of integer temporaries)")
+}
+
+func (g *gen) allocFlt(line int) (isa.Reg, error) {
+	for _, r := range fltTemps {
+		if !g.fltBusy[r] {
+			g.fltBusy[r] = true
+			return r, nil
+		}
+	}
+	return 0, g.errf(line, "expression too complex (out of float temporaries)")
+}
+
+func (g *gen) free(v value) {
+	if v.isFlt {
+		delete(g.fltBusy, v.reg)
+	} else {
+		delete(g.intBusy, v.reg)
+	}
+}
+
+// saveLiveTemps spills every busy temporary around a call and returns a
+// restore closure. Slots come from the per-function spill area.
+func (g *gen) saveLiveTemps(line int) (func(), error) {
+	type slot struct {
+		v   value
+		off int32
+	}
+	var saved []slot
+	next := g.spillBase
+	take := func(v value) error {
+		if next >= g.spillBase+g.nSpill*4 {
+			return g.errf(line, "expression too complex (spill area exhausted)")
+		}
+		saved = append(saved, slot{v, next})
+		next += 4
+		return nil
+	}
+	var ints []isa.Reg
+	for r := range g.intBusy {
+		ints = append(ints, r)
+	}
+	sort.Slice(ints, func(i, j int) bool { return ints[i] < ints[j] })
+	for _, r := range ints {
+		if err := take(value{reg: r}); err != nil {
+			return nil, err
+		}
+	}
+	var flts []isa.Reg
+	for r := range g.fltBusy {
+		flts = append(flts, r)
+	}
+	sort.Slice(flts, func(i, j int) bool { return flts[i] < flts[j] })
+	for _, r := range flts {
+		if err := take(value{reg: r, isFlt: true}); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range saved {
+		if s.v.isFlt {
+			g.emit("\ts.s %s, %d($sp)", isa.FRegName(s.v.reg), s.off)
+		} else {
+			g.emit("\tsw %s, %d($sp)", isa.RegName(s.v.reg), s.off)
+		}
+	}
+	return func() {
+		for _, s := range saved {
+			if s.v.isFlt {
+				g.emit("\tl.s %s, %d($sp)", isa.FRegName(s.v.reg), s.off)
+			} else {
+				g.emit("\tlw %s, %d($sp)", isa.RegName(s.v.reg), s.off)
+			}
+		}
+	}, nil
+}
+
+// --- program-level emission ---------------------------------------------------
+
+func (g *gen) run() error {
+	// Struct metadata for the BDH classifier.
+	var names []string
+	for name := range g.prog.Structs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := g.prog.Structs[name]
+		parts := make([]string, 0, len(st.Fields)+1)
+		parts = append(parts, name)
+		for _, f := range st.Fields {
+			parts = append(parts, fmt.Sprintf("%s:%d:%s", f.Name, f.Offset, f.Type))
+		}
+		g.emit("\t.struct %s", strings.Join(parts, ", "))
+	}
+
+	// Data segment.
+	g.emit("\t.data")
+	for _, gd := range g.prog.Globals {
+		g.emit("\t.object %s, %s", gd.Name, gd.Ty)
+		switch {
+		case gd.InitInt != nil:
+			if gd.Ty.Kind == obj.KindChar {
+				g.emit("%s:\t.byte %d", gd.Name, *gd.InitInt)
+			} else if gd.Ty.Kind == obj.KindFloat {
+				g.emit("%s:\t.float %d", gd.Name, *gd.InitInt)
+			} else {
+				g.emit("%s:\t.word %d", gd.Name, *gd.InitInt)
+			}
+		case gd.InitFloat != nil:
+			g.emit("%s:\t.float %g", gd.Name, *gd.InitFloat)
+		default:
+			g.emit("%s:\t.space %d", gd.Name, gd.Ty.Size())
+		}
+		g.emit("\t.align 2")
+	}
+	for _, s := range g.prog.Strings {
+		g.emit("%s:\t.asciiz %q", s.Label, s.Val)
+		g.emit("\t.align 2")
+	}
+
+	// Entry stub and runtime.
+	g.emit("\t.text")
+	g.emit("\t.entry __start")
+	g.emit("__start:")
+	g.emit("\tjal main")
+	g.emit("\tmove $a0, $v0")
+	g.emit("\tli $v0, 10")
+	g.emit("\tsyscall")
+	g.runtime()
+
+	for _, fn := range g.prog.Funcs {
+		if err := g.genFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runtime emits the builtin library functions.
+func (g *gen) runtime() {
+	rt := []struct {
+		name string
+		body []string
+	}{
+		{"malloc", []string{"li $v0, 9", "syscall"}},
+		{"sbrk", []string{"li $v0, 9", "syscall"}},
+		{"free", nil},
+		{"print_int", []string{"li $v0, 1", "syscall"}},
+		{"print_char", []string{"li $v0, 11", "syscall"}},
+		{"print_str", []string{"li $v0, 4", "syscall"}},
+		{"print_float", []string{"mtc1 $a0, $f12", "li $v0, 2", "syscall"}},
+		{"arg", []string{"li $v0, 40", "syscall"}},
+		{"nargs", []string{"li $v0, 41", "syscall"}},
+	}
+	for _, r := range rt {
+		g.emit("\t.func %s, frame=0", r.name)
+		g.emit("%s:", r.name)
+		for _, line := range r.body {
+			g.emit("\t%s", line)
+		}
+		g.emit("\tjr $ra")
+		g.emit("\t.endfunc")
+	}
+}
+
+var builtinLabels = map[Builtin]string{
+	BMalloc: "malloc", BFree: "free", BSbrk: "sbrk",
+	BPrintInt: "print_int", BPrintChar: "print_char",
+	BPrintStr: "print_str", BPrintFloat: "print_float",
+	BArg: "arg", BNargs: "nargs",
+}
+
+// --- function emission ----------------------------------------------------------
+
+func (g *gen) genFunc(fn *FuncDecl) error {
+	g.fn = fn
+	g.intBusy = map[isa.Reg]bool{}
+	g.fltBusy = map[isa.Reg]bool{}
+	g.usedS = nil
+
+	// Register promotion (-O): scalar, address never taken, int-class.
+	if g.opts.Optimize {
+		for _, sym := range fn.Syms {
+			if len(g.usedS) >= len(sRegs) {
+				break
+			}
+			if sym.AddrTaken || sym.Ty.IsAggregate() ||
+				sym.Ty.Kind == obj.KindFloat || sym.Ty.Kind == obj.KindChar {
+				continue
+			}
+			sym.Reg = int(sRegs[len(g.usedS)])
+			g.usedS = append(g.usedS, sRegs[len(g.usedS)])
+		}
+	}
+
+	// Frame layout: [spill area][stack vars][saved s-regs][ra].
+	g.nSpill = 12
+	g.spillBase = 0
+	off := g.nSpill * 4
+	for _, sym := range fn.Syms {
+		if sym.Reg >= 0 {
+			continue
+		}
+		sz := int32(sym.Ty.Size())
+		sz = (sz + 3) &^ 3
+		sym.Offset = off
+		off += sz
+	}
+	savedBase := off
+	off += int32(len(g.usedS)) * 4
+	raOff := off
+	off += 4
+	g.frameSize = (off + 7) &^ 7
+
+	g.emit("\t.func %s, frame=%d", fn.Name, g.frameSize)
+	for _, sym := range fn.Syms {
+		if sym.Reg >= 0 {
+			continue
+		}
+		dir := ".local"
+		if sym.IsParam {
+			dir = ".param"
+		}
+		g.emit("\t%s %s:%d:%s", dir, sym.Name, sym.Offset, sym.Ty)
+	}
+	g.emit("%s:", fn.Name)
+	g.emit("\taddiu $sp, $sp, -%d", g.frameSize)
+	g.emit("\tsw $ra, %d($sp)", raOff)
+	for i, r := range g.usedS {
+		g.emit("\tsw %s, %d($sp)", isa.RegName(r), savedBase+int32(i)*4)
+	}
+	// Home the parameters.
+	for _, sym := range fn.Syms {
+		if !sym.IsParam {
+			continue
+		}
+		areg := isa.RegName(isa.A0 + isa.Reg(sym.ParamIx))
+		switch {
+		case sym.Reg >= 0:
+			g.emit("\tmove %s, %s", isa.RegName(isa.Reg(sym.Reg)), areg)
+		case sym.Ty.Kind == obj.KindFloat:
+			g.emit("\tsw %s, %d($sp)", areg, sym.Offset)
+		case sym.Ty.Kind == obj.KindChar:
+			g.emit("\tsb %s, %d($sp)", areg, sym.Offset)
+		default:
+			g.emit("\tsw %s, %d($sp)", areg, sym.Offset)
+		}
+	}
+
+	epi := g.label("epi_" + fn.Name)
+	g.breakL, g.contL = nil, nil
+	if err := g.genBlockInto(fn.Body, epi); err != nil {
+		return err
+	}
+
+	g.emit("%s:", epi)
+	g.emit("\tlw $ra, %d($sp)", raOff)
+	for i, r := range g.usedS {
+		g.emit("\tlw %s, %d($sp)", isa.RegName(r), savedBase+int32(i)*4)
+	}
+	g.emit("\taddiu $sp, $sp, %d", g.frameSize)
+	g.emit("\tjr $ra")
+	g.emit("\t.endfunc")
+	return nil
+}
+
+type genCtx struct{ epilogue string }
+
+func (g *gen) genBlockInto(b *Block, epilogue string) error {
+	ctx := genCtx{epilogue: epilogue}
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s, ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) genStmt(s Stmt, ctx genCtx) error {
+	switch st := s.(type) {
+	case *Block:
+		for _, inner := range st.Stmts {
+			if err := g.genStmt(inner, ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *DeclStmt:
+		if st.Init == nil {
+			return nil
+		}
+		v, err := g.genExpr(st.Init)
+		if err != nil {
+			return err
+		}
+		v, err = g.convert(v, st.Init.Type(), st.Sym.Ty, st.Ln)
+		if err != nil {
+			return err
+		}
+		err = g.storeVar(st.Sym, v, st.Ln)
+		g.free(v)
+		return err
+
+	case *ExprStmt:
+		v, err := g.genExpr(st.X)
+		if err != nil {
+			return err
+		}
+		g.free(v)
+		return nil
+
+	case *IfStmt:
+		elseL := g.label("else")
+		endL := g.label("endif")
+		if err := g.genCondBranchFalse(st.Cond, elseL); err != nil {
+			return err
+		}
+		if err := g.genStmt(st.Then, ctx); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			g.emit("\tb %s", endL)
+		}
+		g.emit("%s:", elseL)
+		if st.Else != nil {
+			if err := g.genStmt(st.Else, ctx); err != nil {
+				return err
+			}
+			g.emit("%s:", endL)
+		}
+		return nil
+
+	case *WhileStmt:
+		top := g.label("while")
+		end := g.label("wend")
+		g.breakL = append(g.breakL, end)
+		g.contL = append(g.contL, top)
+		g.emit("%s:", top)
+		if err := g.genCondBranchFalse(st.Cond, end); err != nil {
+			return err
+		}
+		if err := g.genStmt(st.Body, ctx); err != nil {
+			return err
+		}
+		g.emit("\tb %s", top)
+		g.emit("%s:", end)
+		g.breakL = g.breakL[:len(g.breakL)-1]
+		g.contL = g.contL[:len(g.contL)-1]
+		return nil
+
+	case *ForStmt:
+		top := g.label("for")
+		post := g.label("fpost")
+		end := g.label("fend")
+		if st.Init != nil {
+			if err := g.genStmt(st.Init, ctx); err != nil {
+				return err
+			}
+		}
+		g.breakL = append(g.breakL, end)
+		g.contL = append(g.contL, post)
+		g.emit("%s:", top)
+		if st.Cond != nil {
+			if err := g.genCondBranchFalse(st.Cond, end); err != nil {
+				return err
+			}
+		}
+		if err := g.genStmt(st.Body, ctx); err != nil {
+			return err
+		}
+		g.emit("%s:", post)
+		if st.Post != nil {
+			v, err := g.genExpr(st.Post)
+			if err != nil {
+				return err
+			}
+			g.free(v)
+		}
+		g.emit("\tb %s", top)
+		g.emit("%s:", end)
+		g.breakL = g.breakL[:len(g.breakL)-1]
+		g.contL = g.contL[:len(g.contL)-1]
+		return nil
+
+	case *ReturnStmt:
+		if st.X != nil {
+			v, err := g.genExpr(st.X)
+			if err != nil {
+				return err
+			}
+			v, err = g.convert(v, st.X.Type(), g.fn.Ret, st.Ln)
+			if err != nil {
+				return err
+			}
+			if v.isFlt {
+				g.emit("\tmov.s $f0, %s", isa.FRegName(v.reg))
+			} else {
+				g.emit("\tmove $v0, %s", isa.RegName(v.reg))
+			}
+			g.free(v)
+		}
+		g.emit("\tb %s", ctx.epilogue)
+		return nil
+
+	case *BreakStmt:
+		if len(g.breakL) == 0 {
+			return g.errf(st.Ln, "break outside loop")
+		}
+		g.emit("\tb %s", g.breakL[len(g.breakL)-1])
+		return nil
+
+	case *ContinueStmt:
+		if len(g.contL) == 0 {
+			return g.errf(st.Ln, "continue outside loop")
+		}
+		g.emit("\tb %s", g.contL[len(g.contL)-1])
+		return nil
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+// genCondBranchFalse evaluates cond and branches to label when false.
+func (g *gen) genCondBranchFalse(cond Expr, label string) error {
+	v, err := g.genExpr(cond)
+	if err != nil {
+		return err
+	}
+	if v.isFlt {
+		// Compare against 0.0.
+		tmp, err := g.allocFlt(cond.Line())
+		if err != nil {
+			return err
+		}
+		g.emit("\tmtc1 $zero, %s", isa.FRegName(tmp))
+		g.emit("\tc.eq.s %s, %s", isa.FRegName(v.reg), isa.FRegName(tmp))
+		delete(g.fltBusy, tmp)
+		g.free(v)
+		g.emit("\tbc1t %s", label)
+		return nil
+	}
+	g.emit("\tbeqz %s, %s", isa.RegName(v.reg), label)
+	g.free(v)
+	return nil
+}

@@ -1,0 +1,271 @@
+package minic
+
+import (
+	"delinq/internal/isa"
+	"delinq/internal/obj"
+)
+
+func (g *gen) genBinary(x *Binary) (value, error) {
+	switch x.Op {
+	case AndAnd, OrOr:
+		return g.genLogical(x)
+	}
+
+	lv, err := g.genExpr(x.X)
+	if err != nil {
+		return value{}, err
+	}
+	rv, err := g.genExpr(x.Y)
+	if err != nil {
+		return value{}, err
+	}
+
+	lt, rt := decay(x.X.Type()), decay(x.Y.Type())
+
+	// Promote to float when either side is float (for arithmetic and
+	// comparisons).
+	if (lt.Kind == obj.KindFloat || rt.Kind == obj.KindFloat) &&
+		!lt.IsPointer() && !rt.IsPointer() {
+		if lv, err = g.convert(lv, lt, obj.TypeFloat, x.Ln); err != nil {
+			return value{}, err
+		}
+		if rv, err = g.convert(rv, rt, obj.TypeFloat, x.Ln); err != nil {
+			return value{}, err
+		}
+		return g.genFloatBinary(x, lv, rv)
+	}
+
+	a, b := isa.RegName(lv.reg), isa.RegName(rv.reg)
+	switch x.Op {
+	case Plus, Minus:
+		op := "add"
+		if x.Op == Minus {
+			op = "sub"
+		}
+		switch {
+		case lt.IsPointer() && isIntegral(rt):
+			g.scaleIndex(rv.reg, lt.Elem.Size(), x.Ln)
+		case x.Op == Plus && isIntegral(lt) && rt.IsPointer():
+			g.scaleIndex(lv.reg, rt.Elem.Size(), x.Ln)
+		case x.Op == Minus && lt.IsPointer() && rt.IsPointer():
+			g.emit("\tsub %s, %s, %s", a, a, b)
+			sz := lt.Elem.Size()
+			if sz > 1 {
+				if sz&(sz-1) == 0 {
+					g.emit("\tsra %s, %s, %d", a, a, log2i(sz))
+				} else {
+					g.emit("\tli %s, %d", b, sz)
+					g.emit("\tdiv %s, %s", a, b)
+					g.emit("\tmflo %s", a)
+				}
+			}
+			g.free(rv)
+			return lv, nil
+		}
+		g.emit("\t%s %s, %s, %s", op, a, a, b)
+	case Star:
+		g.emit("\tmul %s, %s, %s", a, a, b)
+	case Slash:
+		g.emit("\tdiv %s, %s", a, b)
+		g.emit("\tmflo %s", a)
+	case Percent:
+		g.emit("\tdiv %s, %s", a, b)
+		g.emit("\tmfhi %s", a)
+	case Amp:
+		g.emit("\tand %s, %s, %s", a, a, b)
+	case Pipe:
+		g.emit("\tor %s, %s, %s", a, a, b)
+	case Caret:
+		g.emit("\txor %s, %s, %s", a, a, b)
+	case Shl:
+		g.emit("\tsllv %s, %s, %s", a, a, b)
+	case Shr:
+		g.emit("\tsrav %s, %s, %s", a, a, b)
+	case Lt:
+		g.emit("\tslt %s, %s, %s", a, a, b)
+	case Gt:
+		g.emit("\tslt %s, %s, %s", a, b, a)
+	case Le:
+		g.emit("\tslt %s, %s, %s", a, b, a)
+		g.emit("\txori %s, %s, 1", a, a)
+	case Ge:
+		g.emit("\tslt %s, %s, %s", a, a, b)
+		g.emit("\txori %s, %s, 1", a, a)
+	case Eq:
+		g.emit("\txor %s, %s, %s", a, a, b)
+		g.emit("\tsltiu %s, %s, 1", a, a)
+	case Ne:
+		g.emit("\txor %s, %s, %s", a, a, b)
+		g.emit("\tsltu %s, $zero, %s", a, a)
+	default:
+		return value{}, g.errf(x.Ln, "internal: binary %v", x.Op)
+	}
+	g.free(rv)
+	return lv, nil
+}
+
+// scaleIndex multiplies reg by an element size in place.
+func (g *gen) scaleIndex(reg isa.Reg, size, line int) {
+	switch {
+	case size == 1:
+	case size&(size-1) == 0:
+		g.emit("\tsll %s, %s, %d", isa.RegName(reg), isa.RegName(reg), log2i(size))
+	default:
+		g.emit("\tli $at, %d", size)
+		g.emit("\tmul %s, %s, $at", isa.RegName(reg), isa.RegName(reg))
+	}
+}
+
+// genFloatBinary handles float arithmetic and comparisons; both operands
+// are float registers.
+func (g *gen) genFloatBinary(x *Binary, lv, rv value) (value, error) {
+	a, b := isa.FRegName(lv.reg), isa.FRegName(rv.reg)
+	switch x.Op {
+	case Plus:
+		g.emit("\tadd.s %s, %s, %s", a, a, b)
+	case Minus:
+		g.emit("\tsub.s %s, %s, %s", a, a, b)
+	case Star:
+		g.emit("\tmul.s %s, %s, %s", a, a, b)
+	case Slash:
+		g.emit("\tdiv.s %s, %s, %s", a, a, b)
+	case Eq, Ne, Lt, Gt, Le, Ge:
+		r, err := g.allocInt(x.Ln)
+		if err != nil {
+			return value{}, err
+		}
+		set := g.label("fcset")
+		switch x.Op {
+		case Eq, Ne:
+			g.emit("\tc.eq.s %s, %s", a, b)
+		case Lt:
+			g.emit("\tc.lt.s %s, %s", a, b)
+		case Le:
+			g.emit("\tc.le.s %s, %s", a, b)
+		case Gt:
+			g.emit("\tc.lt.s %s, %s", b, a)
+		case Ge:
+			g.emit("\tc.le.s %s, %s", b, a)
+		}
+		g.emit("\tli %s, 1", isa.RegName(r))
+		g.emit("\tbc1t %s", set)
+		g.emit("\tli %s, 0", isa.RegName(r))
+		g.emit("%s:", set)
+		if x.Op == Ne {
+			g.emit("\txori %s, %s, 1", isa.RegName(r), isa.RegName(r))
+		}
+		g.free(lv)
+		g.free(rv)
+		return value{reg: r}, nil
+	default:
+		return value{}, g.errf(x.Ln, "float operator %v not supported", x.Op)
+	}
+	g.free(rv)
+	return lv, nil
+}
+
+// genLogical emits short-circuit && and || producing 0/1.
+func (g *gen) genLogical(x *Binary) (value, error) {
+	out, err := g.allocInt(x.Ln)
+	if err != nil {
+		return value{}, err
+	}
+	end := g.label("sc")
+	lv, err := g.genExpr(x.X)
+	if err != nil {
+		return value{}, err
+	}
+	if lv.isFlt {
+		if lv, err = g.convert(lv, obj.TypeFloat, obj.TypeInt, x.Ln); err != nil {
+			return value{}, err
+		}
+	}
+	g.emit("\tsltu %s, $zero, %s", isa.RegName(out), isa.RegName(lv.reg))
+	g.free(lv)
+	if x.Op == AndAnd {
+		g.emit("\tbeqz %s, %s", isa.RegName(out), end)
+	} else {
+		g.emit("\tbnez %s, %s", isa.RegName(out), end)
+	}
+	rv, err := g.genExpr(x.Y)
+	if err != nil {
+		return value{}, err
+	}
+	if rv.isFlt {
+		if rv, err = g.convert(rv, obj.TypeFloat, obj.TypeInt, x.Ln); err != nil {
+			return value{}, err
+		}
+	}
+	g.emit("\tsltu %s, $zero, %s", isa.RegName(out), isa.RegName(rv.reg))
+	g.free(rv)
+	g.emit("%s:", end)
+	return value{reg: out}, nil
+}
+
+// genCall evaluates arguments, spills live temporaries, and invokes the
+// target (user function or runtime builtin).
+func (g *gen) genCall(x *Call) (value, error) {
+	if len(x.Args) > 4 {
+		return value{}, g.errf(x.Ln, "more than 4 arguments")
+	}
+	// Evaluate arguments into temporaries first.
+	var vals []value
+	for _, a := range x.Args {
+		v, err := g.genExpr(a)
+		if err != nil {
+			return value{}, err
+		}
+		// Floats travel as raw bits in integer argument registers.
+		if v.isFlt {
+			r, err := g.allocInt(x.Ln)
+			if err != nil {
+				return value{}, err
+			}
+			g.emit("\tmfc1 %s, %s", isa.RegName(r), isa.FRegName(v.reg))
+			g.free(v)
+			v = value{reg: r}
+		}
+		vals = append(vals, v)
+	}
+	// Move into $a0-$a3 and release the temporaries so they are not
+	// pointlessly saved across the call.
+	for i, v := range vals {
+		g.emit("\tmove %s, %s", isa.RegName(isa.A0+isa.Reg(i)), isa.RegName(v.reg))
+		g.free(v)
+	}
+	restore, err := g.saveLiveTemps(x.Ln)
+	if err != nil {
+		return value{}, err
+	}
+	name := x.Name
+	if x.Builtin != BNone {
+		name = builtinLabels[x.Builtin]
+	}
+	g.emit("\tjal %s", name)
+	restore()
+
+	if x.Type().Kind == obj.KindVoid {
+		// Give the caller a dummy register so every expression yields a
+		// value.
+		r, err := g.allocInt(x.Ln)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tmove %s, $zero", isa.RegName(r))
+		return value{reg: r}, nil
+	}
+	if x.Type().Kind == obj.KindFloat {
+		fr, err := g.allocFlt(x.Ln)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tmov.s %s, $f0", isa.FRegName(fr))
+		return value{reg: fr, isFlt: true}, nil
+	}
+	r, err := g.allocInt(x.Ln)
+	if err != nil {
+		return value{}, err
+	}
+	g.emit("\tmove %s, $v0", isa.RegName(r))
+	return value{reg: r}, nil
+}

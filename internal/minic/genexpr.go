@@ -1,0 +1,536 @@
+package minic
+
+import (
+	"delinq/internal/isa"
+	"delinq/internal/obj"
+)
+
+// loadOp returns the load mnemonic for a scalar type.
+func loadOp(t *obj.Type) string {
+	switch t.Kind {
+	case obj.KindChar:
+		return "lb"
+	case obj.KindFloat:
+		return "l.s"
+	}
+	return "lw"
+}
+
+// storeOp returns the store mnemonic for a scalar type.
+func storeOp(t *obj.Type) string {
+	switch t.Kind {
+	case obj.KindChar:
+		return "sb"
+	case obj.KindFloat:
+		return "s.s"
+	}
+	return "sw"
+}
+
+// convert coerces v from type `from` to type `to`, converting between
+// the integer and float classes when needed.
+func (g *gen) convert(v value, from, to *obj.Type, line int) (value, error) {
+	if from == nil || to == nil {
+		return v, nil
+	}
+	fromFlt := from.Kind == obj.KindFloat
+	toFlt := to.Kind == obj.KindFloat
+	switch {
+	case fromFlt == toFlt:
+		return v, nil
+	case toFlt:
+		fr, err := g.allocFlt(line)
+		if err != nil {
+			return v, err
+		}
+		g.emit("\tmtc1 %s, %s", isa.RegName(v.reg), isa.FRegName(fr))
+		g.emit("\tcvt.s.w %s, %s", isa.FRegName(fr), isa.FRegName(fr))
+		g.free(v)
+		return value{reg: fr, isFlt: true}, nil
+	default:
+		ir, err := g.allocInt(line)
+		if err != nil {
+			return v, err
+		}
+		g.emit("\tcvt.w.s %s, %s", isa.FRegName(v.reg), isa.FRegName(v.reg))
+		g.emit("\tmfc1 %s, %s", isa.RegName(ir), isa.FRegName(v.reg))
+		g.free(v)
+		return value{reg: ir}, nil
+	}
+}
+
+// genAddr materialises the address of an lvalue into an integer
+// register. Register-promoted variables have no address; callers check.
+func (g *gen) genAddr(e Expr) (value, error) {
+	switch x := e.(type) {
+	case *Ident:
+		sym := x.Sym
+		if sym.Reg >= 0 {
+			return value{}, g.errf(x.Ln, "internal: address of register variable %s", sym.Name)
+		}
+		r, err := g.allocInt(x.Ln)
+		if err != nil {
+			return value{}, err
+		}
+		if sym.Global {
+			g.emit("\tla %s, %s", isa.RegName(r), sym.Label)
+		} else {
+			g.emit("\taddiu %s, $sp, %d", isa.RegName(r), sym.Offset)
+		}
+		return value{reg: r}, nil
+
+	case *Unary:
+		if x.Op != Star {
+			return value{}, g.errf(x.Ln, "internal: genAddr of unary %v", x.Op)
+		}
+		return g.genExpr(x.X)
+
+	case *Index:
+		base, err := g.genExpr(x.X) // array decays to its address
+		if err != nil {
+			return value{}, err
+		}
+		idx, err := g.genExpr(x.I)
+		if err != nil {
+			return value{}, err
+		}
+		elem := x.Type()
+		size := elem.Size()
+		switch {
+		case size == 1:
+			// no scaling
+		case size&(size-1) == 0:
+			g.emit("\tsll %s, %s, %d", isa.RegName(idx.reg), isa.RegName(idx.reg), log2i(size))
+		default:
+			tmp, err := g.allocInt(x.Ln)
+			if err != nil {
+				return value{}, err
+			}
+			g.emit("\tli %s, %d", isa.RegName(tmp), size)
+			g.emit("\tmul %s, %s, %s", isa.RegName(idx.reg), isa.RegName(idx.reg), isa.RegName(tmp))
+			delete(g.intBusy, tmp)
+		}
+		g.emit("\tadd %s, %s, %s", isa.RegName(base.reg), isa.RegName(base.reg), isa.RegName(idx.reg))
+		g.free(idx)
+		return base, nil
+
+	case *Member:
+		var base value
+		var err error
+		if x.Arrow {
+			base, err = g.genExpr(x.X)
+		} else {
+			base, err = g.genAddr(x.X)
+		}
+		if err != nil {
+			return value{}, err
+		}
+		if x.Field.Offset != 0 {
+			g.emit("\taddiu %s, %s, %d", isa.RegName(base.reg), isa.RegName(base.reg), x.Field.Offset)
+		}
+		return base, nil
+	}
+	return value{}, g.errf(e.Line(), "internal: genAddr of %T", e)
+}
+
+func log2i(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// loadVar reads a variable into a fresh register.
+func (g *gen) loadVar(sym *VarSym, line int) (value, error) {
+	t := sym.Ty
+	if sym.Reg >= 0 {
+		r, err := g.allocInt(line)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tmove %s, %s", isa.RegName(r), isa.RegName(isa.Reg(sym.Reg)))
+		return value{reg: r}, nil
+	}
+	// Aggregates decay to their address.
+	if t.IsAggregate() {
+		r, err := g.allocInt(line)
+		if err != nil {
+			return value{}, err
+		}
+		if sym.Global {
+			g.emit("\tla %s, %s", isa.RegName(r), sym.Label)
+		} else {
+			g.emit("\taddiu %s, $sp, %d", isa.RegName(r), sym.Offset)
+		}
+		return value{reg: r}, nil
+	}
+	if t.Kind == obj.KindFloat {
+		r, err := g.allocFlt(line)
+		if err != nil {
+			return value{}, err
+		}
+		if sym.Global {
+			g.emit("\tl.s %s, %s", isa.FRegName(r), sym.Label)
+		} else {
+			g.emit("\tl.s %s, %d($sp)", isa.FRegName(r), sym.Offset)
+		}
+		return value{reg: r, isFlt: true}, nil
+	}
+	r, err := g.allocInt(line)
+	if err != nil {
+		return value{}, err
+	}
+	if sym.Global {
+		g.emit("\t%s %s, %s", loadOp(t), isa.RegName(r), sym.Label)
+	} else {
+		g.emit("\t%s %s, %d($sp)", loadOp(t), isa.RegName(r), sym.Offset)
+	}
+	return value{reg: r}, nil
+}
+
+// storeVar writes v into a variable.
+func (g *gen) storeVar(sym *VarSym, v value, line int) error {
+	t := sym.Ty
+	if sym.Reg >= 0 {
+		if v.isFlt {
+			return g.errf(line, "internal: float store to register variable")
+		}
+		g.emit("\tmove %s, %s", isa.RegName(isa.Reg(sym.Reg)), isa.RegName(v.reg))
+		return nil
+	}
+	name := isa.RegName(v.reg)
+	if v.isFlt {
+		name = isa.FRegName(v.reg)
+	}
+	if sym.Global {
+		g.emit("\t%s %s, %s", storeOp(t), name, sym.Label)
+	} else {
+		g.emit("\t%s %s, %d($sp)", storeOp(t), name, sym.Offset)
+	}
+	return nil
+}
+
+// loadThrough dereferences an address register into a value of type t,
+// reusing the address register for integer results.
+func (g *gen) loadThrough(addr value, t *obj.Type, line int) (value, error) {
+	if t.IsAggregate() {
+		// The address is the value.
+		return addr, nil
+	}
+	if t.Kind == obj.KindFloat {
+		fr, err := g.allocFlt(line)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tl.s %s, 0(%s)", isa.FRegName(fr), isa.RegName(addr.reg))
+		g.free(addr)
+		return value{reg: fr, isFlt: true}, nil
+	}
+	g.emit("\t%s %s, 0(%s)", loadOp(t), isa.RegName(addr.reg), isa.RegName(addr.reg))
+	return addr, nil
+}
+
+// genExpr evaluates e into a register.
+func (g *gen) genExpr(e Expr) (value, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		r, err := g.allocInt(x.Ln)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tli %s, %d", isa.RegName(r), int32(x.Val))
+		return value{reg: r}, nil
+
+	case *FloatLit:
+		r, err := g.allocFlt(x.Ln)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tli.s %s, %g", isa.FRegName(r), x.Val)
+		return value{reg: r, isFlt: true}, nil
+
+	case *StrLit:
+		r, err := g.allocInt(x.Ln)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tla %s, %s", isa.RegName(r), x.Label)
+		return value{reg: r}, nil
+
+	case *SizeofExpr:
+		r, err := g.allocInt(x.Ln)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tli %s, %d", isa.RegName(r), x.Of.Size())
+		return value{reg: r}, nil
+
+	case *Ident:
+		return g.loadVar(x.Sym, x.Ln)
+
+	case *Index, *Member:
+		addr, err := g.genAddr(e)
+		if err != nil {
+			return value{}, err
+		}
+		return g.loadThrough(addr, e.Type(), e.Line())
+
+	case *Unary:
+		return g.genUnary(x)
+
+	case *Binary:
+		return g.genBinary(x)
+
+	case *AssignExpr:
+		return g.genAssign(x)
+
+	case *Call:
+		return g.genCall(x)
+	}
+	return value{}, g.errf(e.Line(), "internal: genExpr of %T", e)
+}
+
+func (g *gen) genUnary(x *Unary) (value, error) {
+	switch x.Op {
+	case Star:
+		addr, err := g.genExpr(x.X)
+		if err != nil {
+			return value{}, err
+		}
+		return g.loadThrough(addr, x.Type(), x.Ln)
+
+	case Amp:
+		return g.genAddr(x.X)
+
+	case Minus:
+		v, err := g.genExpr(x.X)
+		if err != nil {
+			return value{}, err
+		}
+		if v.isFlt {
+			g.emit("\tneg.s %s, %s", isa.FRegName(v.reg), isa.FRegName(v.reg))
+		} else {
+			g.emit("\tneg %s, %s", isa.RegName(v.reg), isa.RegName(v.reg))
+		}
+		return v, nil
+
+	case Not:
+		v, err := g.genExpr(x.X)
+		if err != nil {
+			return value{}, err
+		}
+		if v.isFlt {
+			v2, err := g.convert(v, obj.TypeFloat, obj.TypeInt, x.Ln)
+			if err != nil {
+				return value{}, err
+			}
+			v = v2
+		}
+		g.emit("\tsltiu %s, %s, 1", isa.RegName(v.reg), isa.RegName(v.reg))
+		return v, nil
+
+	case Tilde:
+		v, err := g.genExpr(x.X)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\tnot %s, %s", isa.RegName(v.reg), isa.RegName(v.reg))
+		return v, nil
+
+	case Inc, Dec:
+		return g.genIncDec(x)
+	}
+	return value{}, g.errf(x.Ln, "internal: unary %v", x.Op)
+}
+
+// step returns the ++/-- increment for a type (pointer stride or 1).
+func step(t *obj.Type) int32 {
+	if t.IsPointer() {
+		return int32(t.Elem.Size())
+	}
+	return 1
+}
+
+func (g *gen) genIncDec(x *Unary) (value, error) {
+	delta := step(x.X.Type())
+	if x.Op == Dec {
+		delta = -delta
+	}
+	// Register-promoted scalar: operate directly.
+	if id, ok := x.X.(*Ident); ok && id.Sym.Reg >= 0 {
+		sreg := isa.RegName(isa.Reg(id.Sym.Reg))
+		r, err := g.allocInt(x.Ln)
+		if err != nil {
+			return value{}, err
+		}
+		if x.Postfix {
+			g.emit("\tmove %s, %s", isa.RegName(r), sreg)
+			g.emit("\taddiu %s, %s, %d", sreg, sreg, delta)
+		} else {
+			g.emit("\taddiu %s, %s, %d", sreg, sreg, delta)
+			g.emit("\tmove %s, %s", isa.RegName(r), sreg)
+		}
+		return value{reg: r}, nil
+	}
+	// Memory-resident lvalue.
+	addr, err := g.genAddrOfLvalue(x.X)
+	if err != nil {
+		return value{}, err
+	}
+	t := x.X.Type()
+	if t.Kind == obj.KindFloat {
+		return value{}, g.errf(x.Ln, "++/-- on float is not supported")
+	}
+	val, err := g.allocInt(x.Ln)
+	if err != nil {
+		return value{}, err
+	}
+	g.emit("\t%s %s, 0(%s)", loadOp(t), isa.RegName(val), isa.RegName(addr.reg))
+	if x.Postfix {
+		tmp, err := g.allocInt(x.Ln)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\taddiu %s, %s, %d", isa.RegName(tmp), isa.RegName(val), delta)
+		g.emit("\t%s %s, 0(%s)", storeOp(t), isa.RegName(tmp), isa.RegName(addr.reg))
+		delete(g.intBusy, tmp)
+	} else {
+		g.emit("\taddiu %s, %s, %d", isa.RegName(val), isa.RegName(val), delta)
+		g.emit("\t%s %s, 0(%s)", storeOp(t), isa.RegName(val), isa.RegName(addr.reg))
+	}
+	g.free(addr)
+	return value{reg: val}, nil
+}
+
+// genAddrOfLvalue is genAddr, but routes *p through expression
+// evaluation of p.
+func (g *gen) genAddrOfLvalue(e Expr) (value, error) {
+	return g.genAddr(e)
+}
+
+func (g *gen) genAssign(x *AssignExpr) (value, error) {
+	// Register-promoted simple variable.
+	if id, ok := x.LHS.(*Ident); ok && id.Sym.Reg >= 0 {
+		rhs, err := g.genExpr(x.RHS)
+		if err != nil {
+			return value{}, err
+		}
+		rhs, err = g.convert(rhs, x.RHS.Type(), id.Sym.Ty, x.Ln)
+		if err != nil {
+			return value{}, err
+		}
+		sreg := isa.RegName(isa.Reg(id.Sym.Reg))
+		if x.Op == Assign {
+			g.emit("\tmove %s, %s", sreg, isa.RegName(rhs.reg))
+			return rhs, nil
+		}
+		op, err := g.compoundOp(x.Op, x.Ln)
+		if err != nil {
+			return value{}, err
+		}
+		if err := g.applyIntOp(op, isa.Reg(id.Sym.Reg), isa.Reg(id.Sym.Reg), rhs.reg,
+			x.LHS.Type(), x.RHS.Type(), x.Ln); err != nil {
+			return value{}, err
+		}
+		g.emit("\tmove %s, %s", isa.RegName(rhs.reg), sreg)
+		return rhs, nil
+	}
+
+	// Memory-resident lvalue: address, then value, then store.
+	addr, err := g.genAddr(x.LHS)
+	if err != nil {
+		return value{}, err
+	}
+	rhs, err := g.genExpr(x.RHS)
+	if err != nil {
+		return value{}, err
+	}
+	lt := x.LHS.Type()
+	rhs, err = g.convert(rhs, x.RHS.Type(), lt, x.Ln)
+	if err != nil {
+		return value{}, err
+	}
+
+	if x.Op != Assign {
+		op, err := g.compoundOp(x.Op, x.Ln)
+		if err != nil {
+			return value{}, err
+		}
+		if lt.Kind == obj.KindFloat {
+			cur, err := g.allocFlt(x.Ln)
+			if err != nil {
+				return value{}, err
+			}
+			g.emit("\tl.s %s, 0(%s)", isa.FRegName(cur), isa.RegName(addr.reg))
+			g.emit("\t%s.s %s, %s, %s", op, isa.FRegName(cur), isa.FRegName(cur), isa.FRegName(rhs.reg))
+			g.emit("\ts.s %s, 0(%s)", isa.FRegName(cur), isa.RegName(addr.reg))
+			g.free(rhs)
+			g.free(addr)
+			return value{reg: cur, isFlt: true}, nil
+		}
+		cur, err := g.allocInt(x.Ln)
+		if err != nil {
+			return value{}, err
+		}
+		g.emit("\t%s %s, 0(%s)", loadOp(lt), isa.RegName(cur), isa.RegName(addr.reg))
+		if err := g.applyIntOp(op, cur, cur, rhs.reg, lt, x.RHS.Type(), x.Ln); err != nil {
+			return value{}, err
+		}
+		g.emit("\t%s %s, 0(%s)", storeOp(lt), isa.RegName(cur), isa.RegName(addr.reg))
+		g.free(rhs)
+		g.free(addr)
+		return value{reg: cur}, nil
+	}
+
+	name := isa.RegName(rhs.reg)
+	if rhs.isFlt {
+		name = isa.FRegName(rhs.reg)
+	}
+	g.emit("\t%s %s, 0(%s)", storeOp(lt), name, isa.RegName(addr.reg))
+	g.free(addr)
+	return rhs, nil
+}
+
+func (g *gen) compoundOp(k TokKind, line int) (string, error) {
+	switch k {
+	case AddAssign:
+		return "add", nil
+	case SubAssign:
+		return "sub", nil
+	case MulAssign:
+		return "mul", nil
+	case DivAssign:
+		return "div", nil
+	}
+	return "", g.errf(line, "internal: compound op %v", k)
+}
+
+// applyIntOp emits rd = ra op rb for integer/pointer compound
+// assignment, scaling pointer arithmetic.
+func (g *gen) applyIntOp(op string, rd, ra, rb isa.Reg, lt, rt *obj.Type, line int) error {
+	if lt.IsPointer() && (op == "add" || op == "sub") {
+		sz := lt.Elem.Size()
+		if sz != 1 {
+			if sz&(sz-1) == 0 {
+				g.emit("\tsll %s, %s, %d", isa.RegName(rb), isa.RegName(rb), log2i(sz))
+			} else {
+				tmp, err := g.allocInt(line)
+				if err != nil {
+					return err
+				}
+				g.emit("\tli %s, %d", isa.RegName(tmp), sz)
+				g.emit("\tmul %s, %s, %s", isa.RegName(rb), isa.RegName(rb), isa.RegName(tmp))
+				delete(g.intBusy, tmp)
+			}
+		}
+	}
+	if op == "div" {
+		g.emit("\tdiv %s, %s", isa.RegName(ra), isa.RegName(rb))
+		g.emit("\tmflo %s", isa.RegName(rd))
+		return nil
+	}
+	g.emit("\t%s %s, %s, %s", op, isa.RegName(rd), isa.RegName(ra), isa.RegName(rb))
+	return nil
+}

@@ -1,0 +1,227 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// mainBody extracts the emitted instructions of main between its label
+// and .endfunc, trimmed, one per line.
+func mainBody(t *testing.T, src string, opts Options) []string {
+	t.Helper()
+	asmText, err := Compile(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(asmText, "\n")
+	var out []string
+	in := false
+	for _, ln := range lines {
+		trimmed := strings.TrimSpace(ln)
+		if trimmed == "main:" {
+			in = true
+			continue
+		}
+		if in && trimmed == ".endfunc" {
+			break
+		}
+		if in && trimmed != "" {
+			out = append(out, trimmed)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no main body in:\n%s", asmText)
+	}
+	return out
+}
+
+func wantSequence(t *testing.T, got []string, want []string) {
+	t.Helper()
+	// Every wanted line must appear, in order (other lines may
+	// intervene).
+	i := 0
+	for _, g := range got {
+		if i < len(want) && g == want[i] {
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Errorf("missing %q in sequence; got:\n%s", want[i], strings.Join(got, "\n"))
+	}
+}
+
+// TestGoldenScalarLoad: an -O0 scalar read is exactly one lw off the
+// frame — the pattern the heuristic must score zero.
+func TestGoldenScalarLoad(t *testing.T) {
+	body := mainBody(t, `int main() { int x = 3; return x; }`, Options{})
+	wantSequence(t, body, []string{
+		"li $t0, 3",
+	})
+	// The return reads x back from its slot.
+	found := false
+	for _, ln := range body {
+		if strings.HasPrefix(ln, "lw $t0, ") && strings.HasSuffix(ln, "($sp)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no stack reload of x in -O0 body:\n%s", strings.Join(body, "\n"))
+	}
+}
+
+// TestGoldenScalarPromoted: the same program under -O keeps x in $s0 and
+// emits no data memory access for it.
+func TestGoldenScalarPromoted(t *testing.T) {
+	body := mainBody(t, `int main() { int x = 3; return x; }`, Options{Optimize: true})
+	for _, ln := range body {
+		if strings.HasPrefix(ln, "lw ") && strings.Contains(ln, "($sp)") &&
+			!strings.Contains(ln, "$ra") && !strings.Contains(ln, "$s0") {
+			t.Errorf("unexpected stack traffic under -O: %s", ln)
+		}
+	}
+	found := false
+	for _, ln := range body {
+		if strings.Contains(ln, "$s0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("x not promoted to $s0:\n%s", strings.Join(body, "\n"))
+	}
+}
+
+// TestGoldenGlobalAccess: globals go through $gp (the assembler resolves
+// the bare symbol to a gp-relative displacement).
+func TestGoldenGlobalAccess(t *testing.T) {
+	body := mainBody(t, `int g; int main() { return g; }`, Options{})
+	found := false
+	for _, ln := range body {
+		if ln == "lw $t0, g" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no symbolic global load:\n%s", strings.Join(body, "\n"))
+	}
+}
+
+// TestGoldenArrayIndexScaling: int indexing emits a shift by 2; struct
+// arrays of non-power-of-two size use mul.
+func TestGoldenArrayIndexScaling(t *testing.T) {
+	body := mainBody(t, `
+int a[10];
+int main() { int i = 2; return a[i]; }`, Options{})
+	foundShift := false
+	for _, ln := range body {
+		if strings.HasPrefix(ln, "sll ") && strings.HasSuffix(ln, ", 2") {
+			foundShift = true
+		}
+	}
+	if !foundShift {
+		t.Errorf("no sll-by-2 for int indexing:\n%s", strings.Join(body, "\n"))
+	}
+
+	body = mainBody(t, `
+struct T { int a; int b; int c; };
+struct T ts[10];
+int main() { int i = 2; return ts[i].b; }`, Options{})
+	foundMul := false
+	for _, ln := range body {
+		if strings.HasPrefix(ln, "li ") && strings.HasSuffix(ln, ", 12") {
+			foundMul = true
+		}
+	}
+	if !foundMul {
+		t.Errorf("no 12-byte struct scaling:\n%s", strings.Join(body, "\n"))
+	}
+}
+
+// TestGoldenCallSpill: temporaries live across a call are saved into the
+// spill area and restored after.
+func TestGoldenCallSpill(t *testing.T) {
+	body := mainBody(t, `
+int f(int x) { return x; }
+int a[4];
+int main() { return a[1] + f(2); }`, Options{})
+	sawSpill, sawRestore, sawCall := false, false, false
+	for _, ln := range body {
+		if strings.HasPrefix(ln, "sw $t") && strings.Contains(ln, "($sp)") {
+			sawSpill = true
+		}
+		if ln == "jal f" {
+			sawCall = true
+		}
+		if sawCall && strings.HasPrefix(ln, "lw $t") && strings.Contains(ln, "($sp)") {
+			sawRestore = true
+		}
+	}
+	if !sawSpill || !sawRestore {
+		t.Errorf("spill/restore around call missing (spill=%v restore=%v):\n%s",
+			sawSpill, sawRestore, strings.Join(body, "\n"))
+	}
+}
+
+// TestGoldenPrologueEpilogue: every function adjusts $sp symmetrically
+// and saves/restores $ra.
+func TestGoldenPrologueEpilogue(t *testing.T) {
+	body := mainBody(t, `int main() { return 1; }`, Options{})
+	if !strings.HasPrefix(body[0], "addiu $sp, $sp, -") {
+		t.Errorf("prologue missing: %s", body[0])
+	}
+	if !strings.HasPrefix(body[1], "sw $ra, ") {
+		t.Errorf("ra save missing: %s", body[1])
+	}
+	last := body[len(body)-1]
+	if last != "jr $ra" {
+		t.Errorf("epilogue missing: %s", last)
+	}
+}
+
+// TestGoldenShortCircuitBranches: && emits a conditional branch, not an
+// eager bitwise and.
+func TestGoldenShortCircuitBranches(t *testing.T) {
+	body := mainBody(t, `
+int main() { int a = 1; int b = 2; if (a && b) return 1; return 0; }`, Options{})
+	found := false
+	for _, ln := range body {
+		if strings.HasPrefix(ln, "beqz ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no short-circuit branch:\n%s", strings.Join(body, "\n"))
+	}
+}
+
+func TestCheckerRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"dot on pointer", `struct S { int a; }; int main() { struct S *p = 0; return p.a; }`, ". on non-struct"},
+		{"arrow on struct", `struct S { int a; }; int main() { struct S s; return s->a; }`, "-> on non-pointer"},
+		{"break outside", `int main() { break; return 0; }`, "break outside loop"},
+		{"continue outside", `int main() { continue; return 0; }`, "continue outside loop"},
+		{"void return value", `void f() { return 3; } int main() { return 0; }`, "return with value"},
+		{"missing return value", `int f() { return; } int main() { return 0; }`, "return without value"},
+		{"index non-array", `int main() { int x = 1; return x[0]; }`, "indexing a non-array"},
+		{"float index", `int a[4]; int main() { float f = 1.0; return a[f]; }`, "index must be integral"},
+		{"float to pointer", `int main() { int *p = 0; p = 1.5; return 0; }`, "cannot assign float to pointer"},
+		{"modulo float", `int main() { float f = 1.0; int x = 3 % f; return x; }`, "non-integral"},
+		{"addr of rvalue", `int main() { int *p = &(1+2); return 0; }`, "& of a non-lvalue"},
+		{"aggregate assign", `struct S { int a; }; int main() { struct S x; struct S y; x = y; return 0; }`, "aggregate assignment"},
+		{"incdec float", `int main() { float f = 1.0; f++; return 0; }`, "++/-- on unsupported type"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src, Options{})
+			if err == nil {
+				t.Fatal("compile succeeded; want error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,181 @@
+// Package obj defines the binary image produced by the assembler and
+// consumed by the simulator and the disassembler: text and data segments,
+// and a symbol table carrying the source-level type information that the
+// static BDH baseline classifier relies on.
+package obj
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TypeKind discriminates source-level types recorded in the symbol table.
+type TypeKind int
+
+const (
+	KindInt TypeKind = iota
+	KindChar
+	KindFloat
+	KindPointer
+	KindArray
+	KindStruct
+	KindVoid
+)
+
+// Type is a source-level type as recorded in symbol-table metadata. Struct
+// types are recorded by name plus a flat field list so that the BDH
+// classifier can resolve field offsets without the original source.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type   // element type for pointers and arrays
+	Len    int     // array length
+	Name   string  // struct tag
+	Fields []Field // struct fields, offset-ordered
+}
+
+// Field is one struct member.
+type Field struct {
+	Name   string
+	Offset int
+	Type   *Type
+}
+
+// Predefined scalar types.
+var (
+	TypeInt   = &Type{Kind: KindInt}
+	TypeChar  = &Type{Kind: KindChar}
+	TypeFloat = &Type{Kind: KindFloat}
+	TypeVoid  = &Type{Kind: KindVoid}
+)
+
+// PointerTo returns the pointer type to elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: KindPointer, Elem: elem} }
+
+// ArrayOf returns the array type [n]elem.
+func ArrayOf(n int, elem *Type) *Type { return &Type{Kind: KindArray, Len: n, Elem: elem} }
+
+// Size returns the storage size of the type in bytes. Struct sizes are
+// derived from the last field (fields are offset-ordered), rounded up to
+// word alignment.
+func (t *Type) Size() int {
+	if t == nil {
+		return 4
+	}
+	switch t.Kind {
+	case KindChar:
+		return 1
+	case KindInt, KindFloat, KindPointer:
+		return 4
+	case KindVoid:
+		return 0
+	case KindArray:
+		return t.Len * t.Elem.Size()
+	case KindStruct:
+		if len(t.Fields) == 0 {
+			return 0
+		}
+		last := t.Fields[len(t.Fields)-1]
+		sz := last.Offset + last.Type.Size()
+		return (sz + 3) &^ 3
+	}
+	return 4
+}
+
+// IsPointer reports whether the type is a pointer.
+func (t *Type) IsPointer() bool { return t != nil && t.Kind == KindPointer }
+
+// IsAggregate reports whether the type is an array or struct.
+func (t *Type) IsAggregate() bool {
+	return t != nil && (t.Kind == KindArray || t.Kind == KindStruct)
+}
+
+// FieldAt returns the struct field covering byte offset off, descending
+// into nested aggregates, or nil.
+func (t *Type) FieldAt(off int) *Field {
+	if t == nil || t.Kind != KindStruct {
+		return nil
+	}
+	for i := range t.Fields {
+		f := &t.Fields[i]
+		if off >= f.Offset && off < f.Offset+f.Type.Size() {
+			return f
+		}
+	}
+	return nil
+}
+
+// String renders the type in the compact notation used by symbol-table
+// directives: "int", "char", "float", "void", "ptr:T", "arr:N:T",
+// "struct:Name".
+func (t *Type) String() string {
+	if t == nil {
+		return "int"
+	}
+	switch t.Kind {
+	case KindInt:
+		return "int"
+	case KindChar:
+		return "char"
+	case KindFloat:
+		return "float"
+	case KindVoid:
+		return "void"
+	case KindPointer:
+		return "ptr:" + t.Elem.String()
+	case KindArray:
+		return fmt.Sprintf("arr:%d:%s", t.Len, t.Elem.String())
+	case KindStruct:
+		return "struct:" + t.Name
+	}
+	return "int"
+}
+
+// ParseType parses the compact type notation produced by Type.String.
+// Struct references are resolved against structs, which maps tag names to
+// their full definitions; an unknown tag yields a named struct with no
+// fields rather than an error, so partially linked metadata degrades
+// gracefully.
+func ParseType(s string, structs map[string]*Type) (*Type, error) {
+	switch {
+	case s == "int":
+		return TypeInt, nil
+	case s == "char":
+		return TypeChar, nil
+	case s == "float":
+		return TypeFloat, nil
+	case s == "void":
+		return TypeVoid, nil
+	case strings.HasPrefix(s, "ptr:"):
+		elem, err := ParseType(s[len("ptr:"):], structs)
+		if err != nil {
+			return nil, err
+		}
+		return PointerTo(elem), nil
+	case strings.HasPrefix(s, "arr:"):
+		rest := s[len("arr:"):]
+		i := strings.IndexByte(rest, ':')
+		if i < 0 {
+			return nil, fmt.Errorf("obj: malformed array type %q", s)
+		}
+		n, err := strconv.Atoi(rest[:i])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("obj: bad array length in %q", s)
+		}
+		elem, err := ParseType(rest[i+1:], structs)
+		if err != nil {
+			return nil, err
+		}
+		return ArrayOf(n, elem), nil
+	case strings.HasPrefix(s, "struct:"):
+		name := s[len("struct:"):]
+		if name == "" {
+			return nil, fmt.Errorf("obj: empty struct tag in %q", s)
+		}
+		if def, ok := structs[name]; ok {
+			return def, nil
+		}
+		return &Type{Kind: KindStruct, Name: name}, nil
+	}
+	return nil, fmt.Errorf("obj: unknown type notation %q", s)
+}

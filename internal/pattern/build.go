@@ -1,0 +1,350 @@
+package pattern
+
+import (
+	"delinq/internal/cfg"
+	"delinq/internal/dataflow"
+	"delinq/internal/disasm"
+	"delinq/internal/isa"
+)
+
+// Config bounds pattern expansion, keeping the analysis "largely local"
+// as the paper requires for acceptable compile-time cost.
+type Config struct {
+	// MaxPatterns caps the alternatives kept per load (default 8).
+	MaxPatterns int
+	// MaxNodes caps a single pattern's size (default 64).
+	MaxNodes int
+	// MaxDepth caps substitution depth (default 16).
+	MaxDepth int
+}
+
+// DefaultConfig returns the bounds used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{MaxPatterns: 8, MaxNodes: 64, MaxDepth: 16}
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPatterns <= 0 {
+		c.MaxPatterns = 8
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 64
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 16
+	}
+	return c
+}
+
+// Load is one analysed load instruction with its address patterns.
+type Load struct {
+	Func      *disasm.Func
+	Index     int
+	PC        uint32
+	Inst      isa.Inst
+	Patterns  []*Expr
+	Truncated bool
+}
+
+// AnalyzeProgram builds address patterns for every load in the program.
+func AnalyzeProgram(p *disasm.Program, conf Config) []*Load {
+	var out []*Load
+	for _, fn := range p.Funcs {
+		out = append(out, AnalyzeFunc(fn, conf)...)
+	}
+	return out
+}
+
+// AnalyzeFunc builds address patterns for every load in one function.
+func AnalyzeFunc(fn *disasm.Func, conf Config) []*Load {
+	conf = conf.withDefaults()
+	g := cfg.Build(fn)
+	b := &builder{
+		fn:    fn,
+		conf:  conf,
+		df:    dataflow.Analyze(g),
+		slots: map[int32]int8{},
+	}
+	var out []*Load
+	for i, in := range fn.Insts {
+		if !in.IsLoad() {
+			continue
+		}
+		ld := &Load{Func: fn, Index: i, PC: fn.PC(i), Inst: in}
+		b.truncated = false
+		bases := b.expandReg(in.Rs, i, 0, map[int]bool{})
+		seen := map[string]bool{}
+		for _, base := range bases {
+			p := binary(Add, base, NewConst(in.Imm))
+			if k := p.Key(); !seen[k] {
+				seen[k] = true
+				ld.Patterns = append(ld.Patterns, p)
+			}
+		}
+		ld.Truncated = b.truncated
+		out = append(out, ld)
+	}
+	return out
+}
+
+type builder struct {
+	fn        *disasm.Func
+	conf      Config
+	df        *dataflow.Result
+	truncated bool
+	// slots memoises stack-slot recurrence queries: 1 yes, 2 no.
+	slots map[int32]int8
+	// storeSlots maps a stack-slot offset to the instructions that
+	// store to it, resolved through address expansion (compiled code
+	// computes slot addresses in a temporary before storing).
+	storeSlots map[int32][]int
+	// slotQueryDepth is non-zero while a slotRecurrent query is
+	// expanding stored values, suppressing nested recurrence checks.
+	slotQueryDepth int
+}
+
+// ensureStoreSlots builds the slot→stores index once per function.
+func (b *builder) ensureStoreSlots() {
+	if b.storeSlots != nil {
+		return
+	}
+	b.storeSlots = map[int32][]int{}
+	b.slotQueryDepth++
+	defer func() { b.slotQueryDepth-- }()
+	saved := b.truncated
+	defer func() { b.truncated = saved }()
+	for i, in := range b.fn.Insts {
+		if in.Op != isa.SW && in.Op != isa.SH && in.Op != isa.SB {
+			continue
+		}
+		if in.Rs == isa.SP || in.Rs == isa.FP {
+			b.storeSlots[in.Imm] = append(b.storeSlots[in.Imm], i)
+			continue
+		}
+		for _, e := range b.expandReg(in.Rs, i, b.conf.MaxDepth/2, map[int]bool{}) {
+			if off, ok := spSlot(binary(Add, e, NewConst(in.Imm))); ok {
+				b.storeSlots[off] = append(b.storeSlots[off], i)
+				break
+			}
+		}
+	}
+}
+
+func (b *builder) cap(list []*Expr) []*Expr {
+	if len(list) > b.conf.MaxPatterns {
+		b.truncated = true
+		return list[:b.conf.MaxPatterns]
+	}
+	return list
+}
+
+// expandReg returns the possible symbolic values of reg immediately
+// before instruction `at` executes. visiting carries the definition IDs
+// on the current substitution path for register-recurrence detection.
+func (b *builder) expandReg(reg isa.Reg, at, depth int, visiting map[int]bool) []*Expr {
+	switch reg {
+	case isa.Zero:
+		return []*Expr{zeroConst}
+	case isa.GP:
+		return []*Expr{gpLeaf}
+	case isa.SP, isa.FP:
+		return []*Expr{spLeaf}
+	}
+	if depth >= b.conf.MaxDepth {
+		b.truncated = true
+		return []*Expr{unknownLeaf}
+	}
+	defs := b.df.ReachingAt(at, reg)
+	if len(defs) == 0 {
+		return []*Expr{unknownLeaf}
+	}
+	var out []*Expr
+	seen := map[string]bool{}
+	add := func(e *Expr) {
+		if e.Size() > b.conf.MaxNodes {
+			b.truncated = true
+			e = unknownLeaf
+		}
+		if k := e.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	for _, d := range defs {
+		if len(out) >= b.conf.MaxPatterns {
+			b.truncated = true
+			break
+		}
+		switch d.Kind {
+		case dataflow.DefEntry:
+			switch reg {
+			case isa.A0, isa.A1, isa.A2, isa.A3:
+				add(&Expr{Kind: Param, Reg: reg})
+			default:
+				add(unknownLeaf)
+			}
+		case dataflow.DefCall:
+			switch reg {
+			case isa.V0, isa.V1:
+				add(&Expr{Kind: Ret, Reg: reg})
+			default:
+				add(unknownLeaf)
+			}
+		case dataflow.DefInst:
+			if visiting[d.ID] {
+				add(recLeaf)
+				continue
+			}
+			visiting[d.ID] = true
+			for _, e := range b.expandInst(d.Inst, depth+1, visiting) {
+				add(e)
+			}
+			delete(visiting, d.ID)
+		}
+	}
+	if len(out) == 0 {
+		out = []*Expr{unknownLeaf}
+	}
+	return b.cap(out)
+}
+
+// expandInst returns the symbolic values produced by the defining
+// instruction at index i.
+func (b *builder) expandInst(i, depth int, visiting map[int]bool) []*Expr {
+	in := b.fn.Insts[i]
+	un := func(k Kind, opnd isa.Reg, rhs *Expr) []*Expr {
+		var out []*Expr
+		for _, l := range b.expandReg(opnd, i, depth, visiting) {
+			out = append(out, binary(k, l, rhs))
+		}
+		return b.cap(out)
+	}
+	bin := func(k Kind, ra, rb isa.Reg) []*Expr {
+		var out []*Expr
+		ls := b.expandReg(ra, i, depth, visiting)
+		rs := b.expandReg(rb, i, depth, visiting)
+		for _, l := range ls {
+			for _, r := range rs {
+				out = append(out, binary(k, l, r))
+			}
+		}
+		return b.cap(out)
+	}
+
+	switch in.Op {
+	case isa.ADDI, isa.ADDIU:
+		return un(Add, in.Rs, NewConst(in.Imm))
+	case isa.ORI:
+		// In generated code ori is either constant synthesis (lui/ori)
+		// or a bitmask; model it additively so constants fold.
+		return un(Add, in.Rs, NewConst(in.Imm))
+	case isa.LUI:
+		return []*Expr{NewConst(in.Imm << 16)}
+	case isa.ADD, isa.ADDU:
+		if in.Rt == isa.Zero { // move idiom
+			return b.expandReg(in.Rs, i, depth, visiting)
+		}
+		if in.Rs == isa.Zero {
+			return b.expandReg(in.Rt, i, depth, visiting)
+		}
+		return bin(Add, in.Rs, in.Rt)
+	case isa.SUB, isa.SUBU:
+		return bin(Sub, in.Rs, in.Rt)
+	case isa.MUL:
+		return bin(Mul, in.Rs, in.Rt)
+	case isa.SLL:
+		return un(Shl, in.Rt, NewConst(in.Imm))
+	case isa.SRL, isa.SRA:
+		return un(Shr, in.Rt, NewConst(in.Imm))
+	case isa.SLLV:
+		return bin(Shl, in.Rt, in.Rs)
+	case isa.SRLV, isa.SRAV:
+		return bin(Shr, in.Rt, in.Rs)
+	case isa.LW, isa.LB, isa.LBU, isa.LH, isa.LHU:
+		var out []*Expr
+		for _, base := range b.expandReg(in.Rs, i, depth, visiting) {
+			addr := binary(Add, base, NewConst(in.Imm))
+			d := NewDeref(addr)
+			// A load from a stack slot that feeds itself through a
+			// store chain is an induction value: mark the recurrence.
+			// Slot queries themselves must not recurse into this check.
+			if off, ok := spSlot(addr); ok && b.slotQueryDepth == 0 &&
+				b.slotRecurrent(off, map[int32]bool{}) {
+				out = append(out, &Expr{Kind: Rec, L: d})
+			} else {
+				out = append(out, d)
+			}
+		}
+		return b.cap(out)
+	}
+	return []*Expr{unknownLeaf}
+}
+
+// spSlot reports whether addr is sp+const and returns the offset.
+func spSlot(addr *Expr) (int32, bool) {
+	if addr.Kind == SP {
+		return 0, true
+	}
+	if addr.Kind == Add && addr.L != nil && addr.L.Kind == SP &&
+		addr.R != nil && addr.R.Kind == Const {
+		return addr.R.Val, true
+	}
+	return 0, false
+}
+
+// slotRecurrent reports whether the stack slot at sp+off participates in
+// a value cycle: some store to the slot computes its value (transitively,
+// through other slots) from a load of the same slot. Unoptimised code
+// keeps induction variables in such slots, so this is how H4 recurrences
+// surface in -O0 binaries.
+func (b *builder) slotRecurrent(off int32, visiting map[int32]bool) bool {
+	if visiting[off] {
+		return true
+	}
+	if v, ok := b.slots[off]; ok {
+		return v == 1
+	}
+	b.ensureStoreSlots()
+	visiting[off] = true
+	defer delete(visiting, off)
+	b.slotQueryDepth++
+	defer func() { b.slotQueryDepth-- }()
+
+	result := false
+	for _, i := range b.storeSlots[off] {
+		in := b.fn.Insts[i]
+		// Expand the stored value (bounded) and look for loads of stack
+		// slots among its leaves.
+		saved := b.truncated
+		exprs := b.expandReg(in.Rt, i, b.conf.MaxDepth/2, map[int]bool{})
+		b.truncated = saved
+		for _, e := range exprs {
+			e.Walk(func(x *Expr) {
+				if result || x.Kind != Deref {
+					return
+				}
+				if o, ok := spSlot(x.L); ok {
+					if o == off || b.slotRecurrent(o, visiting) {
+						result = true
+					}
+				}
+			})
+			if result {
+				break
+			}
+		}
+		if result {
+			break
+		}
+	}
+	// Memoise only fully resolved queries (not ones cut by the visiting
+	// set of an outer call).
+	if len(visiting) == 1 {
+		v := int8(2)
+		if result {
+			v = 1
+		}
+		b.slots[off] = v
+	}
+	return result
+}

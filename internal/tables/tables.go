@@ -1,0 +1,296 @@
+// Package tables regenerates every table of the paper's evaluation from
+// the synthetic benchmark suite: the same rows, the same measures (π, ρ,
+// ξ), under the same parameter sweeps. Absolute values differ from the
+// publication (the substrate is a simulator over synthetic workloads);
+// the shapes these tables exist to demonstrate are reproduced.
+package tables
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"delinq/internal/bench"
+	"delinq/internal/cache"
+	"delinq/internal/classify"
+	"delinq/internal/metrics"
+	"delinq/internal/train"
+)
+
+// Standard cache geometries, shared across experiments so one simulation
+// per (benchmark, mode, input) feeds every table.
+var StdGeoms = []cache.Config{
+	{SizeBytes: 8 * 1024, Assoc: 4, BlockBytes: 32},  // baseline (Tables 1, 2, 7, 10-12, 14)
+	{SizeBytes: 16 * 1024, Assoc: 4, BlockBytes: 32}, // Table 9, 13
+	{SizeBytes: 32 * 1024, Assoc: 4, BlockBytes: 32}, // training geometry; Table 9
+	{SizeBytes: 64 * 1024, Assoc: 4, BlockBytes: 32}, // Table 9
+	{SizeBytes: 8 * 1024, Assoc: 2, BlockBytes: 32},  // Table 8
+	{SizeBytes: 8 * 1024, Assoc: 8, BlockBytes: 32},  // Table 8
+}
+
+// Geometry indices into StdGeoms.
+const (
+	GeomBaseline = 0
+	Geom16K      = 1
+	GeomTraining = 2
+	Geom32K      = 2
+	Geom64K      = 3
+	GeomAssoc2   = 4
+	GeomAssoc8   = 5
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Table %s. %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	if t.Notes != "" {
+		if _, err := fmt.Fprintf(w, "note: %s\n", t.Notes); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Ctx is one simulated benchmark ready for evaluation.
+type Ctx struct {
+	Bench *bench.Benchmark
+	Build *bench.Build
+	Run   *bench.Run
+}
+
+// Load compiles and simulates one benchmark with the standard geometry
+// bundle (memoised end to end).
+func Load(b *bench.Benchmark, optimize, input2 bool) (*Ctx, error) {
+	bd, err := bench.Compile(b, optimize)
+	if err != nil {
+		return nil, err
+	}
+	input := b.Input1
+	if input2 {
+		input = b.Input2
+	}
+	run, err := bench.Simulate(bd, input, StdGeoms)
+	if err != nil {
+		return nil, err
+	}
+	return &Ctx{Bench: b, Build: bd, Run: run}, nil
+}
+
+// Stats returns the per-load statistics under geometry gi.
+func (c *Ctx) Stats(gi int) []metrics.LoadStat { return c.Run.LoadStats(gi) }
+
+// Heuristic scores every load with the given configuration.
+func (c *Ctx) Heuristic(cfg classify.Config) []*classify.Scored {
+	return classify.Score(c.Build.Loads, c.Run, cfg)
+}
+
+// Delta returns the possibly-delinquent set under cfg.
+func (c *Ctx) Delta(cfg classify.Config) map[uint32]bool {
+	out := map[uint32]bool{}
+	for _, s := range c.Heuristic(cfg) {
+		if s.Delinquent {
+			out[s.Load.PC] = true
+		}
+	}
+	return out
+}
+
+// Scores returns φ(i) keyed by pc.
+func (c *Ctx) Scores(cfg classify.Config) map[uint32]float64 {
+	out := map[uint32]float64{}
+	for _, s := range c.Heuristic(cfg) {
+		out[s.Load.PC] = s.Phi
+	}
+	return out
+}
+
+// --- trained weights ----------------------------------------------------------
+
+var (
+	trainOnce   sync.Once
+	trainReport *train.Report
+	trainErr    error
+)
+
+// TrainedReport runs (once) the full training phase over the 11 training
+// benchmarks under the training cache geometry and returns the report.
+func TrainedReport() (*train.Report, error) {
+	trainOnce.Do(func() {
+		samples, err := TrainingSamples()
+		if err != nil {
+			trainErr = err
+			return
+		}
+		trainReport = train.Train(samples, train.DefaultConfig())
+	})
+	return trainReport, trainErr
+}
+
+// TrainingSamples builds the per-benchmark training data (Section 6's
+// learning phase: unoptimised binaries, Input1, training cache).
+func TrainingSamples() ([]train.Sample, error) {
+	var samples []train.Sample
+	for _, b := range bench.Training() {
+		ctx, err := Load(b, false, false)
+		if err != nil {
+			return nil, err
+		}
+		s := train.Sample{Name: b.Name}
+		stats := ctx.Stats(GeomTraining)
+		byPC := map[uint32]metrics.LoadStat{}
+		for _, st := range stats {
+			byPC[st.PC] = st
+			s.TotalMisses += st.Misses
+		}
+		for _, ld := range ctx.Build.Loads {
+			st := byPC[ld.PC]
+			ls := train.LoadSample{
+				PC:      ld.PC,
+				Classes: classify.LoadClasses(ld, st.Exec),
+				Exec:    st.Exec,
+				Misses:  st.Misses,
+			}
+			seen := map[classify.AggClass]bool{}
+			for _, p := range ld.Patterns {
+				for _, a := range classify.PatternClasses(classify.FeaturesOf(p)) {
+					if !seen[a] {
+						seen[a] = true
+						ls.Aggs = append(ls.Aggs, a)
+					}
+				}
+			}
+			if f := classify.FreqClass(st.Exec); f != 0 && !seen[f] {
+				ls.Aggs = append(ls.Aggs, f)
+			}
+			s.Loads = append(s.Loads, ls)
+		}
+		samples = append(samples, s)
+	}
+	return samples, nil
+}
+
+// HeuristicConfig returns the evaluation configuration: trained weights,
+// δ = 0.10, frequency classes per useFreq.
+func HeuristicConfig(useFreq bool) (classify.Config, error) {
+	rep, err := TrainedReport()
+	if err != nil {
+		return classify.Config{}, err
+	}
+	w := rep.Weights
+	cfg := classify.DefaultConfig()
+	cfg.Weights = &w
+	cfg.UseFrequency = useFreq
+	return cfg, nil
+}
+
+// --- formatting helpers ----------------------------------------------------------
+
+func pct(v float64) string  { return fmt.Sprintf("%.0f%%", v*100) }
+func pct1(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+func pct2(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+func sci(v float64) string  { return fmt.Sprintf("%.2e", v) }
+func avg(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// ByID regenerates a table by its paper number ("1".."14").
+func ByID(id string) (*Table, error) {
+	switch id {
+	case "1":
+		return Table1()
+	case "2":
+		return Table2()
+	case "3":
+		return Table3()
+	case "4":
+		return Table4()
+	case "5":
+		return Table5()
+	case "6":
+		return Table6()
+	case "7":
+		return Table7()
+	case "8":
+		return Table8()
+	case "9":
+		return Table9()
+	case "10":
+		return Table10()
+	case "11":
+		return Table11()
+	case "12":
+		return Table12()
+	case "13":
+		return Table13()
+	case "14":
+		return Table14()
+	case "S1", "s1":
+		return TableS1()
+	case "S2", "s2":
+		return TableS2()
+	case "S3", "s3":
+		return TableS3()
+	}
+	return nil, fmt.Errorf("tables: unknown table %q (valid: 1-14, S1-S3)", id)
+}
+
+// IDs lists the regenerable tables.
+func IDs() []string {
+	return []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "S1", "S2", "S3"}
+}
