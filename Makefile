@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race check bench tables fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check runs the full gate: gofmt -l (failure if any file is
+# unformatted), go vet, build, tests with and without -race, and a
+# one-iteration benchmark smoke run.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+tables:
+	$(GO) run ./cmd/delinq table all
+
+fmt:
+	gofmt -w .

@@ -6,9 +6,13 @@
 package delinq
 
 import (
+	"io"
+	"math/rand"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"delinq/internal/bench"
 	"delinq/internal/cache"
@@ -262,6 +266,101 @@ func BenchmarkEndToEnd(b *testing.B) {
 			b.Fatal("no loads")
 		}
 	}
+}
+
+// BenchmarkVMInstsPerSec measures end-to-end simulation throughput with
+// the full standard geometry bundle attached (the hot configuration of
+// every table sweep), reporting simulated instructions per second.
+func BenchmarkVMInstsPerSec(b *testing.B) {
+	bd, err := bench.Compile(bench.ByName("099.go"), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var insts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		caches := make([]*cache.Cache, len(tables.StdGeoms))
+		for k, g := range tables.StdGeoms {
+			caches[k] = cache.MustNew(g)
+		}
+		res, err := vm.Run(bd.Image, vm.Options{Args: bd.Bench.Input1, Caches: caches})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Insts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/sec")
+}
+
+// BenchmarkCacheAccess measures the cache model's raw access rate on a
+// mixed hot/cold address stream, for the set-associative path and the
+// direct-mapped fast path.
+func BenchmarkCacheAccess(b *testing.B) {
+	addrs := make([]uint32, 1<<16)
+	rng := rand.New(rand.NewSource(1))
+	for i := range addrs {
+		if i%4 == 0 {
+			addrs[i] = uint32(rng.Intn(1 << 20)) // cold-ish
+		} else {
+			addrs[i] = uint32(rng.Intn(1 << 13)) // hot working set
+		}
+	}
+	for _, cfg := range []cache.Config{
+		{SizeBytes: 8 * 1024, Assoc: 4, BlockBytes: 32},
+		{SizeBytes: 8 * 1024, Assoc: 1, BlockBytes: 32},
+	} {
+		b.Run(cfg.String(), func(b *testing.B) {
+			c := cache.MustNew(cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Access(addrs[i&(len(addrs)-1)], i&7 == 7)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "accesses/sec")
+		})
+	}
+}
+
+// BenchmarkTableAllParallel regenerates every table from cold caches
+// through the parallel engine, reporting total simulated instructions
+// per second and the wall-clock speedup over the serial (one-worker)
+// path measured in the same process. On a single-core machine the
+// speedup is ~1.0 by construction; it scales with GOMAXPROCS.
+func BenchmarkTableAllParallel(b *testing.B) {
+	sweep := func(workers int) time.Duration {
+		bench.ResetCache()
+		tables.ResetTraining()
+		start := time.Now()
+		if err := tables.RenderAll(io.Discard, workers); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	serial := sweep(1)
+	var insts int64
+	for _, cb := range tables.AllCombos() {
+		bd, err := bench.Compile(cb.Bench, cb.Optimize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		input := cb.Bench.Input1
+		if cb.Input2 {
+			input = cb.Bench.Input2
+		}
+		run, err := bench.Simulate(bd, input, cb.Geoms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += run.Result.Insts
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var parallel time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parallel = sweep(workers)
+	}
+	b.ReportMetric(float64(insts)/parallel.Seconds(), "insts/sec")
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+	b.ReportMetric(float64(workers), "workers")
 }
 
 // BenchmarkAblationReplacementPolicy measures the heuristic's coverage

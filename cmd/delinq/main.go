@@ -13,7 +13,7 @@
 //	delinq profile [-O] prog.c [args...]         hotspot blocks and their loads
 //	delinq trace [-o t.bin] prog.img [args...]   memory trace collection + replay
 //	delinq train                                 print the training report
-//	delinq table <1-14|S1|all>                   regenerate a paper table
+//	delinq table [-j N] [-v] <1-14|S1|all>       regenerate a paper table
 //	delinq bench                                 list the benchmark suite
 package main
 
@@ -82,7 +82,7 @@ func usage() {
   profile [-O] prog.c [args...]     basic-block profile and hotspot loads
   trace [-o t.bin] prog.img [args]  collect a memory trace, then replay it
   train                             run the training phase, print weights
-  table <1-14|S1|all>               regenerate a table (S1 = extension)
+  table [-j N] [-v] <1-14|S1|all>   regenerate a table (S1 = extension)
   bench                             list the benchmark suite`)
 	os.Exit(2)
 }
@@ -372,23 +372,34 @@ func cmdTrain() error {
 }
 
 func cmdTable(args []string) error {
-	if len(args) != 1 {
+	fs := flag.NewFlagSet("table", flag.ExitOnError)
+	workers := fs.Int("j", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+	verbose := fs.Bool("v", false, "print memo-cache statistics to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
 		return fmt.Errorf("table wants a table number or 'all'")
 	}
-	ids := []string{args[0]}
-	if args[0] == "all" {
-		ids = tables.IDs()
-	}
-	for _, id := range ids {
-		t, err := tables.ByID(id)
-		if err != nil {
-			return err
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
+	var err error
+	if id := fs.Arg(0); id == "all" {
+		// The full sweep preloads every simulation through the parallel
+		// experiment engine before rendering.
+		err = tables.RenderAll(os.Stdout, *workers)
+	} else {
+		var t *tables.Table
+		if t, err = tables.ByID(id); err == nil {
+			err = t.Render(os.Stdout)
 		}
 	}
-	return nil
+	if *verbose {
+		bs, rs := bench.CacheStats()
+		fmt.Fprintf(os.Stderr,
+			"memo: builds hits=%d misses=%d joined=%d errors=%d; runs hits=%d misses=%d joined=%d errors=%d\n",
+			bs.Hits, bs.Misses, bs.Joined, bs.Errors,
+			rs.Hits, rs.Misses, rs.Joined, rs.Errors)
+	}
+	return err
 }
 
 func cmdBench() error {

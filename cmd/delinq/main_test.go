@@ -65,10 +65,20 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 	run("hotspot loads", "profile", src)
 	run("Table 6.", "table", "6")
+	// The parallel engine: explicit worker count, and -v memo counters
+	// (which go to stderr, captured by CombinedOutput).
+	run("Table 6.", "table", "-j", "2", "6")
+	out = run("Table 1.", "table", "-j", "2", "-v", "1")
+	if !strings.Contains(out, "memo:") {
+		t.Errorf("table -v missing memo stats:\n%s", out)
+	}
 
 	// Error paths exit non-zero.
 	if err := exec.Command(bin, "table", "99").Run(); err == nil {
 		t.Error("table 99 succeeded")
+	}
+	if err := exec.Command(bin, "table", "-j", "zero", "1").Run(); err == nil {
+		t.Error("table -j with non-numeric arg succeeded")
 	}
 	if err := exec.Command(bin, "frobnicate").Run(); err == nil {
 		t.Error("unknown command succeeded")

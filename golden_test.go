@@ -1,0 +1,40 @@
+// The golden-output guard: the parallel experiment engine must change
+// no table cell. tables_output.txt is the committed rendering of every
+// table; regenerating the full sweep through the concurrent engine has
+// to reproduce it byte for byte.
+package delinq
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"testing"
+
+	"delinq/internal/tables"
+)
+
+func TestTableAllGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table sweep in short mode")
+	}
+	want, err := os.ReadFile("tables_output.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := tables.RenderAll(&got, runtime.GOMAXPROCS(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		// Locate the first divergent line for a readable failure.
+		gl := bytes.Split(got.Bytes(), []byte("\n"))
+		wl := bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("table output diverges from tables_output.txt at line %d:\ngot:  %s\nwant: %s",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("table output length differs: got %d lines, want %d", len(gl), len(wl))
+	}
+}

@@ -12,11 +12,13 @@ package bench
 
 import (
 	"fmt"
-	"sync"
+	"strconv"
+	"strings"
 
 	"delinq/internal/asm"
 	"delinq/internal/cache"
 	"delinq/internal/disasm"
+	"delinq/internal/memo"
 	"delinq/internal/metrics"
 	"delinq/internal/minic"
 	"delinq/internal/obj"
@@ -99,89 +101,136 @@ type Run struct {
 // ExecCount implements classify.ExecProfile.
 func (r *Run) ExecCount(pc uint32) int64 { return r.Result.ExecAt(pc) }
 
-// buildCache memoises compiled binaries and runCache completed
-// simulations; experiments across tables share them.
+// builds memoises compiled binaries and runs completed simulations;
+// experiments across tables share them. Both are singleflight caches:
+// concurrent requests for the same key block on one in-flight
+// computation instead of duplicating it or serialising on a global
+// lock, which is what lets a worker pool saturate every core.
 var (
-	mu         sync.Mutex
-	buildCache = map[string]*Build{}
-	runCache   = map[string]*Run{}
+	builds memo.Cache[*Build]
+	runs   memo.Cache[*Run]
 )
 
-// ResetCache clears the memoised builds and runs (used by tests).
+// ResetCache clears the memoised builds and runs (used by tests and the
+// throughput benchmarks). Computations in flight when ResetCache is
+// called are detached, not cancelled: their callers still receive the
+// build or run they asked for, but the result is dropped instead of
+// retained, and later calls recompute. It is safe to call concurrently
+// with Compile, Simulate, or a running tables.Preload.
 func ResetCache() {
-	mu.Lock()
-	defer mu.Unlock()
-	buildCache = map[string]*Build{}
-	runCache = map[string]*Run{}
+	builds.Reset()
+	runs.Reset()
+}
+
+// CacheStats returns the activity counters of the build and run memo
+// layers. Stats.Misses counts computations actually started, so after
+// any sequence of concurrent experiments, Misses equals the number of
+// distinct (benchmark, optimize) builds and distinct (benchmark,
+// optimize, input, geometries) simulations performed — the exactly-once
+// property the concurrency tests assert.
+func CacheStats() (build, run memo.Stats) {
+	return builds.Stats(), runs.Stats()
+}
+
+// buildKey canonically encodes a compile request. The benchmark name is
+// length-prefixed so no name can alias another's encoding.
+func buildKey(name string, optimize bool) string {
+	var sb strings.Builder
+	sb.WriteString(strconv.Itoa(len(name)))
+	sb.WriteByte(':')
+	sb.WriteString(name)
+	if optimize {
+		sb.WriteString("|O1")
+	} else {
+		sb.WriteString("|O0")
+	}
+	return sb.String()
+}
+
+// runKey canonically encodes a simulate request: the build key, the
+// length-prefixed input vector, and every geometry's full parameter
+// set. Logically identical requests always produce the same key, and
+// distinct vectors or geometry bundles can never collide (each list is
+// length-prefixed and each element fully delimited).
+func runKey(bd *Build, input []int32, geoms []cache.Config) string {
+	var sb strings.Builder
+	sb.WriteString(buildKey(bd.Bench.Name, bd.Optimize))
+	sb.WriteString("|in")
+	sb.WriteString(strconv.Itoa(len(input)))
+	sb.WriteByte(':')
+	for _, v := range input {
+		sb.WriteString(strconv.FormatInt(int64(v), 10))
+		sb.WriteByte(',')
+	}
+	sb.WriteString("|g")
+	sb.WriteString(strconv.Itoa(len(geoms)))
+	sb.WriteByte(':')
+	for _, g := range geoms {
+		sb.WriteString(strconv.Itoa(g.SizeBytes))
+		sb.WriteByte('/')
+		sb.WriteString(strconv.Itoa(g.Assoc))
+		sb.WriteByte('/')
+		sb.WriteString(strconv.Itoa(g.BlockBytes))
+		sb.WriteByte('/')
+		sb.WriteString(strconv.Itoa(int(g.Repl)))
+		sb.WriteByte(';')
+	}
+	return sb.String()
 }
 
 // Compile builds (or returns the cached) binary for the benchmark.
+// Concurrent calls for the same (benchmark, optimize) pair share one
+// compilation.
 func Compile(b *Benchmark, optimize bool) (*Build, error) {
-	key := fmt.Sprintf("%s|%v", b.Name, optimize)
-	mu.Lock()
-	if cached, ok := buildCache[key]; ok {
-		mu.Unlock()
-		return cached, nil
-	}
-	mu.Unlock()
-
-	asmText, err := minic.Compile(b.Source, minic.Options{Optimize: optimize})
-	if err != nil {
-		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
-	}
-	img, err := asm.Assemble(asmText)
-	if err != nil {
-		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
-	}
-	prog, err := disasm.Disassemble(img)
-	if err != nil {
-		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
-	}
-	bd := &Build{
-		Bench:    b,
-		Optimize: optimize,
-		Image:    img,
-		Prog:     prog,
-		Loads:    pattern.AnalyzeProgram(prog, pattern.DefaultConfig()),
-	}
-	mu.Lock()
-	buildCache[key] = bd
-	mu.Unlock()
-	return bd, nil
+	return builds.Do(buildKey(b.Name, optimize), func() (*Build, error) {
+		asmText, err := minic.Compile(b.Source, minic.Options{Optimize: optimize})
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+		}
+		img, err := asm.Assemble(asmText)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+		}
+		prog, err := disasm.Disassemble(img)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+		}
+		return &Build{
+			Bench:    b,
+			Optimize: optimize,
+			Image:    img,
+			Prog:     prog,
+			Loads:    pattern.AnalyzeProgram(prog, pattern.DefaultConfig()),
+		}, nil
+	})
 }
 
 // Simulate runs the binary on the given input, attaching one D-cache per
-// geometry; results are memoised.
+// geometry; results are memoised, and concurrent calls for the same
+// request block on a single simulation. The key is the request's
+// content, not the *Build pointer, so after a concurrent ResetCache the
+// returned Run may reference a distinct but equivalent Build from the
+// caller's argument.
 func Simulate(bd *Build, input []int32, geoms []cache.Config) (*Run, error) {
-	key := fmt.Sprintf("%s|%v|%v|%v", bd.Bench.Name, bd.Optimize, input, geoms)
-	mu.Lock()
-	if cached, ok := runCache[key]; ok {
-		mu.Unlock()
-		return cached, nil
-	}
-	mu.Unlock()
-
-	caches := make([]*cache.Cache, len(geoms))
-	for i, gcfg := range geoms {
-		c, err := cache.New(gcfg)
-		if err != nil {
-			return nil, err
+	return runs.Do(runKey(bd, input, geoms), func() (*Run, error) {
+		caches := make([]*cache.Cache, len(geoms))
+		for i, gcfg := range geoms {
+			c, err := cache.New(gcfg)
+			if err != nil {
+				return nil, err
+			}
+			caches[i] = c
 		}
-		caches[i] = c
-	}
-	res, err := vm.Run(bd.Image, vm.Options{
-		Args:     input,
-		Caches:   caches,
-		MaxInsts: 3e8,
+		res, err := vm.Run(bd.Image, vm.Options{
+			Args:     input,
+			Caches:   caches,
+			MaxInsts: 3e8,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", bd.Bench.Name, err)
+		}
+		return &Run{Build: bd, Input: input, Result: res, Caches: caches}, nil
 	})
-	if err != nil {
-		return nil, fmt.Errorf("bench %s: %w", bd.Bench.Name, err)
-	}
-	run := &Run{Build: bd, Input: input, Result: res, Caches: caches}
-	mu.Lock()
-	runCache[key] = run
-	mu.Unlock()
-	return run, nil
 }
 
 // LoadStats extracts per-load (E(i), M(i,C)) pairs for cache index ci.

@@ -74,21 +74,30 @@ var (
 	Baseline = Config{SizeBytes: 8 * 1024, Assoc: 4, BlockBytes: 32}
 )
 
+// way is one cache line. tag1 holds the line's tag plus one, with zero
+// meaning invalid: folding the valid bit into the tag word makes the
+// hit scan a single compare per way. The +1 cannot overflow — a tag
+// occupies 32-tagShift bits, so tag+1 always fits in uint32.
 type way struct {
-	tag   uint32
-	valid bool
+	tag1  uint32
 	stamp uint64
 }
 
-// Cache is one simulated data cache.
+// Cache is one simulated data cache. The ways of all sets live in one
+// contiguous slice (set s occupies ways[s*assoc : (s+1)*assoc]) so an
+// access costs a single bounds-checked slice into flat memory rather
+// than a pointer chase through a per-set slice header — this is the
+// hottest data structure in the whole experiment pipeline.
 type Cache struct {
-	cfg       Config
-	sets      [][]way
-	setShift  uint
-	tagShift  uint
-	setMask   uint32
+	cfg      Config
+	ways     []way
+	assoc    int
+	lru      bool
+	setShift uint
+	tagShift uint
+	setMask  uint32
+	// clock ticks once per access, so it doubles as the access counter.
 	clock     uint64
-	accesses  uint64
 	misses    uint64
 	loadMiss  uint64
 	storeMiss uint64
@@ -100,14 +109,17 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	nsets := cfg.Sets()
-	c := &Cache{cfg: cfg, sets: make([][]way, nsets), setMask: uint32(nsets - 1)}
+	c := &Cache{
+		cfg:     cfg,
+		ways:    make([]way, nsets*cfg.Assoc),
+		assoc:   cfg.Assoc,
+		lru:     cfg.Repl == LRU,
+		setMask: uint32(nsets - 1),
+	}
 	for b := cfg.BlockBytes; b > 1; b >>= 1 {
 		c.setShift++
 	}
 	c.tagShift = c.setShift + uint(log2(nsets))
-	for i := range c.sets {
-		c.sets[i] = make([]way, cfg.Assoc)
-	}
 	return c, nil
 }
 
@@ -127,42 +139,65 @@ func (c *Cache) Config() Config { return c.cfg }
 // Write misses allocate (write-allocate policy).
 func (c *Cache) Access(addr uint32, isStore bool) bool {
 	c.clock++
-	c.accesses++
-	set := c.sets[(addr>>c.setShift)&c.setMask]
-	tag := addr >> c.tagShift
-	victim := 0
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
-			if c.cfg.Repl == LRU {
+	tag1 := (addr >> c.tagShift) + 1
+	si := int((addr >> c.setShift) & c.setMask)
+	if c.assoc == 1 {
+		// Direct-mapped fast path: one candidate way, no victim scan.
+		w := &c.ways[si]
+		if w.tag1 == tag1 {
+			if c.lru {
 				w.stamp = c.clock
 			}
 			return true
 		}
-		if !set[i].valid {
+		c.countMiss(isStore)
+		*w = way{tag1: tag1, stamp: c.clock}
+		return false
+	}
+	base := si * c.assoc
+	set := c.ways[base : base+c.assoc]
+	// Hit path first: a pure tag scan, no victim bookkeeping. Hits are
+	// the overwhelming majority of accesses, so the replacement logic
+	// below only runs when a line must actually be filled.
+	for i := range set {
+		w := &set[i]
+		if w.tag1 == tag1 {
+			if c.lru {
+				w.stamp = c.clock
+			}
+			return true
+		}
+	}
+	// Miss: prefer the last invalid way, else the smallest stamp (LRU
+	// victim under LRU stamping, oldest fill under FIFO).
+	victim := 0
+	for i := range set {
+		if set[i].tag1 == 0 {
 			victim = i
-		} else if set[victim].valid && set[i].stamp < set[victim].stamp {
+		} else if set[victim].tag1 != 0 && set[i].stamp < set[victim].stamp {
 			victim = i
 		}
 	}
+	c.countMiss(isStore)
+	set[victim] = way{tag1: tag1, stamp: c.clock}
+	return false
+}
+
+func (c *Cache) countMiss(isStore bool) {
 	c.misses++
 	if isStore {
 		c.storeMiss++
 	} else {
 		c.loadMiss++
 	}
-	set[victim] = way{tag: tag, valid: true, stamp: c.clock}
-	return false
 }
 
 // Reset invalidates every line and clears counters.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = way{}
-		}
+	for i := range c.ways {
+		c.ways[i] = way{}
 	}
-	c.clock, c.accesses, c.misses, c.loadMiss, c.storeMiss = 0, 0, 0, 0, 0
+	c.clock, c.misses, c.loadMiss, c.storeMiss = 0, 0, 0, 0
 }
 
 // Stats summarises activity since the last Reset.
@@ -175,7 +210,7 @@ type Stats struct {
 
 // Stats returns the activity counters.
 func (c *Cache) Stats() Stats {
-	return Stats{Accesses: c.accesses, Misses: c.misses, LoadMisses: c.loadMiss, StoreMisses: c.storeMiss}
+	return Stats{Accesses: c.clock, Misses: c.misses, LoadMisses: c.loadMiss, StoreMisses: c.storeMiss}
 }
 
 // MissRate returns misses/accesses, or 0 for an idle cache.

@@ -204,3 +204,124 @@ func TestPolicyString(t *testing.T) {
 		t.Error("policy names wrong")
 	}
 }
+
+// refCache is an obviously-correct model: one map per set from tag to
+// last-touch stamp (fill stamp under FIFO), evicting the smallest stamp
+// when full. Stamps are unique (the clock is strictly increasing), so
+// the victim is unambiguous and must match the flattened
+// implementation's choice exactly.
+type refCache struct {
+	cfg   Config
+	sets  []map[uint32]uint64
+	clock uint64
+}
+
+func newRef(cfg Config) *refCache {
+	r := &refCache{cfg: cfg, sets: make([]map[uint32]uint64, cfg.Sets())}
+	for i := range r.sets {
+		r.sets[i] = map[uint32]uint64{}
+	}
+	return r
+}
+
+func (r *refCache) access(addr uint32) bool {
+	r.clock++
+	block := addr / uint32(r.cfg.BlockBytes)
+	set := r.sets[block%uint32(r.cfg.Sets())]
+	tag := block / uint32(r.cfg.Sets())
+	if _, ok := set[tag]; ok {
+		if r.cfg.Repl == LRU {
+			set[tag] = r.clock
+		}
+		return true
+	}
+	if len(set) == r.cfg.Assoc {
+		var victim uint32
+		first := true
+		for tg, st := range set {
+			if first || st < set[victim] {
+				victim, first = tg, false
+			}
+		}
+		delete(set, victim)
+	}
+	set[tag] = r.clock
+	return false
+}
+
+// TestAgainstReferenceModel drives the production cache and the
+// reference model with the same pseudo-random access stream across
+// geometries (including direct-mapped, which takes the fast path) and
+// both policies, demanding an identical hit/miss sequence.
+func TestAgainstReferenceModel(t *testing.T) {
+	geoms := []Config{
+		{SizeBytes: 1024, Assoc: 1, BlockBytes: 32},
+		{SizeBytes: 1024, Assoc: 2, BlockBytes: 32},
+		{SizeBytes: 1024, Assoc: 4, BlockBytes: 16},
+		{SizeBytes: 2048, Assoc: 8, BlockBytes: 64},
+		{SizeBytes: 1024, Assoc: 4, BlockBytes: 16, Repl: FIFO},
+		{SizeBytes: 1024, Assoc: 1, BlockBytes: 32, Repl: FIFO},
+	}
+	for _, cfg := range geoms {
+		rng := rand.New(rand.NewSource(7))
+		c := MustNew(cfg)
+		r := newRef(cfg)
+		var misses uint64
+		for i := 0; i < 20000; i++ {
+			// A mix of hot working set and cold sweeps.
+			var addr uint32
+			switch rng.Intn(3) {
+			case 0:
+				addr = uint32(rng.Intn(16)) * 32
+			case 1:
+				addr = uint32(rng.Intn(4096))
+			default:
+				addr = uint32(i * 8)
+			}
+			store := rng.Intn(4) == 0
+			got := c.Access(addr, store)
+			want := r.access(addr)
+			if got != want {
+				t.Fatalf("%v: access %d addr %#x: got hit=%v, reference %v",
+					cfg, i, addr, got, want)
+			}
+			if !want {
+				misses++
+			}
+		}
+		st := c.Stats()
+		if st.Misses != misses || st.Accesses != 20000 {
+			t.Errorf("%v: stats %+v, want misses=%d accesses=20000", cfg, st, misses)
+		}
+		if st.LoadMisses+st.StoreMisses != st.Misses {
+			t.Errorf("%v: load+store misses != misses: %+v", cfg, st)
+		}
+	}
+}
+
+// TestDirectMappedFastPath pins the assoc=1 specialisation against the
+// general path semantics: conflict eviction and write-allocate.
+func TestDirectMappedFastPath(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 1024, Assoc: 1, BlockBytes: 32})
+	sets := uint32(32)
+	a, b := uint32(0), 32*sets // same set, different tags
+	if c.Access(a, false) {
+		t.Error("cold hit")
+	}
+	if !c.Access(a, false) {
+		t.Error("warm miss")
+	}
+	if c.Access(b, true) {
+		t.Error("conflicting tag hit")
+	}
+	if c.Access(a, false) {
+		t.Error("evicted line still present")
+	}
+	if !c.Access(a, false) {
+		t.Error("refilled line missing")
+	}
+	st := c.Stats()
+	if st.Accesses != 5 || st.Misses != 3 || st.StoreMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

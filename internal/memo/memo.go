@@ -1,0 +1,147 @@
+// Package memo provides a keyed, singleflight-style result cache: the
+// concurrency backbone of the experiment engine. Concurrent callers of
+// Do with the same key share one in-flight computation — the first
+// caller runs it, later callers block until it finishes — so an
+// expensive simulation is never duplicated and never serialised behind
+// an unrelated one.
+package memo
+
+import "sync"
+
+// Cache memoises the results of keyed computations.
+//
+// Semantics:
+//
+//   - Successful results are retained until Reset; later calls return
+//     them immediately (a "hit").
+//   - Errors are delivered to every caller waiting on the flight that
+//     produced them but are not retained: the next Do for that key
+//     recomputes.
+//   - Reset detaches in-flight computations. Their callers still receive
+//     the eventual result, but the result is not retained, and a Do
+//     issued after the Reset starts a fresh computation even for the
+//     same key.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	entries  map[string]*entry[V]
+	hits     uint64
+	misses   uint64
+	joined   uint64
+	errors   uint64
+	inflight int
+}
+
+type entry[V any] struct {
+	done chan struct{} // closed when the computation finishes
+	val  V
+	err  error
+	// complete is guarded by Cache.mu; val and err are written by the
+	// computing goroutine before complete is set (and before done is
+	// closed), so both the hit path and joined waiters observe them.
+	complete bool
+}
+
+// Stats is a snapshot of the cache's activity counters.
+type Stats struct {
+	// Hits counts calls answered from a completed entry.
+	Hits uint64
+	// Misses counts computations started: for a given key set, "misses
+	// equals distinct keys" is the exactly-once property.
+	Misses uint64
+	// Joined counts callers that waited on another caller's in-flight
+	// computation instead of starting their own.
+	Joined uint64
+	// Errors counts computations that finished with an error (and were
+	// therefore not retained).
+	Errors uint64
+	// Entries is the number of completed results currently retained.
+	Entries int
+	// Inflight is the number of computations currently running.
+	Inflight int
+}
+
+// Do returns the memoised value for key, computing it with fn if
+// needed. Concurrent calls with the same key share one fn invocation.
+func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = map[string]*entry[V]{}
+	}
+	if e, ok := c.entries[key]; ok {
+		if e.complete {
+			c.hits++
+			c.mu.Unlock()
+			return e.val, e.err
+		}
+		c.joined++
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.inflight++
+	c.mu.Unlock()
+
+	e.val, e.err = fn()
+
+	c.mu.Lock()
+	e.complete = true
+	c.inflight--
+	if e.err != nil {
+		c.errors++
+	}
+	// Drop failed computations so the next Do retries — but only if this
+	// entry is still the one registered for the key: a Reset during the
+	// computation detaches it, and a newer flight may own the slot now.
+	if e.err != nil && c.entries[key] == e {
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+	close(e.done)
+	return e.val, e.err
+}
+
+// Get returns the completed value for key without computing, and
+// whether one is retained.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && e.complete && e.err == nil {
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Reset drops every retained result and zeroes the activity counters
+// (except Inflight, which tracks live computations). In-flight
+// computations are detached: they complete and answer their waiters,
+// but their results are not retained.
+func (c *Cache[V]) Reset() {
+	c.mu.Lock()
+	c.entries = map[string]*entry[V]{}
+	c.hits, c.misses, c.joined, c.errors = 0, 0, 0, 0
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the activity counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.entries {
+		if e.complete {
+			n++
+		}
+	}
+	return Stats{
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Joined:   c.joined,
+		Errors:   c.errors,
+		Entries:  n,
+		Inflight: c.inflight,
+	}
+}

@@ -1,0 +1,183 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoMemoises(t *testing.T) {
+	var c Cache[int]
+	calls := 0
+	fn := func() (int, error) { calls++; return 42, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.Do("k", fn)
+		if err != nil || v != 42 {
+			t.Fatalf("Do = %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if v, ok := c.Get("k"); !ok || v != 42 {
+		t.Errorf("Get = %v, %v", v, ok)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Error("Get(absent) succeeded")
+	}
+}
+
+// TestSingleflight launches many goroutines on one key while the first
+// computation is deliberately held open: exactly one fn invocation, the
+// rest join it.
+func TestSingleflight(t *testing.T) {
+	var c Cache[int]
+	const n = 16
+	var calls atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fn := func() (int, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return 7, nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if v, _ := c.Do("k", fn); v != 7 {
+			t.Errorf("leader got %d", v)
+		}
+	}()
+	<-started // the leader is inside fn; everyone else must join
+
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Do("k", func() (int, error) {
+				t.Error("second computation started")
+				return 0, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("joiner got %v, %v", v, err)
+			}
+		}()
+	}
+	// Wait until every joiner is accounted for, then let the flight finish.
+	for c.Stats().Joined != n {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want 1", got)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Joined != n || st.Inflight != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestErrorsNotRetained: a failed computation is delivered but the next
+// Do retries.
+func TestErrorsNotRetained(t *testing.T) {
+	var c Cache[int]
+	boom := errors.New("boom")
+	calls := 0
+	fn := func() (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, boom
+		}
+		return 9, nil
+	}
+	if _, err := c.Do("k", fn); !errors.Is(err, boom) {
+		t.Fatalf("first Do err = %v", err)
+	}
+	if v, err := c.Do("k", fn); err != nil || v != 9 {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+	st := c.Stats()
+	if st.Errors != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestResetDetachesInflight: a Reset issued while a computation is
+// running leaves that computation to answer its own callers, while a
+// post-Reset Do for the same key starts fresh.
+func TestResetDetachesInflight(t *testing.T) {
+	var c Cache[string]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan string)
+	go func() {
+		v, _ := c.Do("k", func() (string, error) {
+			close(started)
+			<-release
+			return "old", nil
+		})
+		done <- v
+	}()
+	<-started
+	c.Reset()
+
+	// The detached flight is no longer visible: a new Do recomputes.
+	recompute := make(chan string)
+	go func() {
+		v, _ := c.Do("k", func() (string, error) { return "new", nil })
+		recompute <- v
+	}()
+	if v := <-recompute; v != "new" {
+		t.Errorf("post-reset Do = %q, want \"new\"", v)
+	}
+	close(release)
+	if v := <-done; v != "old" {
+		t.Errorf("detached caller got %q, want \"old\"", v)
+	}
+	// Only the post-reset result is retained.
+	if v, ok := c.Get("k"); !ok || v != "new" {
+		t.Errorf("retained = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Inflight != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestConcurrentMixedKeys hammers the cache from many goroutines over a
+// small key space under the race detector.
+func TestConcurrentMixedKeys(t *testing.T) {
+	var c Cache[int]
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%5)
+				want := i % 5
+				v, err := c.Do(key, func() (int, error) { return want, nil })
+				if err != nil || v != want {
+					t.Errorf("Do(%s) = %v, %v", key, v, err)
+					return
+				}
+				if g == 0 && i%50 == 0 {
+					c.Reset()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

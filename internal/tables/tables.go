@@ -6,8 +6,10 @@
 package tables
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -128,6 +130,125 @@ func Load(b *bench.Benchmark, optimize, input2 bool) (*Ctx, error) {
 // Stats returns the per-load statistics under geometry gi.
 func (c *Ctx) Stats(gi int) []metrics.LoadStat { return c.Run.LoadStats(gi) }
 
+// --- parallel experiment engine ----------------------------------------------------
+
+// Combo is one unit of experimental work: a (benchmark, optimize,
+// input, geometry bundle) combination to compile and simulate.
+type Combo struct {
+	Bench    *bench.Benchmark
+	Optimize bool
+	Input2   bool
+	Geoms    []cache.Config
+}
+
+// run compiles and simulates the combo (memoised end to end).
+func (cb Combo) run() (*bench.Run, error) {
+	bd, err := bench.Compile(cb.Bench, cb.Optimize)
+	if err != nil {
+		return nil, err
+	}
+	input := cb.Bench.Input1
+	if cb.Input2 {
+		input = cb.Bench.Input2
+	}
+	return bench.Simulate(bd, input, cb.Geoms)
+}
+
+// AllCombos lists every combination a full table sweep (IDs 1-14 and
+// S1-S3) simulates: all benchmarks unoptimised on Input 1; the training
+// set additionally on Input 2, optimised on Input 1, and under the
+// block-size sweep geometries of Table S3. Nothing outside this closure
+// is simulated by any table, so preloading it warms the caches exactly.
+func AllCombos() []Combo {
+	var out []Combo
+	for _, b := range bench.All() {
+		out = append(out, Combo{Bench: b, Geoms: StdGeoms})
+	}
+	for _, b := range bench.Training() {
+		out = append(out, Combo{Bench: b, Input2: true, Geoms: StdGeoms})
+	}
+	for _, b := range bench.Training() {
+		out = append(out, Combo{Bench: b, Optimize: true, Geoms: StdGeoms})
+	}
+	for _, b := range bench.Training() {
+		out = append(out, Combo{Bench: b, Geoms: blockGeoms})
+	}
+	return out
+}
+
+// TrainingCombos lists the combinations the learning phase needs:
+// unoptimised training benchmarks on Input 1 with the standard geometry
+// bundle.
+func TrainingCombos() []Combo {
+	var out []Combo
+	for _, b := range bench.Training() {
+		out = append(out, Combo{Bench: b, Geoms: StdGeoms})
+	}
+	return out
+}
+
+// Preload warms the compile/simulate memo caches for the given combos
+// (every combo of AllCombos when nil) with a pool of workers
+// goroutines; workers <= 0 means GOMAXPROCS. The singleflight memo
+// layer underneath guarantees each distinct combination is compiled and
+// simulated exactly once no matter how the pool schedules duplicates.
+// All combos are attempted even if some fail; the joined errors are
+// returned.
+func Preload(workers int, combos []Combo) error {
+	if combos == nil {
+		combos = AllCombos()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(combos) {
+		workers = len(combos)
+	}
+	if len(combos) == 0 {
+		return nil
+	}
+	ch := make(chan Combo)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for cb := range ch {
+				if _, err := cb.run(); err != nil && errs[w] == nil {
+					errs[w] = err
+				}
+			}
+		}(w)
+	}
+	for _, cb := range combos {
+		ch <- cb
+	}
+	close(ch)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// RenderAll renders every table (IDs order) to w, first warming the
+// simulation caches with a workers-wide Preload so the serial rendering
+// pass only reads memoised results. The output is byte-identical to
+// rendering each table serially from cold.
+func RenderAll(w io.Writer, workers int) error {
+	if err := Preload(workers, nil); err != nil {
+		return err
+	}
+	for _, id := range IDs() {
+		t, err := ByID(id)
+		if err != nil {
+			return err
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Heuristic scores every load with the given configuration.
 func (c *Ctx) Heuristic(cfg classify.Config) []*classify.Scored {
 	return classify.Score(c.Build.Loads, c.Run, cfg)
@@ -156,28 +277,50 @@ func (c *Ctx) Scores(cfg classify.Config) map[uint32]float64 {
 // --- trained weights ----------------------------------------------------------
 
 var (
-	trainOnce   sync.Once
+	trainMu     sync.Mutex
+	trained     bool
 	trainReport *train.Report
 	trainErr    error
 )
 
 // TrainedReport runs (once) the full training phase over the 11 training
 // benchmarks under the training cache geometry and returns the report.
+// Concurrent first callers block on the single training run.
 func TrainedReport() (*train.Report, error) {
-	trainOnce.Do(func() {
+	trainMu.Lock()
+	defer trainMu.Unlock()
+	if !trained {
 		samples, err := TrainingSamples()
 		if err != nil {
 			trainErr = err
-			return
+		} else {
+			trainReport = train.Train(samples, train.DefaultConfig())
 		}
-		trainReport = train.Train(samples, train.DefaultConfig())
-	})
+		trained = true
+	}
 	return trainReport, trainErr
 }
 
+// ResetTraining drops the memoised training report so the learning
+// phase reruns (testing and benchmark hook; pair with bench.ResetCache
+// for a fully cold pipeline). Safe to call concurrently with
+// TrainedReport: a training run already in progress completes first
+// (the reset blocks on it), then the memo is cleared.
+func ResetTraining() {
+	trainMu.Lock()
+	trained = false
+	trainReport, trainErr = nil, nil
+	trainMu.Unlock()
+}
+
 // TrainingSamples builds the per-benchmark training data (Section 6's
-// learning phase: unoptimised binaries, Input1, training cache).
+// learning phase: unoptimised binaries, Input1, training cache). The
+// simulations are warmed by a concurrent Preload; the sample assembly
+// that follows is serial and deterministic.
 func TrainingSamples() ([]train.Sample, error) {
+	if err := Preload(0, TrainingCombos()); err != nil {
+		return nil, err
+	}
 	var samples []train.Sample
 	for _, b := range bench.Training() {
 		ctx, err := Load(b, false, false)

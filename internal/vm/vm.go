@@ -87,10 +87,23 @@ type machine struct {
 	cc     bool
 	pc     uint32
 	pages  map[uint32][]byte
-	brk    uint32
-	out    strings.Builder
-	opts   Options
-	res    *Result
+	// One-entry page translation cache: the vast majority of data
+	// accesses land on the page of the previous access, so this skips
+	// the map lookup on the hot path. Pages are never unmapped, so the
+	// cached slice can never go stale.
+	lastBase uint32
+	lastPage []byte
+	brk      uint32
+	out      strings.Builder
+	opts     Options
+	res      *Result
+	// Hot-path copies of Options fields, hoisted out of the step loop:
+	// caches is the attached cache list, miss0 is LoadMisses[0] when
+	// exactly one cache is attached (the single-cache fast path), and
+	// onAccess is the observation hook (nil when unused).
+	caches   []*cache.Cache
+	miss0    []int64
+	onAccess func(pc, addr uint32, store bool)
 }
 
 // Run executes the image to completion.
@@ -119,6 +132,11 @@ func Run(img *obj.Image, opts Options) (*Result, error) {
 	for range opts.Caches {
 		m.res.LoadMisses = append(m.res.LoadMisses, make([]int64, len(img.Text)))
 	}
+	m.caches = opts.Caches
+	m.onAccess = opts.OnAccess
+	if len(opts.Caches) == 1 {
+		m.miss0 = m.res.LoadMisses[0]
+	}
 	// Initialise static data.
 	for i, b := range img.Data {
 		m.pageFor(obj.DataBase + uint32(i))[(obj.DataBase+uint32(i))%pageSize] = b
@@ -143,11 +161,15 @@ func (m *machine) fault(format string, args ...any) error {
 
 func (m *machine) pageFor(addr uint32) []byte {
 	base := addr &^ (pageSize - 1)
+	if m.lastPage != nil && base == m.lastBase {
+		return m.lastPage
+	}
 	p, ok := m.pages[base]
 	if !ok {
 		p = make([]byte, pageSize)
 		m.pages[base] = p
 	}
+	m.lastBase, m.lastPage = base, p
 	return p
 }
 
@@ -157,13 +179,20 @@ func (m *machine) access(pc uint32, addr uint32, isStore bool) {
 	if !isStore {
 		m.res.LoadAccesses[idx]++
 	}
-	for c, ch := range m.opts.Caches {
-		if !ch.Access(addr, isStore) && !isStore {
-			m.res.LoadMisses[c][idx]++
+	if m.miss0 != nil {
+		// Single attached cache: no slice-of-slices indexing per access.
+		if !m.caches[0].Access(addr, isStore) && !isStore {
+			m.miss0[idx]++
+		}
+	} else {
+		for c, ch := range m.caches {
+			if !ch.Access(addr, isStore) && !isStore {
+				m.res.LoadMisses[c][idx]++
+			}
 		}
 	}
-	if m.opts.OnAccess != nil {
-		m.opts.OnAccess(pc, addr, isStore)
+	if m.onAccess != nil {
+		m.onAccess(pc, addr, isStore)
 	}
 }
 

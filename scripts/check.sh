@@ -1,0 +1,33 @@
+#!/bin/sh
+# Full local gate: formatting, vet, build, tests (plain and -race), and a
+# benchmark smoke run. Any failure, including unformatted files, fails
+# the script. Run from the repository root (or via `make check`).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== bench smoke"
+# One iteration of the cheap benchmarks: enough to catch a broken
+# benchmark without paying for a full measurement run.
+go test -run '^$' -bench 'BenchmarkCacheAccess' -benchtime 1x ./...
+
+echo "OK"
