@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check bench tables fmt
+.PHONY: build test race check bench tables fmt difftest fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,20 @@ bench:
 
 tables:
 	$(GO) run ./cmd/delinq table all
+
+# difftest runs the three-way differential oracle (AST interpreter vs
+# -O0-compiled vs -O-compiled execution) over 1000 generated programs.
+difftest:
+	$(GO) run ./cmd/delinq difftest -n 1000 -seed 1
+
+# fuzz-smoke gives every native fuzz target a short time-boxed run; the
+# committed corpora under testdata/fuzz/ also run as part of `make test`.
+fuzz-smoke:
+	$(GO) test -fuzz '^FuzzParse$$' -fuzztime 5s -run '^$$' ./internal/minic
+	$(GO) test -fuzz '^FuzzCompile$$' -fuzztime 5s -run '^$$' ./internal/minic
+	$(GO) test -fuzz '^FuzzAssemble$$' -fuzztime 5s -run '^$$' ./internal/asm
+	$(GO) test -fuzz '^FuzzAsmRoundTrip$$' -fuzztime 5s -run '^$$' ./internal/disasm
+	$(GO) test -fuzz '^FuzzDecodeImage$$' -fuzztime 5s -run '^$$' ./internal/obj
 
 fmt:
 	gofmt -w .

@@ -15,6 +15,7 @@
 //	delinq train                                 print the training report
 //	delinq table [-j N] [-v] <1-14|S1|all>       regenerate a paper table
 //	delinq bench                                 list the benchmark suite
+//	delinq difftest [-n N] [-seed S] [-v]        three-way differential test
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"delinq/internal/cache"
 	"delinq/internal/classify"
 	"delinq/internal/core"
+	"delinq/internal/difftest"
 	"delinq/internal/metrics"
 	"delinq/internal/obj"
 	"delinq/internal/tables"
@@ -63,6 +65,8 @@ func main() {
 		err = cmdTable(os.Args[2:])
 	case "bench":
 		err = cmdBench()
+	case "difftest":
+		err = cmdDifftest(os.Args[2:])
 	default:
 		usage()
 	}
@@ -83,7 +87,8 @@ func usage() {
   trace [-o t.bin] prog.img [args]  collect a memory trace, then replay it
   train                             run the training phase, print weights
   table [-j N] [-v] <1-14|S1|all>   regenerate a table (S1 = extension)
-  bench                             list the benchmark suite`)
+  bench                             list the benchmark suite
+  difftest [-n N] [-seed S] [-v]    random programs: interp vs -O0 vs -O`)
 	os.Exit(2)
 }
 
@@ -400,6 +405,43 @@ func cmdTable(args []string) error {
 			rs.Hits, rs.Misses, rs.Joined, rs.Errors)
 	}
 	return err
+}
+
+// cmdDifftest runs the three-way differential oracle: every generated
+// program must behave identically on the AST interpreter, the -O0
+// pipeline, and the -O pipeline.
+func cmdDifftest(args []string) error {
+	fs := flag.NewFlagSet("difftest", flag.ExitOnError)
+	n := fs.Int("n", 200, "number of random programs to check")
+	seed := fs.Int64("seed", 1, "base seed; program k uses seed+k")
+	verbose := fs.Bool("v", false, "print progress and full failing sources")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("difftest takes no positional arguments")
+	}
+	if *n <= 0 {
+		return fmt.Errorf("difftest -n wants a positive count")
+	}
+	opts := difftest.Options{N: *n, Seed: *seed}
+	if *verbose {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "difftest: %d/%d\n", done, total)
+		}
+	}
+	sum := difftest.Run(opts)
+	for _, f := range sum.Failures {
+		fmt.Printf("seed %d: %s\n", f.Seed, f.Reason)
+		if *verbose {
+			fmt.Printf("--- source ---\n%s\n", f.Src)
+		}
+	}
+	fmt.Printf("difftest: %d programs, %d disagreements\n", sum.Programs, len(sum.Failures))
+	if len(sum.Failures) > 0 {
+		return fmt.Errorf("%d of %d programs disagree", len(sum.Failures), sum.Programs)
+	}
+	return nil
 }
 
 func cmdBench() error {

@@ -135,3 +135,39 @@ func TestCLITrace(t *testing.T) {
 	}
 	_ = out
 }
+
+func TestCLIDifftest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+
+	out, err := exec.Command(bin, "difftest", "-n", "25", "-seed", "3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("difftest: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "difftest: 25 programs, 0 disagreements") {
+		t.Errorf("unexpected difftest summary:\n%s", out)
+	}
+
+	// Same seed, verbose: progress goes to stderr, summary stays put.
+	out, err = exec.Command(bin, "difftest", "-n", "5", "-seed", "3", "-v").CombinedOutput()
+	if err != nil {
+		t.Fatalf("difftest -v: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "5 programs") {
+		t.Errorf("difftest -v lost the summary:\n%s", out)
+	}
+
+	// Error paths exit non-zero.
+	for _, args := range [][]string{
+		{"difftest", "-n", "0"},
+		{"difftest", "-n", "-3"},
+		{"difftest", "stray-positional"},
+		{"difftest", "-bogus-flag"},
+	} {
+		if err := exec.Command(bin, args...).Run(); err == nil {
+			t.Errorf("%v succeeded, want non-zero exit", args)
+		}
+	}
+}

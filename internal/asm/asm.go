@@ -35,6 +35,10 @@ const (
 	segData
 )
 
+// maxSpace caps a single .space reservation so a malformed or hostile
+// source line cannot allocate an arbitrarily large data segment.
+const maxSpace = 1 << 26
+
 // stmt is one parsed source statement.
 type stmt struct {
 	line   int
@@ -333,7 +337,7 @@ func (a *assembler) dataDirective(s *stmt) error {
 			return a.errf(s.line, ".space needs one operand")
 		}
 		n, err := parseInt(s.args[0])
-		if err != nil || n < 0 {
+		if err != nil || n < 0 || n > maxSpace {
 			return a.errf(s.line, "bad .space size %q", s.args[0])
 		}
 		a.data = append(a.data, make([]byte, n)...)

@@ -1,0 +1,53 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpaceCap: a .space size beyond the cap must be a diagnostic, not a
+// multi-gigabyte allocation.
+func TestSpaceCap(t *testing.T) {
+	for _, size := range []string{"999999999999", "67108865", "-1", "zz"} {
+		src := ".data\nbuf: .space " + size + "\n"
+		if _, err := Assemble(src); err == nil {
+			t.Errorf(".space %s accepted", size)
+		}
+	}
+	img, err := Assemble(".data\nbuf: .space 16\n.text\nmain:\njr $ra\n")
+	if err != nil {
+		t.Fatalf("modest .space rejected: %v", err)
+	}
+	if len(img.Data) < 16 {
+		t.Fatalf("data segment %d bytes, want >= 16", len(img.Data))
+	}
+}
+
+// FuzzAssemble feeds arbitrary text to the assembler: bad input must
+// surface as an error, never a panic or a runaway allocation.
+func FuzzAssemble(f *testing.F) {
+	for _, s := range []string{
+		".text\nmain:\nli $t0, 5\njr $ra\n",
+		".data\nx: .word 1, 2, 3\ns: .asciiz \"hi\"\n.text\nmain:\nlw $t0, x\njr $ra\n",
+		".text\n.func main\nmain:\naddiu $sp, $sp, -16\n.endfunc\n",
+		".data\nbuf: .space 64\n.align 3\n",
+		".text\nmain:\nbeq $t0, $t1, main\nnop\n",
+		".word",
+		"garbage here",
+		".space 1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		img, err := Assemble(src)
+		if err == nil && img == nil {
+			t.Fatal("Assemble returned nil image without error")
+		}
+		if err != nil && !strings.Contains(err.Error(), "asm:") {
+			t.Fatalf("diagnostic %q lacks asm: prefix", err)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package disasm
+
+import (
+	"testing"
+
+	"delinq/internal/asm"
+	"delinq/internal/isa"
+)
+
+// FuzzAsmRoundTrip checks the assembler/disassembler contract on
+// arbitrary source text: any program the assembler accepts must
+// disassemble cleanly, and re-encoding every decoded instruction must
+// reproduce the exact text words the assembler emitted.
+func FuzzAsmRoundTrip(f *testing.F) {
+	for _, s := range []string{
+		".text\nmain:\nli $t0, 5\nsw $t0, 0($sp)\nlw $t1, 0($sp)\njr $ra\n",
+		".data\ng: .word 42\n.text\nmain:\nlw $t0, g\naddiu $t0, $t0, 1\njr $ra\n",
+		".text\n.func f\nf:\nmul $v0, $a0, $a0\njr $ra\n.endfunc\nmain:\njal f\nnop\njr $ra\n",
+		".text\nmain:\nl.s $f0, 0($sp)\nadd.s $f0, $f0, $f0\ns.s $f0, 0($sp)\njr $ra\n",
+		".text\nmain:\nbeq $zero, $zero, done\nnop\ndone:\nsyscall\n",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		img, err := asm.Assemble(src)
+		if err != nil {
+			return
+		}
+		prog, err := Disassemble(img)
+		if err != nil {
+			t.Fatalf("assembled image fails to disassemble: %v\n--- source ---\n%s", err, src)
+		}
+		for _, fn := range prog.Funcs {
+			for i, in := range fn.Insts {
+				word, err := isa.Encode(in)
+				if err != nil {
+					t.Fatalf("%s+%#x: decoded %v does not re-encode: %v", fn.Name, i*4, in, err)
+				}
+				orig, ok := img.Word(fn.PC(i))
+				if !ok {
+					t.Fatalf("%s+%#x: PC outside text", fn.Name, i*4)
+				}
+				if word != orig {
+					t.Fatalf("%s+%#x: re-encode %#08x != original %#08x (%v)",
+						fn.Name, i*4, word, orig, in)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,505 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"delinq/internal/minic"
+	"delinq/internal/obj"
+)
+
+// decay converts array types to pointers to their element, as every
+// rvalue use of an array does.
+func decay(t *obj.Type) *obj.Type {
+	if t != nil && t.Kind == obj.KindArray {
+		return obj.PointerTo(t.Elem)
+	}
+	return t
+}
+
+// addr computes the address of an lvalue, with the side-effect order of
+// genAddr: index expressions evaluate base then index.
+func (m *machine) addr(e minic.Expr, sp uint32) (uint32, error) {
+	switch x := e.(type) {
+	case *minic.Ident:
+		sym := x.Sym
+		if sym.Global {
+			return m.gaddr[sym.Label], nil
+		}
+		return sp + uint32(m.offsets[sym]), nil
+
+	case *minic.Unary:
+		if x.Op != minic.Star {
+			return 0, m.fault("internal: address of unary %v", x.Op)
+		}
+		v, err := m.eval(x.X, sp)
+		if err != nil {
+			return 0, err
+		}
+		return uint32(v.i), nil
+
+	case *minic.Index:
+		base, err := m.eval(x.X, sp)
+		if err != nil {
+			return 0, err
+		}
+		idx, err := m.eval(x.I, sp)
+		if err != nil {
+			return 0, err
+		}
+		// Scaling is a wrapping int32 multiply (sll or mul).
+		return uint32(base.i + idx.i*int32(x.Type().Size())), nil
+
+	case *minic.Member:
+		var base int32
+		if x.Arrow {
+			v, err := m.eval(x.X, sp)
+			if err != nil {
+				return 0, err
+			}
+			base = v.i
+		} else {
+			a, err := m.addr(x.X, sp)
+			if err != nil {
+				return 0, err
+			}
+			base = int32(a)
+		}
+		return uint32(base + int32(x.Field.Offset)), nil
+	}
+	return 0, m.fault("internal: address of %T", e)
+}
+
+func (m *machine) eval(e minic.Expr, sp uint32) (val, error) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return val{i: int32(x.Val)}, nil
+
+	case *minic.FloatLit:
+		return val{f: float32(x.Val), flt: true}, nil
+
+	case *minic.StrLit:
+		return val{i: int32(m.gaddr[x.Label])}, nil
+
+	case *minic.SizeofExpr:
+		return val{i: int32(x.Of.Size())}, nil
+
+	case *minic.Ident:
+		sym := x.Sym
+		a, err := m.addr(x, sp)
+		if err != nil {
+			return val{}, err
+		}
+		if sym.Ty.IsAggregate() {
+			return val{i: int32(a)}, nil
+		}
+		return m.loadMem(a, sym.Ty)
+
+	case *minic.Index, *minic.Member:
+		a, err := m.addr(e, sp)
+		if err != nil {
+			return val{}, err
+		}
+		if e.Type().IsAggregate() {
+			return val{i: int32(a)}, nil
+		}
+		return m.loadMem(a, e.Type())
+
+	case *minic.Unary:
+		return m.evalUnary(x, sp)
+
+	case *minic.Binary:
+		return m.evalBinary(x, sp)
+
+	case *minic.AssignExpr:
+		return m.evalAssign(x, sp)
+
+	case *minic.Call:
+		return m.evalCall(x, sp)
+	}
+	return val{}, fmt.Errorf("interp: unknown expression %T", e)
+}
+
+func (m *machine) evalUnary(x *minic.Unary, sp uint32) (val, error) {
+	switch x.Op {
+	case minic.Star:
+		v, err := m.eval(x.X, sp)
+		if err != nil {
+			return val{}, err
+		}
+		if x.Type().IsAggregate() {
+			return v, nil
+		}
+		return m.loadMem(uint32(v.i), x.Type())
+
+	case minic.Amp:
+		a, err := m.addr(x.X, sp)
+		if err != nil {
+			return val{}, err
+		}
+		return val{i: int32(a)}, nil
+
+	case minic.Minus:
+		v, err := m.eval(x.X, sp)
+		if err != nil {
+			return val{}, err
+		}
+		if v.flt {
+			return val{f: -v.f, flt: true}, nil
+		}
+		return val{i: -v.i}, nil
+
+	case minic.Not:
+		v, err := m.eval(x.X, sp)
+		if err != nil {
+			return val{}, err
+		}
+		// Float operands are truncated to int first (cvt.w.s), unlike
+		// statement conditions.
+		if v.flt {
+			v = val{i: int32(v.f)}
+		}
+		return val{i: b2i(v.i == 0)}, nil
+
+	case minic.Tilde:
+		v, err := m.eval(x.X, sp)
+		if err != nil {
+			return val{}, err
+		}
+		return val{i: ^v.i}, nil
+
+	case minic.Inc, minic.Dec:
+		delta := int32(1)
+		if t := decay(x.X.Type()); t.IsPointer() {
+			delta = int32(t.Elem.Size())
+		}
+		if x.Op == minic.Dec {
+			delta = -delta
+		}
+		a, err := m.addr(x.X, sp)
+		if err != nil {
+			return val{}, err
+		}
+		t := x.X.Type()
+		old, err := m.loadMem(a, t)
+		if err != nil {
+			return val{}, err
+		}
+		now := val{i: old.i + delta}
+		if err := m.storeMem(a, t, now); err != nil {
+			return val{}, err
+		}
+		if x.Postfix {
+			return old, nil
+		}
+		return now, nil
+	}
+	return val{}, m.fault("internal: unary %v", x.Op)
+}
+
+func (m *machine) evalBinary(x *minic.Binary, sp uint32) (val, error) {
+	if x.Op == minic.AndAnd || x.Op == minic.OrOr {
+		return m.evalLogical(x, sp)
+	}
+	lv, err := m.eval(x.X, sp)
+	if err != nil {
+		return val{}, err
+	}
+	rv, err := m.eval(x.Y, sp)
+	if err != nil {
+		return val{}, err
+	}
+	lt, rt := decay(x.X.Type()), decay(x.Y.Type())
+
+	if (lt.Kind == obj.KindFloat || rt.Kind == obj.KindFloat) &&
+		!lt.IsPointer() && !rt.IsPointer() {
+		lv = convert(lv, lt, obj.TypeFloat)
+		rv = convert(rv, rt, obj.TypeFloat)
+		return m.evalFloatBinary(x.Op, lv.f, rv.f)
+	}
+
+	a, b := lv.i, rv.i
+	switch x.Op {
+	case minic.Plus, minic.Minus:
+		switch {
+		case lt.IsPointer() && !rt.IsPointer():
+			b *= int32(lt.Elem.Size())
+		case x.Op == minic.Plus && !lt.IsPointer() && rt.IsPointer():
+			a *= int32(rt.Elem.Size())
+		case x.Op == minic.Minus && lt.IsPointer() && rt.IsPointer():
+			d := a - b
+			sz := lt.Elem.Size()
+			if sz > 1 {
+				if sz&(sz-1) == 0 {
+					// sra: arithmetic shift, not division — they differ
+					// on negative deltas, and the interpreter must match
+					// the instruction the compiler emits.
+					d >>= uint(log2i(sz))
+				} else {
+					d /= int32(sz)
+				}
+			}
+			return val{i: d}, nil
+		}
+		if x.Op == minic.Minus {
+			return val{i: a - b}, nil
+		}
+		return val{i: a + b}, nil
+	case minic.Star:
+		return val{i: a * b}, nil
+	case minic.Slash:
+		if b == 0 {
+			return val{}, m.fault("integer division by zero")
+		}
+		return val{i: a / b}, nil
+	case minic.Percent:
+		if b == 0 {
+			return val{}, m.fault("integer division by zero")
+		}
+		return val{i: a % b}, nil
+	case minic.Amp:
+		return val{i: a & b}, nil
+	case minic.Pipe:
+		return val{i: a | b}, nil
+	case minic.Caret:
+		return val{i: a ^ b}, nil
+	case minic.Shl:
+		return val{i: a << uint(b&31)}, nil
+	case minic.Shr:
+		return val{i: a >> uint(b&31)}, nil
+	case minic.Lt:
+		return val{i: b2i(a < b)}, nil
+	case minic.Gt:
+		return val{i: b2i(b < a)}, nil
+	case minic.Le:
+		return val{i: b2i(a <= b)}, nil
+	case minic.Ge:
+		return val{i: b2i(a >= b)}, nil
+	case minic.Eq:
+		return val{i: b2i(a == b)}, nil
+	case minic.Ne:
+		return val{i: b2i(a != b)}, nil
+	}
+	return val{}, m.fault("internal: binary %v", x.Op)
+}
+
+func (m *machine) evalFloatBinary(op minic.TokKind, a, b float32) (val, error) {
+	switch op {
+	case minic.Plus:
+		return val{f: a + b, flt: true}, nil
+	case minic.Minus:
+		return val{f: a - b, flt: true}, nil
+	case minic.Star:
+		return val{f: a * b, flt: true}, nil
+	case minic.Slash:
+		// div.s has no zero check: IEEE infinities and NaNs propagate.
+		return val{f: a / b, flt: true}, nil
+	case minic.Eq:
+		return val{i: b2i(a == b)}, nil
+	case minic.Ne:
+		return val{i: b2i(!(a == b))}, nil
+	case minic.Lt:
+		return val{i: b2i(a < b)}, nil
+	case minic.Le:
+		return val{i: b2i(a <= b)}, nil
+	case minic.Gt:
+		return val{i: b2i(b < a)}, nil
+	case minic.Ge:
+		return val{i: b2i(b <= a)}, nil
+	}
+	return val{}, m.fault("internal: float binary %v", op)
+}
+
+// evalLogical short-circuits && and ||, truncating float operands to
+// int (cvt.w.s) before the zero test, as genLogical does.
+func (m *machine) evalLogical(x *minic.Binary, sp uint32) (val, error) {
+	lv, err := m.eval(x.X, sp)
+	if err != nil {
+		return val{}, err
+	}
+	if lv.flt {
+		lv = val{i: int32(lv.f)}
+	}
+	a := lv.i != 0
+	if x.Op == minic.AndAnd && !a {
+		return val{i: 0}, nil
+	}
+	if x.Op == minic.OrOr && a {
+		return val{i: 1}, nil
+	}
+	rv, err := m.eval(x.Y, sp)
+	if err != nil {
+		return val{}, err
+	}
+	if rv.flt {
+		rv = val{i: int32(rv.f)}
+	}
+	return val{i: b2i(rv.i != 0)}, nil
+}
+
+func (m *machine) evalAssign(x *minic.AssignExpr, sp uint32) (val, error) {
+	// Address first, then RHS — the memory-path order of genAssign.
+	a, err := m.addr(x.LHS, sp)
+	if err != nil {
+		return val{}, err
+	}
+	rhs, err := m.eval(x.RHS, sp)
+	if err != nil {
+		return val{}, err
+	}
+	lt := x.LHS.Type()
+	rhs = convert(rhs, x.RHS.Type(), lt)
+
+	if x.Op == minic.Assign {
+		if err := m.storeMem(a, lt, rhs); err != nil {
+			return val{}, err
+		}
+		// The expression's value is the untruncated register, even for
+		// char lvalues: truncation happens only at the sb store.
+		return rhs, nil
+	}
+
+	if lt.Kind == obj.KindFloat {
+		cur, err := m.loadMem(a, lt)
+		if err != nil {
+			return val{}, err
+		}
+		var f float32
+		switch x.Op {
+		case minic.AddAssign:
+			f = cur.f + rhs.f
+		case minic.SubAssign:
+			f = cur.f - rhs.f
+		case minic.MulAssign:
+			f = cur.f * rhs.f
+		case minic.DivAssign:
+			f = cur.f / rhs.f
+		}
+		out := val{f: f, flt: true}
+		if err := m.storeMem(a, lt, out); err != nil {
+			return val{}, err
+		}
+		return out, nil
+	}
+
+	cur, err := m.loadMem(a, lt)
+	if err != nil {
+		return val{}, err
+	}
+	b := rhs.i
+	if lt.IsPointer() && (x.Op == minic.AddAssign || x.Op == minic.SubAssign) {
+		b *= int32(lt.Elem.Size())
+	}
+	var n int32
+	switch x.Op {
+	case minic.AddAssign:
+		n = cur.i + b
+	case minic.SubAssign:
+		n = cur.i - b
+	case minic.MulAssign:
+		n = cur.i * b
+	case minic.DivAssign:
+		if b == 0 {
+			return val{}, m.fault("integer division by zero")
+		}
+		n = cur.i / b
+	default:
+		return val{}, m.fault("internal: compound op %v", x.Op)
+	}
+	out := val{i: n}
+	if err := m.storeMem(a, lt, out); err != nil {
+		return val{}, err
+	}
+	return out, nil
+}
+
+func (m *machine) evalCall(x *minic.Call, sp uint32) (val, error) {
+	// Arguments are evaluated left to right and travel as raw 32-bit
+	// patterns, exactly like the $a0-$a3 registers.
+	bits := make([]uint32, 0, len(x.Args))
+	for _, arg := range x.Args {
+		v, err := m.eval(arg, sp)
+		if err != nil {
+			return val{}, err
+		}
+		bits = append(bits, v.bits())
+	}
+
+	if x.Builtin != minic.BNone {
+		return m.builtin(x.Builtin, bits)
+	}
+
+	fn, ok := m.funcs[x.Name]
+	if !ok {
+		return val{}, m.fault("call to undefined function %s", x.Name)
+	}
+	return m.call(fn, bits, x.Ln)
+}
+
+func (m *machine) builtin(b minic.Builtin, bits []uint32) (val, error) {
+	arg := func(i int) uint32 {
+		if i < len(bits) {
+			return bits[i]
+		}
+		return 0
+	}
+	switch b {
+	case minic.BMalloc, minic.BSbrk:
+		n := arg(0)
+		ret := m.brk
+		m.brk = (m.brk + n + 7) &^ 7
+		if m.brk >= obj.StackTop-(1<<20) {
+			return val{}, m.fault("heap overflow into stack")
+		}
+		return val{i: int32(ret)}, nil
+	case minic.BFree:
+		return val{}, nil
+	case minic.BPrintInt:
+		fmt.Fprintf(&m.out, "%d", int32(arg(0)))
+		return val{}, nil
+	case minic.BPrintChar:
+		m.out.WriteByte(byte(arg(0)))
+		return val{}, nil
+	case minic.BPrintStr:
+		addr := arg(0)
+		var sb []byte
+		for {
+			c := m.loadByte(addr)
+			if c == 0 || len(sb) > 1<<16 {
+				break
+			}
+			sb = append(sb, c)
+			addr++
+		}
+		m.out.Write(sb)
+		return val{}, nil
+	case minic.BPrintFloat:
+		fmt.Fprintf(&m.out, "%g", math.Float32frombits(arg(0)))
+		return val{}, nil
+	case minic.BArg:
+		i := int(int32(arg(0)))
+		if i >= 0 && i < len(m.opts.Args) {
+			return val{i: m.opts.Args[i]}, nil
+		}
+		return val{i: 0}, nil
+	case minic.BNargs:
+		return val{i: int32(len(m.opts.Args))}, nil
+	}
+	return val{}, m.fault("internal: builtin %d", b)
+}
+
+func log2i(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,520 @@
+// Package interp is an AST-level reference interpreter for mini-C: the
+// third, independent oracle of the differential-testing harness. It
+// shares no code with the code generator, the assembler, or the VM —
+// only the parser and type checker — so a bug anywhere in the
+// compile-assemble-simulate pipeline shows up as a disagreement against
+// this direct evaluation of the same program.
+//
+// The interpreter is observationally equivalent to the compiled
+// pipeline by construction, down to the quirks:
+//
+//   - int is int32 with two's-complement wraparound; / and % use Go's
+//     truncated semantics, and division by zero is a runtime fault just
+//     as the VM's DIV instruction faults.
+//   - Shift counts are masked to 5 bits (sllv/srav), >> is arithmetic.
+//   - char loads sign-extend and stores truncate; the value of a char
+//     assignment expression is the untruncated register value, because
+//     truncation happens only at the sb store.
+//   - float is float32 throughout; mixed arithmetic promotes to float32
+//     and float->int conversion is Go's int32(float32) (cvt.w.s).
+//   - Call arguments travel as raw 32-bit patterns, exactly like the
+//     $a0-$a3 registers: passing a float to print_int prints its bits.
+//   - The data segment is laid out byte-for-byte like the assembler
+//     lays out the compiler's emission, so global addresses, string
+//     addresses, and the initial heap break (and therefore every
+//     malloc result) are bit-identical to the VM's.
+//   - Stack frames replicate the -O0 frame layout, so even stale-slot
+//     reads of uninitialised locals match the unoptimised pipeline.
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"delinq/internal/minic"
+	"delinq/internal/obj"
+)
+
+const pageSize = 1 << 12
+
+// Options configures one interpretation.
+type Options struct {
+	// Args is the program's input vector, read via the arg() builtin.
+	Args []int32
+	// MaxSteps bounds execution (counted per statement and expression);
+	// zero means the default of 5e7.
+	MaxSteps int64
+	// MaxDepth bounds the call stack; zero means the default of 4096.
+	MaxDepth int
+}
+
+// Result is the outcome of a completed interpretation.
+type Result struct {
+	Exit   int32
+	Output string
+	Steps  int64
+}
+
+// Error is a runtime fault (the interpreter's analogue of vm.Error).
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("interp: line %d: %s", e.Line, e.Msg) }
+
+// Run parses, checks, and interprets a mini-C program.
+func Run(src string, opts Options) (*Result, error) {
+	prog, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := minic.Check(prog); err != nil {
+		return nil, err
+	}
+	return RunProgram(prog, opts)
+}
+
+// RunProgram interprets an already-checked program.
+func RunProgram(prog *minic.Program, opts Options) (*Result, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 5e7
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 4096
+	}
+	m := &machine{
+		prog:    prog,
+		opts:    opts,
+		funcs:   map[string]*minic.FuncDecl{},
+		offsets: map[*minic.VarSym]int32{},
+		frames:  map[*minic.FuncDecl]int32{},
+		gaddr:   map[string]uint32{},
+		pages:   map[uint32][]byte{},
+		sp:      obj.StackTop,
+	}
+	for _, fn := range prog.Funcs {
+		m.funcs[fn.Name] = fn
+		m.layoutFrame(fn)
+	}
+	if err := m.layoutData(); err != nil {
+		return nil, err
+	}
+	main, ok := m.funcs["main"]
+	if !ok {
+		return nil, &Error{Msg: "no main function"}
+	}
+	ret, err := m.call(main, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Exit: ret.i, Output: m.out.String(), Steps: m.steps}, nil
+}
+
+// val is a runtime value: an int-class int32 (int, char, pointer) or a
+// float32 — mirroring the two register classes of the code generator.
+type val struct {
+	i   int32
+	f   float32
+	flt bool
+}
+
+// bits returns the raw 32-bit pattern, as the value would travel in an
+// argument register.
+func (v val) bits() uint32 {
+	if v.flt {
+		return math.Float32bits(v.f)
+	}
+	return uint32(v.i)
+}
+
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+type machine struct {
+	prog    *minic.Program
+	opts    Options
+	funcs   map[string]*minic.FuncDecl
+	offsets map[*minic.VarSym]int32 // local -> sp-relative slot (-O0 layout)
+	frames  map[*minic.FuncDecl]int32
+	gaddr   map[string]uint32 // global label / string label -> address
+	pages   map[uint32][]byte
+	sp      uint32
+	brk     uint32
+	depth   int
+	steps   int64
+	out     strings.Builder
+	retVal  val
+	curRet  *obj.Type // return type of the function being executed
+	line    int       // most recent statement line, for faults
+}
+
+func (m *machine) fault(format string, args ...any) error {
+	return &Error{Line: m.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// layoutFrame assigns every local the slot the -O0 code generator would:
+// a 12-slot spill area, then each symbol in declaration order rounded to
+// word size, then the saved $ra, the whole frame rounded to 8.
+func (m *machine) layoutFrame(fn *minic.FuncDecl) {
+	off := int32(12 * 4)
+	for _, sym := range fn.Syms {
+		sz := (int32(sym.Ty.Size()) + 3) &^ 3
+		m.offsets[sym] = off
+		off += sz
+	}
+	off += 4 // $ra
+	m.frames[fn] = (off + 7) &^ 7
+}
+
+// layoutData builds the data segment exactly as the assembler lays out
+// the compiler's .data emission: globals in declaration order, each
+// followed by word alignment, then the string literals.
+func (m *machine) layoutData() error {
+	var data []byte
+	align := func() {
+		for len(data)%4 != 0 {
+			data = append(data, 0)
+		}
+	}
+	for _, gd := range m.prog.Globals {
+		m.gaddr[gd.Name] = obj.DataBase + uint32(len(data))
+		switch {
+		case gd.InitInt != nil:
+			switch gd.Ty.Kind {
+			case obj.KindChar:
+				data = append(data, byte(*gd.InitInt))
+			case obj.KindFloat:
+				data = binary.LittleEndian.AppendUint32(data,
+					math.Float32bits(float32(*gd.InitInt)))
+			default:
+				data = binary.LittleEndian.AppendUint32(data, uint32(*gd.InitInt))
+			}
+		case gd.InitFloat != nil:
+			data = binary.LittleEndian.AppendUint32(data,
+				math.Float32bits(float32(*gd.InitFloat)))
+		default:
+			data = append(data, make([]byte, gd.Ty.Size())...)
+		}
+		align()
+	}
+	for _, s := range m.prog.Strings {
+		m.gaddr[s.Label] = obj.DataBase + uint32(len(data))
+		data = append(data, s.Val...)
+		data = append(data, 0)
+		align()
+	}
+	for i, b := range data {
+		if b != 0 {
+			m.storeByte(obj.DataBase+uint32(i), b)
+		}
+	}
+	m.brk = (obj.DataBase + uint32(len(data)) + 7) &^ 7
+	return nil
+}
+
+// --- memory ------------------------------------------------------------------
+
+func (m *machine) pageFor(addr uint32) []byte {
+	base := addr &^ (pageSize - 1)
+	p, ok := m.pages[base]
+	if !ok {
+		p = make([]byte, pageSize)
+		m.pages[base] = p
+	}
+	return p
+}
+
+func (m *machine) loadWord(addr uint32) (uint32, error) {
+	if addr%4 != 0 {
+		return 0, m.fault("unaligned word load at %#x", addr)
+	}
+	return binary.LittleEndian.Uint32(m.pageFor(addr)[addr%pageSize:]), nil
+}
+
+func (m *machine) storeWord(addr uint32, v uint32) error {
+	if addr%4 != 0 {
+		return m.fault("unaligned word store at %#x", addr)
+	}
+	binary.LittleEndian.PutUint32(m.pageFor(addr)[addr%pageSize:], v)
+	return nil
+}
+
+func (m *machine) loadByte(addr uint32) byte {
+	return m.pageFor(addr)[addr%pageSize]
+}
+
+func (m *machine) storeByte(addr uint32, b byte) {
+	m.pageFor(addr)[addr%pageSize] = b
+}
+
+// loadMem reads a scalar of type t, with the load instruction the
+// compiler would pick: lb sign-extends chars, l.s reads float bits.
+func (m *machine) loadMem(addr uint32, t *obj.Type) (val, error) {
+	switch t.Kind {
+	case obj.KindChar:
+		return val{i: int32(int8(m.loadByte(addr)))}, nil
+	case obj.KindFloat:
+		w, err := m.loadWord(addr)
+		if err != nil {
+			return val{}, err
+		}
+		return val{f: math.Float32frombits(w), flt: true}, nil
+	default:
+		w, err := m.loadWord(addr)
+		if err != nil {
+			return val{}, err
+		}
+		return val{i: int32(w)}, nil
+	}
+}
+
+// storeMem writes a scalar of type t (sb truncates chars).
+func (m *machine) storeMem(addr uint32, t *obj.Type, v val) error {
+	switch t.Kind {
+	case obj.KindChar:
+		m.storeByte(addr, byte(v.i))
+		return nil
+	default:
+		return m.storeWord(addr, v.bits())
+	}
+}
+
+// --- calls -------------------------------------------------------------------
+
+// call invokes fn with raw argument bit patterns, as the $a0-$a3
+// registers carry them.
+func (m *machine) call(fn *minic.FuncDecl, args []uint32, line int) (val, error) {
+	if m.depth >= m.opts.MaxDepth {
+		return val{}, m.fault("call depth limit of %d exceeded", m.opts.MaxDepth)
+	}
+	m.depth++
+	frame := m.frames[fn]
+	m.sp -= uint32(frame)
+	sp := m.sp
+
+	// Home the parameters per their declared type, replicating the
+	// sw/sb prologue stores.
+	for i, sym := range fn.Syms {
+		if !sym.IsParam {
+			break
+		}
+		var bits uint32
+		if i < len(args) {
+			bits = args[i]
+		}
+		addr := sp + uint32(m.offsets[sym])
+		if sym.Ty.Kind == obj.KindChar {
+			m.storeByte(addr, byte(bits))
+		} else if err := m.storeWord(addr, bits); err != nil {
+			return val{}, err
+		}
+	}
+
+	savedRet, savedVal := m.curRet, m.retVal
+	m.curRet = fn.Ret
+	m.retVal = val{}
+	c, err := m.execBlock(fn.Body, sp)
+	if err != nil {
+		return val{}, err
+	}
+	ret := val{}
+	if c == ctrlReturn {
+		ret = m.retVal
+	}
+	if fn.Ret.Kind == obj.KindFloat {
+		ret.flt = true
+	}
+	m.curRet, m.retVal = savedRet, savedVal
+	m.sp += uint32(frame)
+	m.depth--
+	return ret, nil
+}
+
+// --- statements --------------------------------------------------------------
+
+func (m *machine) step(line int) error {
+	if line > 0 {
+		m.line = line
+	}
+	m.steps++
+	if m.steps > m.opts.MaxSteps {
+		return m.fault("step budget of %d exhausted", m.opts.MaxSteps)
+	}
+	return nil
+}
+
+func (m *machine) execBlock(b *minic.Block, sp uint32) (ctrl, error) {
+	for _, s := range b.Stmts {
+		c, err := m.exec(s, sp)
+		if err != nil || c != ctrlNone {
+			return c, err
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (m *machine) exec(s minic.Stmt, sp uint32) (ctrl, error) {
+	switch st := s.(type) {
+	case *minic.Block:
+		return m.execBlock(st, sp)
+
+	case *minic.DeclStmt:
+		if err := m.step(st.Ln); err != nil {
+			return ctrlNone, err
+		}
+		if st.Init == nil {
+			return ctrlNone, nil
+		}
+		v, err := m.eval(st.Init, sp)
+		if err != nil {
+			return ctrlNone, err
+		}
+		v = convert(v, st.Init.Type(), st.Sym.Ty)
+		return ctrlNone, m.storeMem(sp+uint32(m.offsets[st.Sym]), st.Sym.Ty, v)
+
+	case *minic.ExprStmt:
+		if err := m.step(st.Ln); err != nil {
+			return ctrlNone, err
+		}
+		_, err := m.eval(st.X, sp)
+		return ctrlNone, err
+
+	case *minic.IfStmt:
+		if err := m.step(st.Ln); err != nil {
+			return ctrlNone, err
+		}
+		t, err := m.truthy(st.Cond, sp)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if t {
+			return m.exec(st.Then, sp)
+		}
+		if st.Else != nil {
+			return m.exec(st.Else, sp)
+		}
+		return ctrlNone, nil
+
+	case *minic.WhileStmt:
+		for {
+			if err := m.step(st.Ln); err != nil {
+				return ctrlNone, err
+			}
+			t, err := m.truthy(st.Cond, sp)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if !t {
+				return ctrlNone, nil
+			}
+			c, err := m.exec(st.Body, sp)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if c == ctrlReturn {
+				return c, nil
+			}
+		}
+
+	case *minic.ForStmt:
+		if st.Init != nil {
+			if c, err := m.exec(st.Init, sp); err != nil || c != ctrlNone {
+				return c, err
+			}
+		}
+		for {
+			if err := m.step(st.Ln); err != nil {
+				return ctrlNone, err
+			}
+			if st.Cond != nil {
+				t, err := m.truthy(st.Cond, sp)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if !t {
+					return ctrlNone, nil
+				}
+			}
+			c, err := m.exec(st.Body, sp)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if c == ctrlReturn {
+				return c, nil
+			}
+			if st.Post != nil {
+				if _, err := m.eval(st.Post, sp); err != nil {
+					return ctrlNone, err
+				}
+			}
+		}
+
+	case *minic.ReturnStmt:
+		if err := m.step(st.Ln); err != nil {
+			return ctrlNone, err
+		}
+		if st.X != nil {
+			v, err := m.eval(st.X, sp)
+			if err != nil {
+				return ctrlNone, err
+			}
+			m.retVal = convert(v, st.X.Type(), m.curRet)
+		}
+		return ctrlReturn, nil
+
+	case *minic.BreakStmt:
+		return ctrlBreak, nil
+	case *minic.ContinueStmt:
+		return ctrlContinue, nil
+	}
+	return ctrlNone, fmt.Errorf("interp: unknown statement %T", s)
+}
+
+// truthy evaluates a statement condition the way genCondBranchFalse
+// does: float conditions compare c.eq.s against 0.0 (so NaN is true),
+// int conditions test != 0.
+func (m *machine) truthy(e minic.Expr, sp uint32) (bool, error) {
+	v, err := m.eval(e, sp)
+	if err != nil {
+		return false, err
+	}
+	if v.flt {
+		return !(v.f == 0), nil
+	}
+	return v.i != 0, nil
+}
+
+// convert coerces between the two register classes, mirroring the
+// cvt.s.w / cvt.w.s pairs the code generator inserts. Conversions
+// within the int class (e.g. int to char) are identity: truncation
+// happens only at stores.
+func convert(v val, from, to *obj.Type) val {
+	if from == nil || to == nil {
+		return v
+	}
+	fromFlt := from.Kind == obj.KindFloat
+	toFlt := to.Kind == obj.KindFloat
+	switch {
+	case fromFlt == toFlt:
+		return v
+	case toFlt:
+		return val{f: float32(v.i), flt: true}
+	default:
+		return val{i: int32(v.f)}
+	}
+}

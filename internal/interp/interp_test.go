@@ -1,0 +1,212 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+)
+
+// run executes src and fails the test on any fault.
+func run(t *testing.T, src string) *Result {
+	t.Helper()
+	res, err := Run(src, Options{})
+	if err != nil {
+		t.Fatalf("interp: %v\n--- source ---\n%s", err, src)
+	}
+	return res
+}
+
+func expect(t *testing.T, src string, wantExit int32, wantOut string) {
+	t.Helper()
+	res := run(t, src)
+	if res.Exit != wantExit || res.Output != wantOut {
+		t.Errorf("got (exit=%d, out=%q), want (exit=%d, out=%q)\n--- source ---\n%s",
+			res.Exit, res.Output, wantExit, wantOut, src)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	expect(t, `int main() { print_int(2 + 3 * 4); return 0; }`, 0, "14")
+	// Truncated division and modulo, like the DIV instruction.
+	expect(t, `int main() { print_int(-7 / 2); print_char(32); print_int(-7 % 2); return 0; }`,
+		0, "-3 -1")
+	// int32 wraparound.
+	expect(t, `int main() { int x = 2147483647; x = x + 1; print_int(x); return 0; }`,
+		0, "-2147483648")
+	// Shift counts are masked to five bits (sllv/srav semantics).
+	expect(t, `int main() { print_int(1 << 33); return 0; }`, 0, "2")
+	// >> is arithmetic.
+	expect(t, `int main() { print_int(-8 >> 1); return 0; }`, 0, "-4")
+}
+
+func TestExitCode(t *testing.T) {
+	expect(t, `int main() { return 300; }`, 300, "")
+	expect(t, `int main() { return -1; }`, -1, "")
+}
+
+func TestCharSemantics(t *testing.T) {
+	// Stores truncate, loads sign-extend.
+	expect(t, `int main() { char c = 300; print_int(c); return 0; }`, 0, "44")
+	expect(t, `int main() { char c = 200; print_int(c); return 0; }`, 0, "-56")
+	// The value of a char assignment expression is the untruncated
+	// register value; truncation happens only at the sb store.
+	expect(t, `int main() { char c; int x = (c = 300); print_int(x); return 0; }`, 0, "300")
+}
+
+func TestFloatSemantics(t *testing.T) {
+	expect(t, `int main() { float f = 1.5; print_float(f * 2.0); return 0; }`, 0, "3")
+	expect(t, `int main() { print_float(0.1); return 0; }`, 0, "0.1")
+	// Mixed arithmetic promotes to float32; assignment to int truncates.
+	expect(t, `int main() { int x = 7 / 2.0; print_int(x); return 0; }`, 0, "3")
+	expect(t, `int main() { float f = -2.75; int x = f; print_int(x); return 0; }`, 0, "-2")
+	// Float division by zero is IEEE, not a fault.
+	expect(t, `int main() { float z = 0.0; print_float(1.0 / z); return 0; }`, 0, "+Inf")
+	// Float statement conditions compare against 0.0.
+	expect(t, `int main() { float f = 0.5; if (f) print_int(1); else print_int(0); return 0; }`,
+		0, "1")
+	// ...but ! truncates to int first: !0.5 is !(int)0.5 == !0 == 1.
+	expect(t, `int main() { float f = 0.5; print_int(!f); return 0; }`, 0, "1")
+}
+
+func TestPointersAndArrays(t *testing.T) {
+	expect(t, `
+int main() {
+	int a[4];
+	int i;
+	for (i = 0; i < 4; i++) a[i] = i * i;
+	int *p = &a[1];
+	p++;
+	print_int(*p);
+	print_char(32);
+	print_int(p - &a[0]);
+	return 0;
+}`, 0, "4 2")
+	// Pointer difference on a 8-byte struct uses sra.
+	expect(t, `
+struct pair { int a; int b; };
+struct pair ps[4];
+int main() {
+	struct pair *p = &ps[3];
+	print_int(p - &ps[0]);
+	return 0;
+}`, 0, "3")
+}
+
+func TestStructsAndMalloc(t *testing.T) {
+	expect(t, `
+struct node { int v; struct node *next; };
+int main() {
+	struct node *hd = 0;
+	int i;
+	for (i = 0; i < 3; i++) {
+		struct node *nn = malloc(sizeof(struct node));
+		nn->v = i + 1;
+		nn->next = hd;
+		hd = nn;
+	}
+	int s = 0;
+	while (hd) { s = s * 10 + hd->v; hd = hd->next; }
+	print_int(s);
+	return 0;
+}`, 0, "321")
+}
+
+func TestGlobalsAndStrings(t *testing.T) {
+	expect(t, `
+int g = 41;
+int arr[3];
+char c = 200;
+float f = 2.5;
+int main() {
+	g++;
+	arr[1] = 7;
+	print_int(g + arr[0] + arr[1]);
+	print_str(" ok ");
+	print_int(c);
+	print_char(32);
+	print_float(f);
+	return 0;
+}`, 0, "49 ok -56 2.5")
+}
+
+func TestCallsAndRecursion(t *testing.T) {
+	expect(t, `
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main() { print_int(fib(10)); return 0; }`, 0, "55")
+	// Float arguments travel as raw bits and bind by parameter type.
+	expect(t, `
+float half(float x) { return x / 2.0; }
+int main() { print_float(half(7.0)); return 0; }`, 0, "3.5")
+	// Char parameters are homed with sb and reloaded with lb.
+	expect(t, `
+int chk(char c) { return c; }
+int main() { print_int(chk(300)); return 0; }`, 0, "44")
+}
+
+func TestArgsBuiltin(t *testing.T) {
+	res, err := Run(`int main() { print_int(nargs()); print_char(32); print_int(arg(1)); print_char(32); print_int(arg(9)); return 0; }`,
+		Options{Args: []int32{5, -17}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "2 -17 0" {
+		t.Errorf("args output %q, want %q", res.Output, "2 -17 0")
+	}
+}
+
+func TestIncDecAndCompound(t *testing.T) {
+	expect(t, `int main() {
+	int x = 5;
+	print_int(x++); print_int(x); print_int(++x); print_int(x--);
+	x *= 3; x += 2; x -= 1; x /= 2;
+	print_int(x);
+	return 0;
+}`, 0, "56779")
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	// The right side must not evaluate when short-circuited: a division
+	// by zero there would fault.
+	expect(t, `int main() {
+	int z = 0;
+	if (z && (1 / z)) print_int(1); else print_int(0);
+	if (1 || (1 / z)) print_int(1); else print_int(0);
+	return 0;
+}`, 0, "01")
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"div-zero", `int main() { int z = 0; return 1 / z; }`, "division by zero"},
+		{"mod-zero", `int main() { int z = 0; return 1 % z; }`, "division by zero"},
+		{"compound-div-zero", `int main() { int x = 4; int z = 0; x /= z; return x; }`, "division by zero"},
+		{"heap-overflow", `int main() { int i; for (i = 0; i < 4096; i++) malloc(1000000); return 0; }`, "heap overflow"},
+		{"steps", `int main() { while (1) {} return 0; }`, "step budget"},
+		{"depth", `int f(int n) { return f(n); } int main() { return f(1); }`, "depth limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(tc.src, Options{MaxSteps: 1e6, MaxDepth: 256})
+			if err == nil {
+				t.Fatalf("no fault, want %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("fault %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestParseAndCheckErrors verifies front-end errors surface as errors.
+func TestParseAndCheckErrors(t *testing.T) {
+	for _, src := range []string{
+		`int main() { return x; }`, // undefined variable
+		`int main() { return 1`,    // truncated
+		`void main() { return 1; }`,
+	} {
+		if _, err := Run(src, Options{}); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}

@@ -1,166 +1,20 @@
 package minic
 
 import (
-	"fmt"
-	"math/rand"
-	"strings"
 	"testing"
 
 	"delinq/internal/asm"
 	"delinq/internal/disasm"
 	"delinq/internal/pattern"
+	"delinq/internal/progen"
 	"delinq/internal/vm"
 )
 
-// progGen generates random but well-defined mini-C programs: loops are
-// bounded, array indices are masked into range, divisors are forced
-// non-zero, and every variable is folded into the final checksum. Any
-// divergence between the -O0 and -O pipelines (or a crash in either) is
-// a compiler bug.
-type progGen struct {
-	rng    *rand.Rand
-	sb     strings.Builder
-	vars   []string // readable variables (includes loop indices)
-	mut    []string // assignable variables (excludes loop indices)
-	arrays []string
-	depth  int
-	nVar   int
-}
-
-func (g *progGen) pick(list []string) string { return list[g.rng.Intn(len(list))] }
-
-// expr produces an int-valued expression over the declared variables.
-func (g *progGen) expr(depth int) string {
-	if depth <= 0 || g.rng.Intn(3) == 0 {
-		switch g.rng.Intn(3) {
-		case 0:
-			return fmt.Sprint(g.rng.Intn(2000) - 1000)
-		case 1:
-			if len(g.vars) > 0 {
-				return g.pick(g.vars)
-			}
-			return "7"
-		default:
-			if len(g.arrays) > 0 && len(g.vars) > 0 {
-				return fmt.Sprintf("%s[%s & 31]", g.pick(g.arrays), g.pick(g.vars))
-			}
-			return fmt.Sprint(g.rng.Intn(100))
-		}
-	}
-	a, b := g.expr(depth-1), g.expr(depth-1)
-	switch g.rng.Intn(9) {
-	case 0:
-		return fmt.Sprintf("(%s + %s)", a, b)
-	case 1:
-		return fmt.Sprintf("(%s - %s)", a, b)
-	case 2:
-		return fmt.Sprintf("(%s * %s)", a, b)
-	case 3:
-		return fmt.Sprintf("(%s / ((%s & 7) + 1))", a, b)
-	case 4:
-		return fmt.Sprintf("(%s %% ((%s & 7) + 1))", a, b)
-	case 5:
-		return fmt.Sprintf("(%s ^ %s)", a, b)
-	case 6:
-		return fmt.Sprintf("(%s << (%s & 3))", a, b)
-	case 7:
-		return fmt.Sprintf("(%s < %s)", a, b)
-	default:
-		// A call in the middle of the expression exercises the
-		// spill-across-call path of the code generator.
-		return fmt.Sprintf("h1(%s, %s)", a, b)
-	}
-}
-
-func (g *progGen) stmt(depth int) {
-	ind := strings.Repeat("\t", g.depth+1)
-	switch g.rng.Intn(6) {
-	case 0: // new variable
-		name := fmt.Sprintf("v%d", g.nVar)
-		g.nVar++
-		fmt.Fprintf(&g.sb, "%sint %s = %s;\n", ind, name, g.expr(2))
-		g.vars = append(g.vars, name)
-		g.mut = append(g.mut, name)
-	case 1: // assignment (never to a live loop index)
-		if len(g.mut) > 0 {
-			fmt.Fprintf(&g.sb, "%s%s = %s;\n", ind, g.pick(g.mut), g.expr(2))
-		}
-	case 2: // array store
-		if len(g.arrays) > 0 && len(g.vars) > 0 {
-			fmt.Fprintf(&g.sb, "%s%s[%s & 31] = %s;\n",
-				ind, g.pick(g.arrays), g.pick(g.vars), g.expr(2))
-		}
-	case 3: // if
-		if depth > 0 {
-			fmt.Fprintf(&g.sb, "%sif (%s) {\n", ind, g.expr(1))
-			scope, mscope := len(g.vars), len(g.mut)
-			g.depth++
-			g.stmt(depth - 1)
-			g.depth--
-			g.vars, g.mut = g.vars[:scope], g.mut[:mscope] // block scope ends
-			if g.rng.Intn(2) == 0 {
-				fmt.Fprintf(&g.sb, "%s} else {\n", ind)
-				g.depth++
-				g.stmt(depth - 1)
-				g.depth--
-				g.vars, g.mut = g.vars[:scope], g.mut[:mscope]
-			}
-			fmt.Fprintf(&g.sb, "%s}\n", ind)
-		}
-	case 4: // bounded for loop
-		if depth > 0 {
-			name := fmt.Sprintf("v%d", g.nVar)
-			g.nVar++
-			n := g.rng.Intn(12) + 2
-			fmt.Fprintf(&g.sb, "%sint %s;\n", ind, name)
-			fmt.Fprintf(&g.sb, "%sfor (%s = 0; %s < %d; %s++) {\n", ind, name, name, n, name)
-			g.vars = append(g.vars, name) // readable, not assignable
-			scope, mscope := len(g.vars), len(g.mut)
-			g.depth++
-			g.stmt(depth - 1)
-			g.depth--
-			g.vars, g.mut = g.vars[:scope], g.mut[:mscope]
-			fmt.Fprintf(&g.sb, "%s}\n", ind)
-		}
-	case 5: // compound assignment
-		if len(g.mut) > 0 {
-			ops := []string{"+=", "-=", "*="}
-			fmt.Fprintf(&g.sb, "%s%s %s %s;\n",
-				ind, g.pick(g.mut), ops[g.rng.Intn(len(ops))], g.expr(1))
-		}
-	}
-}
-
-func (g *progGen) generate(seed int64) string {
-	g.rng = rand.New(rand.NewSource(seed))
-	g.sb.Reset()
-	g.vars, g.mut, g.arrays = nil, nil, nil
-	g.nVar = 0
-	na := g.rng.Intn(2) + 1
-	for i := 0; i < na; i++ {
-		name := fmt.Sprintf("arr%d", i)
-		fmt.Fprintf(&g.sb, "int %s[32];\n", name)
-		g.arrays = append(g.arrays, name)
-	}
-	g.sb.WriteString("int h1(int a, int b) { return a * 3 - (b ^ 5); }\n")
-	g.sb.WriteString("int main() {\n")
-	nStmts := g.rng.Intn(12) + 4
-	for i := 0; i < nStmts; i++ {
-		g.stmt(2)
-	}
-	// Fold every variable and array cell into a checksum.
-	g.sb.WriteString("\tint chk = 0;\n")
-	for _, v := range g.vars {
-		fmt.Fprintf(&g.sb, "\tchk = chk * 31 + %s;\n", v)
-	}
-	for _, a := range g.arrays {
-		g.sb.WriteString("\tint ci;\n")
-		fmt.Fprintf(&g.sb, "\tfor (ci = 0; ci < 32; ci++) chk = chk * 31 + %s[ci];\n", a)
-		break // one index variable is enough; fold the rest directly
-	}
-	g.sb.WriteString("\tprint_int(chk);\n\treturn chk & 255;\n}\n")
-	return g.sb.String()
-}
+// The random-program generator lives in internal/progen (it started
+// here as an ad-hoc helper); these tests keep the compiler-local slice
+// of the differential harness: -O0 vs -O on the same source. The full
+// three-way oracle, with the AST interpreter as an independent
+// reference, is internal/difftest.
 
 func runProgram(t *testing.T, src string, optimize bool) (int32, string) {
 	t.Helper()
@@ -172,7 +26,7 @@ func runProgram(t *testing.T, src string, optimize bool) (int32, string) {
 	if err != nil {
 		t.Fatalf("assemble(opt=%v): %v\n--- source ---\n%s", optimize, err, src)
 	}
-	res, err := vm.Run(img, vm.Options{CaptureOutput: true, MaxInsts: 5e6})
+	res, err := vm.Run(img, vm.Options{CaptureOutput: true, MaxInsts: 20e6})
 	if err != nil {
 		t.Fatalf("run(opt=%v): %v\n--- source ---\n%s", optimize, err, src)
 	}
@@ -182,9 +36,9 @@ func runProgram(t *testing.T, src string, optimize bool) (int32, string) {
 // TestDifferentialOptimization runs 60 random programs under both
 // code-generation modes and demands identical results.
 func TestDifferentialOptimization(t *testing.T) {
-	g := &progGen{}
+	g := progen.New(progen.DefaultConfig())
 	for seed := int64(1); seed <= 60; seed++ {
-		src := g.generate(seed)
+		src := g.Program(seed)
 		e0, o0 := runProgram(t, src, false)
 		e1, o1 := runProgram(t, src, true)
 		if e0 != e1 || o0 != o1 {
@@ -197,8 +51,8 @@ func TestDifferentialOptimization(t *testing.T) {
 // TestDifferentialDeterminism re-runs the same binary twice; the
 // simulator must be fully deterministic.
 func TestDifferentialDeterminism(t *testing.T) {
-	g := &progGen{}
-	src := g.generate(99)
+	g := progen.New(progen.DefaultConfig())
+	src := g.Program(99)
 	e1, o1 := runProgram(t, src, false)
 	e2, o2 := runProgram(t, src, false)
 	if e1 != e2 || o1 != o2 {
@@ -210,9 +64,9 @@ func TestDifferentialDeterminism(t *testing.T) {
 // random programs in both modes: the pipeline must never fail, every
 // load must get at least one pattern, and scoring must be finite.
 func TestDifferentialAnalysis(t *testing.T) {
-	g := &progGen{}
+	g := progen.New(progen.DefaultConfig())
 	for seed := int64(101); seed <= 130; seed++ {
-		src := g.generate(seed)
+		src := g.Program(seed)
 		for _, opt := range []bool{false, true} {
 			asmText, err := Compile(src, Options{Optimize: opt})
 			if err != nil {

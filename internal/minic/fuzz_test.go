@@ -1,0 +1,130 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"delinq/internal/asm"
+)
+
+// TestParserMalformedInputs pins down inputs that historically crashed
+// (or could crash) the front end: each must produce a diagnostic, never
+// a panic. The first case, a lone "struct", used to index two tokens
+// past the end of the token slice in topLevel's struct lookahead.
+func TestParserMalformedInputs(t *testing.T) {
+	cases := []string{
+		"struct",
+		"struct s",
+		"struct s {",
+		"struct s { int",
+		"int",
+		"int x",
+		"int x = -",
+		"int x = ;",
+		"int main(",
+		"int main() { return 1",
+		"int main() { if (",
+		"int main() { for (;;",
+		"int main() { int a[",
+		"int main() { f(",
+		"int main() { x.",
+		"'",
+		"'\\q'",
+		"\"unterminated",
+		"/* unterminated",
+		"0x",
+		"@",
+		"int main() { return 99999999999999999999; }",
+		// Self-referential struct by value: the type would have
+		// infinite size (found by FuzzCompile; Size() used to recurse
+		// until the stack overflowed).
+		"struct node { int v; struct node next; };",
+		"struct node { struct node a[2]; };",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+// TestParserDepthLimit: pathological nesting must be rejected with a
+// diagnostic instead of blowing the goroutine stack.
+func TestParserDepthLimit(t *testing.T) {
+	deep := func(n int) string {
+		return "int main() { return " + strings.Repeat("(", n) + "1" +
+			strings.Repeat(")", n) + "; }"
+	}
+	if _, err := Parse(deep(50)); err != nil {
+		t.Fatalf("50 paren levels should parse: %v", err)
+	}
+	for _, src := range []string{
+		deep(100000),
+		"int main() " + strings.Repeat("{", 100000) + strings.Repeat("}", 100000),
+		"int main() { return " + strings.Repeat("-", 100000) + "1; }",
+		"int main() { x " + strings.Repeat("= x ", 100000) + "= 1; }",
+	} {
+		_, err := Parse(src)
+		if err == nil {
+			t.Fatal("pathological nesting accepted")
+		}
+		if !strings.Contains(err.Error(), "nesting too deep") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}
+
+// FuzzParse throws arbitrary bytes at the lexer and parser: malformed
+// input must come back as an error, never a panic.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"int main() { return 0; }",
+		"struct s { int a; char b; }; struct s g; int main() { return g.a; }",
+		"int f(int n) { if (n < 2) return n; return f(n-1) + f(n-2); }",
+		"float g = 2.5; int main() { print_float(g); return 0; }",
+		"int main() { int a[4]; int *p = &a[0]; p++; return *p; }",
+		"int main() { char *s = \"hi\\n\"; print_str(s); return 0; }",
+		"struct",
+		"int x = -",
+		"int main() { return ((((1)))); }",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("Parse returned nil program without error")
+		}
+	})
+}
+
+// FuzzCompile drives the whole front end and both code generators, and
+// checks the contract downstream tools rely on: whatever the compiler
+// accepts, the assembler must accept too.
+func FuzzCompile(f *testing.F) {
+	for _, s := range []string{
+		"int main() { return 0; }",
+		"int g = 7; int main() { int i; for (i = 0; i < 3; i++) g += i; return g; }",
+		"struct node { int v; struct node *next; }; int main() { struct node *p = malloc(8); p->v = 1; return p->v; }",
+		"int main() { char c = 300; float f = c / 2.0; return f; }",
+		"int h(int a, int b) { return a * b; } int main() { return h(3, 4); }",
+		"int main() { while (1) break; return sizeof(int); }",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // keep mutated inputs cheap
+		}
+		for _, opt := range []bool{false, true} {
+			asmText, err := Compile(src, Options{Optimize: opt})
+			if err != nil {
+				continue
+			}
+			if _, err := asm.Assemble(asmText); err != nil {
+				t.Fatalf("opt=%v: compiler output does not assemble: %v\n--- source ---\n%s",
+					opt, err, src)
+			}
+		}
+	})
+}

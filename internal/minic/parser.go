@@ -9,8 +9,14 @@ import (
 type parser struct {
 	toks    []Token
 	pos     int
+	depth   int
 	structs map[string]*obj.Type
 }
+
+// maxParseDepth bounds recursion in the recursive-descent parser so
+// pathological nesting ("((((..." or deeply nested blocks) is rejected
+// with a diagnostic instead of exhausting the goroutine stack.
+const maxParseDepth = 256
 
 // Parse builds the AST of one translation unit.
 func Parse(src string) (*Program, error) {
@@ -30,6 +36,25 @@ func Parse(src string) (*Program, error) {
 
 func (p *parser) peek() Token       { return p.toks[p.pos] }
 func (p *parser) at(k TokKind) bool { return p.toks[p.pos].Kind == k }
+
+// peekN looks ahead n tokens, saturating at the trailing EOF token so
+// multi-token lookahead never indexes past the slice.
+func (p *parser) peekN(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errf("nesting too deep (limit %d)", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 func (p *parser) next() Token {
 	t := p.toks[p.pos]
 	if t.Kind != EOF {
@@ -122,7 +147,7 @@ func (p *parser) arraySuffix(base *obj.Type) (*obj.Type, error) {
 
 func (p *parser) topLevel(prog *Program) error {
 	// struct definition?
-	if p.at(KwStruct) && p.toks[p.pos+1].Kind == IDENT && p.toks[p.pos+2].Kind == LBrace {
+	if p.at(KwStruct) && p.peekN(1).Kind == IDENT && p.peekN(2).Kind == LBrace {
 		return p.structDef()
 	}
 	ty, err := p.parseType()
@@ -154,14 +179,14 @@ func (p *parser) topLevel(prog *Program) error {
 			case p.at(INTLIT) || p.at(CHARLIT):
 				v := p.next().Int
 				g.InitInt = &v
-			case p.at(Minus) && p.toks[p.pos+1].Kind == INTLIT:
+			case p.at(Minus) && p.peekN(1).Kind == INTLIT:
 				p.next()
 				v := -p.next().Int
 				g.InitInt = &v
 			case p.at(FLOATLIT):
 				v := p.next().Flt
 				g.InitFloat = &v
-			case p.at(Minus) && p.toks[p.pos+1].Kind == FLOATLIT:
+			case p.at(Minus) && p.peekN(1).Kind == FLOATLIT:
 				p.next()
 				v := -p.next().Flt
 				g.InitFloat = &v
@@ -212,7 +237,15 @@ func (p *parser) structDef() error {
 			if err != nil {
 				return err
 			}
-			if ffty.Kind == obj.KindStruct && len(ffty.Fields) == 0 {
+			// A struct may only embed complete struct types by value.
+			// The struct being defined is itself incomplete until its
+			// closing brace, even once fields have been appended:
+			// accepting it here would build a type of infinite size.
+			elem := ffty
+			for elem.Kind == obj.KindArray {
+				elem = elem.Elem
+			}
+			if elem.Kind == obj.KindStruct && (elem == st || len(elem.Fields) == 0) {
 				return p.errf("field %s has incomplete struct type", fname.Text)
 			}
 			align := 4
@@ -242,7 +275,7 @@ func (p *parser) structDef() error {
 func (p *parser) funcDecl(ret *obj.Type, name Token) (*FuncDecl, error) {
 	fn := &FuncDecl{Name: name.Text, Ret: ret, Ln: name.Line}
 	p.next() // (
-	if p.at(KwVoid) && p.toks[p.pos+1].Kind == RParen {
+	if p.at(KwVoid) && p.peekN(1).Kind == RParen {
 		p.next()
 	}
 	for !p.at(RParen) {
@@ -291,6 +324,10 @@ func (p *parser) block() (*Block, error) {
 }
 
 func (p *parser) stmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	ln := p.peek().Line
 	switch {
 	case p.at(LBrace):
@@ -474,6 +511,10 @@ func (p *parser) declStmt(consumeSemi bool) (Stmt, error) {
 func (p *parser) expr() (Expr, error) { return p.assignExpr() }
 
 func (p *parser) assignExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	lhs, err := p.orExpr()
 	if err != nil {
 		return nil, err
@@ -535,6 +576,10 @@ func (p *parser) binExpr(level int) (Expr, error) {
 }
 
 func (p *parser) unaryExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	ln := p.peek().Line
 	switch p.peek().Kind {
 	case Minus, Not, Tilde, Star, Amp:

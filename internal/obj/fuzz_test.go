@@ -1,0 +1,55 @@
+package obj
+
+import (
+	"testing"
+)
+
+// fuzzSeedImage builds a small but representative image whose encoding
+// seeds the decode fuzzer.
+func fuzzSeedImage() *Image {
+	im := New()
+	node := &Type{Kind: KindStruct, Name: "node"}
+	node.Fields = []Field{
+		{Name: "v", Offset: 0, Type: TypeInt},
+		{Name: "next", Offset: 4, Type: PointerTo(node)},
+	}
+	im.Structs["node"] = node
+	im.Entry = TextBase
+	im.Text = []uint32{0x24020005, 0x03e00008}
+	im.Data = []byte{1, 2, 3, 4}
+	im.BSS = 8
+	im.Syms = []Sym{
+		{Name: "main", Addr: TextBase, Size: 8, Kind: SymFunc, FrameSize: 16,
+			Locals: []Local{{Name: "x", Offset: 8, Type: TypeInt}}},
+		{Name: "g", Addr: DataBase, Size: 4, Kind: SymData, Type: PointerTo(node)},
+	}
+	im.SrcNames = map[uint32]string{TextBase: "main.c:1"}
+	return im
+}
+
+// FuzzDecodeImage throws arbitrary bytes at the image decoder: corrupt
+// input must produce an error, never a panic, and anything that decodes
+// must survive an encode/decode round trip.
+func FuzzDecodeImage(f *testing.F) {
+	if b, err := fuzzSeedImage().Encode(); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x13, 0x37})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > 1<<16 {
+			return
+		}
+		im, err := DecodeImage(b)
+		if err != nil {
+			return
+		}
+		b2, err := im.Encode()
+		if err != nil {
+			t.Fatalf("decoded image fails to re-encode: %v", err)
+		}
+		if _, err := DecodeImage(b2); err != nil {
+			t.Fatalf("re-encoded image fails to decode: %v", err)
+		}
+	})
+}

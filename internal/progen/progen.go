@@ -1,0 +1,547 @@
+// Package progen generates random but well-defined mini-C programs for
+// differential testing of the compiler/VM pipeline. Every program is
+// constructed so that its behaviour is fully determined: loops are
+// bounded, array indices are masked into range, divisors are forced
+// non-zero, shift counts are masked, every variable is initialised
+// before use, and no absolute address ever leaks into an observable
+// value (pointers are only dereferenced, walked within bounds, or
+// compared). Any divergence between the AST interpreter, the -O0
+// pipeline, and the -O pipeline on a generated program is therefore a
+// bug in one of them.
+//
+// The statement mix mirrors the benchmark archetypes of the paper's
+// suite: dense array sweeps, pointer walks, malloc'd linked lists,
+// struct-array field traffic, global state, and call-heavy scalar code.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config tunes the shape of generated programs. The zero value of a
+// feature flag disables that feature; DefaultConfig enables everything.
+type Config struct {
+	// Statements is the top-level statement budget for main (minimum 4).
+	Statements int
+	// Depth bounds statement nesting (if/for bodies).
+	Depth int
+	// ExprDepth bounds expression recursion.
+	ExprDepth int
+	// Globals adds file-scope scalars and arrays to the mix.
+	Globals bool
+	// Structs adds struct-array field traffic and malloc'd linked lists.
+	Structs bool
+	// Pointers adds bounded pointer walks over arrays.
+	Pointers bool
+	// Chars adds char-typed locals (sign-extension and byte-store paths).
+	Chars bool
+	// Floats adds float locals and arithmetic (float32 codegen paths).
+	Floats bool
+	// Funcs adds generated helper functions and bounded recursion.
+	Funcs bool
+	// Args adds arg()/nargs() input reads; runners must agree on Args.
+	Args bool
+}
+
+// DefaultConfig enables every feature with moderate sizes.
+func DefaultConfig() Config {
+	return Config{
+		Statements: 12,
+		Depth:      2,
+		ExprDepth:  2,
+		Globals:    true,
+		Structs:    true,
+		Pointers:   true,
+		Chars:      true,
+		Floats:     true,
+		Funcs:      true,
+		Args:       true,
+	}
+}
+
+type array struct {
+	name string
+	mask int // length-1; lengths are powers of two
+}
+
+// Generator produces one program per call to Program. It is not safe
+// for concurrent use; create one per goroutine.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	sb  strings.Builder
+
+	// Per-function state.
+	vars  []string // readable int-class variables (includes loop indices)
+	mut   []string // assignable int-class variables
+	fvars []string // readable float variables
+	fmut  []string // assignable float variables
+	depth int
+	nVar  int
+	// noContinue guards while-loop bodies where a continue would skip
+	// the manual counter update and hang.
+	noContinue int
+	loopDepth  int
+
+	// Program-wide state.
+	arrays  []array // int arrays in scope (locals and globals)
+	sarrays []array // struct pair arrays (globals)
+	globals []string
+	inMain  bool
+	helpers []string // callable helper function names with (int,int) sig
+}
+
+// New returns a generator for the given configuration.
+func New(cfg Config) *Generator {
+	if cfg.Statements < 4 {
+		cfg.Statements = 4
+	}
+	if cfg.Depth < 1 {
+		cfg.Depth = 1
+	}
+	if cfg.ExprDepth < 1 {
+		cfg.ExprDepth = 1
+	}
+	return &Generator{cfg: cfg}
+}
+
+// Program generates the source of one self-checking program. The same
+// (Config, seed) pair always yields the same source.
+func (g *Generator) Program(seed int64) string {
+	g.rng = rand.New(rand.NewSource(seed))
+	g.sb.Reset()
+	g.arrays, g.sarrays, g.globals, g.helpers = nil, nil, nil, nil
+
+	if g.cfg.Structs {
+		g.sb.WriteString("struct pair { int a; int b; };\n")
+		g.sb.WriteString("struct node { int v; struct node *next; };\n")
+		if g.rng.Intn(2) == 0 {
+			n := 8 << g.rng.Intn(2) // 8 or 16
+			fmt.Fprintf(&g.sb, "struct pair gps[%d];\n", n)
+			g.sarrays = append(g.sarrays, array{"gps", n - 1})
+		}
+	}
+	if g.cfg.Globals {
+		ng := g.rng.Intn(3)
+		for i := 0; i <= ng; i++ {
+			name := fmt.Sprintf("gv%d", i)
+			if g.rng.Intn(2) == 0 {
+				fmt.Fprintf(&g.sb, "int %s = %d;\n", name, g.rng.Intn(200)-100)
+			} else {
+				fmt.Fprintf(&g.sb, "int %s;\n", name)
+			}
+			g.globals = append(g.globals, name)
+		}
+		if g.rng.Intn(2) == 0 {
+			n := 32 << g.rng.Intn(2) // 32 or 64
+			fmt.Fprintf(&g.sb, "int garr[%d];\n", n)
+			g.arrays = append(g.arrays, array{"garr", n - 1})
+		}
+	}
+
+	// Local arrays of main are declared file-like at the top of main;
+	// record them now so helper bodies (emitted first) do not use them.
+	localArrays := g.rng.Intn(2) + 1
+
+	g.sb.WriteString("int h1(int a, int b) { return a * 3 - (b ^ 5); }\n")
+	g.helpers = append(g.helpers, "h1")
+	if g.cfg.Funcs {
+		g.sb.WriteString("int rec(int n) { if (n <= 0) { return 1; } return n + rec(n - 1); }\n")
+		g.helpers = append(g.helpers, "rec")
+		if g.rng.Intn(2) == 0 {
+			g.genHelper("h2")
+			g.helpers = append(g.helpers, "h2")
+		}
+	}
+
+	g.genMain(localArrays)
+	return g.sb.String()
+}
+
+// resetFunc clears per-function variable state, seeding the readable
+// lists with the parameters.
+func (g *Generator) resetFunc(params ...string) {
+	g.vars = append([]string(nil), params...)
+	g.mut = append([]string(nil), params...)
+	g.fvars, g.fmut = nil, nil
+	g.depth, g.nVar = 0, 0
+	g.noContinue, g.loopDepth = 0, 0
+}
+
+// genHelper emits a small helper function with a generated body.
+func (g *Generator) genHelper(name string) {
+	g.resetFunc("a", "b")
+	g.inMain = false
+	fmt.Fprintf(&g.sb, "int %s(int a, int b) {\n", name)
+	n := g.rng.Intn(3) + 2
+	for i := 0; i < n; i++ {
+		g.stmt(1)
+	}
+	fmt.Fprintf(&g.sb, "\treturn %s;\n}\n", g.expr(g.cfg.ExprDepth))
+}
+
+func (g *Generator) genMain(localArrays int) {
+	g.resetFunc()
+	g.inMain = true
+	// Globals are assignable everywhere; register them for main.
+	g.vars = append(g.vars, g.globals...)
+	g.mut = append(g.mut, g.globals...)
+
+	g.sb.WriteString("int main() {\n")
+	nLocalArr := len(g.arrays)
+	for i := 0; i < localArrays; i++ {
+		name := fmt.Sprintf("arr%d", i)
+		n := 32 << g.rng.Intn(2)
+		fmt.Fprintf(&g.sb, "\tint %s[%d];\n", name, n)
+		fmt.Fprintf(&g.sb, "\tint zi%d;\n", i)
+		fmt.Fprintf(&g.sb, "\tfor (zi%d = 0; zi%d < %d; zi%d++) %s[zi%d] = zi%d * %d;\n",
+			i, i, n, i, name, i, i, g.rng.Intn(7)+1)
+		g.vars = append(g.vars, fmt.Sprintf("zi%d", i))
+		g.arrays = append(g.arrays, array{name, n - 1})
+	}
+
+	nStmts := g.rng.Intn(g.cfg.Statements) + 4
+	for i := 0; i < nStmts; i++ {
+		g.stmt(g.cfg.Depth)
+	}
+
+	// Fold every observable value into a checksum.
+	g.sb.WriteString("\tint chk = 0;\n")
+	for _, v := range g.vars {
+		fmt.Fprintf(&g.sb, "\tchk = chk * 31 + %s;\n", v)
+	}
+	for _, v := range g.fvars {
+		// Assignment converts float to int (cvt.w.s semantics).
+		fmt.Fprintf(&g.sb, "\tint chkf_%s = %s;\n", v, v)
+		fmt.Fprintf(&g.sb, "\tchk = chk * 31 + chkf_%s;\n", v)
+	}
+	g.sb.WriteString("\tint ci;\n")
+	for _, a := range g.arrays {
+		fmt.Fprintf(&g.sb, "\tfor (ci = 0; ci <= %d; ci++) chk = chk * 31 + %s[ci];\n",
+			a.mask, a.name)
+	}
+	for _, a := range g.sarrays {
+		fmt.Fprintf(&g.sb, "\tfor (ci = 0; ci <= %d; ci++) chk = chk * 31 + %s[ci].a - %s[ci].b;\n",
+			a.mask, a.name, a.name)
+	}
+	g.sb.WriteString("\tprint_int(chk);\n\treturn chk & 255;\n}\n")
+	g.arrays = g.arrays[:nLocalArr] // main's locals die with it
+}
+
+func (g *Generator) pick(list []string) string { return list[g.rng.Intn(len(list))] }
+
+// intLeaf produces a leaf of an int-valued expression.
+func (g *Generator) intLeaf() string {
+	for {
+		switch g.rng.Intn(6) {
+		case 0:
+			return fmt.Sprint(g.rng.Intn(2000) - 1000)
+		case 1:
+			if len(g.vars) > 0 {
+				return g.pick(g.vars)
+			}
+		case 2:
+			if len(g.arrays) > 0 && len(g.vars) > 0 {
+				a := g.arrays[g.rng.Intn(len(g.arrays))]
+				return fmt.Sprintf("%s[%s & %d]", a.name, g.pick(g.vars), a.mask)
+			}
+		case 3:
+			if len(g.sarrays) > 0 && len(g.vars) > 0 {
+				a := g.sarrays[g.rng.Intn(len(g.sarrays))]
+				f := []string{"a", "b"}[g.rng.Intn(2)]
+				return fmt.Sprintf("%s[%s & %d].%s", a.name, g.pick(g.vars), a.mask, f)
+			}
+		case 4:
+			if g.cfg.Args {
+				if g.rng.Intn(4) == 0 {
+					return "nargs()"
+				}
+				return fmt.Sprintf("arg(%d)", g.rng.Intn(4))
+			}
+		default:
+			return fmt.Sprint(g.rng.Intn(100))
+		}
+	}
+}
+
+// expr produces an int-valued expression over the declared variables.
+func (g *Generator) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		return g.intLeaf()
+	}
+	a, b := g.expr(depth-1), g.expr(depth-1)
+	switch g.rng.Intn(16) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		return fmt.Sprintf("(%s / ((%s & 7) + 1))", a, b)
+	case 4:
+		return fmt.Sprintf("(%s %% ((%s & 7) + 1))", a, b)
+	case 5:
+		return fmt.Sprintf("(%s ^ %s)", a, b)
+	case 6:
+		return fmt.Sprintf("(%s << (%s & 7))", a, b)
+	case 7:
+		return fmt.Sprintf("(%s >> (%s & 7))", a, b)
+	case 8:
+		return fmt.Sprintf("(%s < %s)", a, b)
+	case 9:
+		return fmt.Sprintf("(%s %s %s)", a,
+			[]string{">", "<=", ">=", "==", "!="}[g.rng.Intn(5)], b)
+	case 10:
+		return fmt.Sprintf("(%s %s %s)", a, []string{"&&", "||"}[g.rng.Intn(2)], b)
+	case 11:
+		return fmt.Sprintf("(%s %s)", []string{"!", "~", "-"}[g.rng.Intn(3)], a)
+	case 12:
+		return fmt.Sprintf("(%s & %s)", a, b)
+	case 13:
+		return fmt.Sprintf("(%s | %s)", a, b)
+	case 14:
+		if g.cfg.Funcs && g.inMain {
+			for _, h := range g.helpers {
+				if h == "rec" && g.rng.Intn(2) == 0 {
+					return fmt.Sprintf("rec(%s & 15)", a)
+				}
+			}
+		}
+		// Spill-across-call path of the code generator.
+		return fmt.Sprintf("h1(%s, %s)", a, b)
+	default:
+		h := g.helpers[g.rng.Intn(len(g.helpers))]
+		if h == "rec" {
+			return fmt.Sprintf("rec(%s & 15)", a)
+		}
+		if !g.inMain {
+			h = "h1" // helpers may only call h1 (defined before them)
+		}
+		return fmt.Sprintf("%s(%s, %s)", h, a, b)
+	}
+}
+
+// fexpr produces a float-valued expression.
+func (g *Generator) fexpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch {
+		case len(g.fvars) > 0 && g.rng.Intn(2) == 0:
+			return g.pick(g.fvars)
+		case len(g.vars) > 0 && g.rng.Intn(3) == 0:
+			return g.pick(g.vars) // int operand, promoted by the compiler
+		default:
+			return fmt.Sprintf("%.3f", g.rng.Float64()*32-16)
+		}
+	}
+	a, b := g.fexpr(depth-1), g.fexpr(depth-1)
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	default:
+		// Division with a divisor bounded away from zero.
+		return fmt.Sprintf("(%s / ((%s * %s) + 1.25))", a, b, b)
+	}
+}
+
+// cond produces a condition; occasionally a float comparison.
+func (g *Generator) cond() string {
+	if g.cfg.Floats && len(g.fvars) > 0 && g.rng.Intn(4) == 0 {
+		return fmt.Sprintf("(%s %s %s)", g.pick(g.fvars),
+			[]string{"<", ">", "<=", ">=", "==", "!="}[g.rng.Intn(6)], g.fexpr(1))
+	}
+	return g.expr(1)
+}
+
+func (g *Generator) ind() string { return strings.Repeat("\t", g.depth+1) }
+
+func (g *Generator) stmt(depth int) {
+	ind := g.ind()
+	for {
+		switch g.rng.Intn(14) {
+		case 0: // new int variable
+			name := fmt.Sprintf("v%d", g.nVar)
+			g.nVar++
+			fmt.Fprintf(&g.sb, "%sint %s = %s;\n", ind, name, g.expr(g.cfg.ExprDepth))
+			g.vars = append(g.vars, name)
+			g.mut = append(g.mut, name)
+		case 1: // assignment (never to a live loop index)
+			if len(g.mut) == 0 {
+				continue
+			}
+			fmt.Fprintf(&g.sb, "%s%s = %s;\n", ind, g.pick(g.mut), g.expr(g.cfg.ExprDepth))
+		case 2: // array store
+			if len(g.arrays) == 0 || len(g.vars) == 0 {
+				continue
+			}
+			a := g.arrays[g.rng.Intn(len(g.arrays))]
+			fmt.Fprintf(&g.sb, "%s%s[%s & %d] = %s;\n",
+				ind, a.name, g.pick(g.vars), a.mask, g.expr(g.cfg.ExprDepth))
+		case 3: // if / if-else
+			if depth <= 0 {
+				continue
+			}
+			fmt.Fprintf(&g.sb, "%sif (%s) {\n", ind, g.cond())
+			g.block(depth - 1)
+			if g.rng.Intn(2) == 0 {
+				fmt.Fprintf(&g.sb, "%s} else {\n", ind)
+				g.block(depth - 1)
+			}
+			fmt.Fprintf(&g.sb, "%s}\n", ind)
+		case 4: // bounded for loop
+			if depth <= 0 {
+				continue
+			}
+			name := fmt.Sprintf("v%d", g.nVar)
+			g.nVar++
+			n := g.rng.Intn(12) + 2
+			fmt.Fprintf(&g.sb, "%sint %s;\n", ind, name)
+			fmt.Fprintf(&g.sb, "%sfor (%s = 0; %s < %d; %s++) {\n", ind, name, name, n, name)
+			g.vars = append(g.vars, name) // readable, not assignable
+			g.loopDepth++
+			g.block(depth - 1)
+			g.loopDepth--
+			fmt.Fprintf(&g.sb, "%s}\n", ind)
+		case 5: // compound assignment
+			if len(g.mut) == 0 {
+				continue
+			}
+			ops := []string{"+=", "-=", "*="}
+			fmt.Fprintf(&g.sb, "%s%s %s %s;\n",
+				ind, g.pick(g.mut), ops[g.rng.Intn(len(ops))], g.expr(1))
+		case 6: // char variable (byte store/sign-extended load paths)
+			if !g.cfg.Chars {
+				continue
+			}
+			name := fmt.Sprintf("c%d", g.nVar)
+			g.nVar++
+			fmt.Fprintf(&g.sb, "%schar %s = %s;\n", ind, name, g.expr(1))
+			g.vars = append(g.vars, name)
+			g.mut = append(g.mut, name)
+		case 7: // float variable or assignment
+			if !g.cfg.Floats {
+				continue
+			}
+			if len(g.fmut) > 0 && g.rng.Intn(2) == 0 {
+				fmt.Fprintf(&g.sb, "%s%s = %s;\n", ind, g.pick(g.fmut), g.fexpr(g.cfg.ExprDepth))
+			} else {
+				name := fmt.Sprintf("f%d", g.nVar)
+				g.nVar++
+				fmt.Fprintf(&g.sb, "%sfloat %s = %s;\n", ind, name, g.fexpr(g.cfg.ExprDepth))
+				g.fvars = append(g.fvars, name)
+				g.fmut = append(g.fmut, name)
+			}
+		case 8: // while loop with a manual counter (no continue inside)
+			if depth <= 0 {
+				continue
+			}
+			name := fmt.Sprintf("v%d", g.nVar)
+			g.nVar++
+			n := g.rng.Intn(10) + 1
+			fmt.Fprintf(&g.sb, "%sint %s = %d;\n", ind, name, n)
+			fmt.Fprintf(&g.sb, "%swhile (%s > 0) {\n", ind, name)
+			g.loopDepth++
+			g.noContinue++
+			g.block(depth - 1)
+			g.noContinue--
+			g.loopDepth--
+			fmt.Fprintf(&g.sb, "%s\t%s = %s - 1;\n", ind, name, name)
+			fmt.Fprintf(&g.sb, "%s}\n", ind)
+			g.vars = append(g.vars, name)
+			g.mut = append(g.mut, name)
+		case 9: // break / continue behind a condition
+			if g.loopDepth == 0 {
+				continue
+			}
+			kw := "break"
+			if g.noContinue == 0 && g.rng.Intn(2) == 0 {
+				kw = "continue"
+			}
+			fmt.Fprintf(&g.sb, "%sif (%s) { %s; }\n", ind, g.expr(1), kw)
+		case 10: // bounded pointer walk over an array
+			if !g.cfg.Pointers || len(g.arrays) == 0 || depth <= 0 {
+				continue
+			}
+			a := g.arrays[g.rng.Intn(len(g.arrays))]
+			p := fmt.Sprintf("p%d", g.nVar)
+			w := fmt.Sprintf("v%d", g.nVar+1)
+			acc := fmt.Sprintf("v%d", g.nVar+2)
+			g.nVar += 3
+			n := g.rng.Intn(a.mask) + 1
+			fmt.Fprintf(&g.sb, "%sint *%s = &%s[0];\n", ind, p, a.name)
+			fmt.Fprintf(&g.sb, "%sint %s;\n", ind, acc)
+			fmt.Fprintf(&g.sb, "%s%s = 0;\n", ind, acc)
+			fmt.Fprintf(&g.sb, "%sint %s;\n", ind, w)
+			fmt.Fprintf(&g.sb, "%sfor (%s = 0; %s < %d; %s++) { %s = %s * 17 + *%s; %s++; }\n",
+				ind, w, w, n, w, acc, acc, p, p)
+			if g.rng.Intn(2) == 0 {
+				// Pointer difference folds in without leaking addresses.
+				fmt.Fprintf(&g.sb, "%s%s = %s + (%s - &%s[0]);\n", ind, acc, acc, p, a.name)
+			}
+			g.vars = append(g.vars, w, acc)
+			g.mut = append(g.mut, acc)
+		case 11: // malloc'd linked list: build then traverse
+			if !g.cfg.Structs || depth <= 0 {
+				continue
+			}
+			hd := fmt.Sprintf("hd%d", g.nVar)
+			li := fmt.Sprintf("v%d", g.nVar+1)
+			acc := fmt.Sprintf("v%d", g.nVar+2)
+			cur := fmt.Sprintf("cu%d", g.nVar+3)
+			g.nVar += 4
+			n := g.rng.Intn(24) + 2
+			fmt.Fprintf(&g.sb, "%sstruct node *%s = 0;\n", ind, hd)
+			fmt.Fprintf(&g.sb, "%sint %s;\n", ind, li)
+			fmt.Fprintf(&g.sb, "%sfor (%s = 0; %s < %d; %s++) {\n", ind, li, li, n, li)
+			fmt.Fprintf(&g.sb, "%s\tstruct node *nn = malloc(sizeof(struct node));\n", ind)
+			fmt.Fprintf(&g.sb, "%s\tnn->v = %s * 13 + %s;\n", ind, li, g.expr(1))
+			fmt.Fprintf(&g.sb, "%s\tnn->next = %s;\n", ind, hd)
+			fmt.Fprintf(&g.sb, "%s\t%s = nn;\n", ind, hd)
+			fmt.Fprintf(&g.sb, "%s}\n", ind)
+			fmt.Fprintf(&g.sb, "%sint %s;\n", ind, acc)
+			fmt.Fprintf(&g.sb, "%s%s = 0;\n", ind, acc)
+			fmt.Fprintf(&g.sb, "%sstruct node *%s = %s;\n", ind, cur, hd)
+			fmt.Fprintf(&g.sb, "%swhile (%s) { %s = %s * 7 + %s->v; %s = %s->next; }\n",
+				ind, cur, acc, acc, cur, cur, cur)
+			g.vars = append(g.vars, li, acc)
+			g.mut = append(g.mut, acc)
+		case 12: // struct array field store
+			if len(g.sarrays) == 0 || len(g.vars) == 0 {
+				continue
+			}
+			a := g.sarrays[g.rng.Intn(len(g.sarrays))]
+			f := []string{"a", "b"}[g.rng.Intn(2)]
+			fmt.Fprintf(&g.sb, "%s%s[%s & %d].%s = %s;\n",
+				ind, a.name, g.pick(g.vars), a.mask, f, g.expr(1))
+		case 13: // output statement
+			switch g.rng.Intn(3) {
+			case 0:
+				fmt.Fprintf(&g.sb, "%sprint_int(%s);\n", ind, g.expr(1))
+			case 1:
+				fmt.Fprintf(&g.sb, "%sprint_char((%s & 63) + 32);\n", ind, g.expr(1))
+			default:
+				fmt.Fprintf(&g.sb, "%sprint_str(\"|\");\n", ind)
+			}
+		}
+		return
+	}
+}
+
+// block emits one nested statement inside braces, restoring variable
+// scope afterwards (mirroring the C block scope the parser enforces).
+func (g *Generator) block(depth int) {
+	nv, nm, nfv, nfm := len(g.vars), len(g.mut), len(g.fvars), len(g.fmut)
+	na := len(g.arrays)
+	g.depth++
+	g.stmt(depth)
+	g.depth--
+	g.vars, g.mut = g.vars[:nv], g.mut[:nm]
+	g.fvars, g.fmut = g.fvars[:nfv], g.fmut[:nfm]
+	g.arrays = g.arrays[:na]
+}

@@ -233,3 +233,51 @@ func TestCompression(t *testing.T) {
 		t.Errorf("encoding too fat: %.1f bytes/record", perRec)
 	}
 }
+
+// TestReaderArbitraryBytes feeds malformed streams to the decoder: each
+// must end in a clean error or EOF, never a panic or a bogus record
+// after an error.
+func TestReaderArbitraryBytes(t *testing.T) {
+	overflow := bytes.Repeat([]byte{0xff}, 11) // varint wider than 64 bits
+	cases := [][]byte{
+		{},
+		{0x80},       // unterminated varint
+		{0x01},       // head without address
+		{0x01, 0x80}, // address varint cut short
+		overflow,
+		append([]byte{0x01, 0x01}, overflow...),
+		{0xde, 0xad, 0xbe, 0xef, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for i, b := range cases {
+		r := NewReader(bytes.NewReader(b))
+		for {
+			_, err := r.Next()
+			if err != nil {
+				break // io.EOF or a decode error both fine; no panic
+			}
+		}
+		_ = i
+	}
+}
+
+// TestWriterDeterministic: identical access sequences must encode to
+// identical bytes, so traces can be diffed and cached by content.
+func TestWriterDeterministic(t *testing.T) {
+	emit := func() []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		pcs := []uint32{0x400000, 0x400004, 0x400000, 0x400100, 0x3ff000}
+		for i, pc := range pcs {
+			if err := w.Add(pc, 0x10000000+uint32(i*64), i%2 == 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(emit(), emit()) {
+		t.Fatal("same accesses, different encodings")
+	}
+}

@@ -30,4 +30,36 @@ echo "== bench smoke"
 # benchmark without paying for a full measurement run.
 go test -run '^$' -bench 'BenchmarkCacheAccess' -benchtime 1x ./...
 
+echo "== coverage floor"
+# Packages with dedicated correctness harnesses must stay above 75%
+# statement coverage; the committed fuzz corpora count, since they run
+# as ordinary tests.
+go test -cover \
+    ./internal/progen ./internal/interp ./internal/difftest \
+    ./internal/trace ./internal/train \
+    ./internal/minic ./internal/asm ./internal/obj ./internal/disasm |
+awk '
+/coverage:/ {
+    pct = $5; sub(/%.*/, "", pct)
+    if (pct + 0 < 75) { printf "coverage below 75%%: %s %s\n", $2, $5; bad = 1 }
+}
+END { exit bad }
+'
+
+echo "== difftest smoke"
+# Three-way differential oracle: AST interpreter vs -O0 vs -O over a
+# fixed batch of generated programs. Any disagreement fails the gate.
+go run ./cmd/delinq difftest -n 200 -seed 1
+
+echo "== fuzz smoke"
+# Each native fuzz target gets a short time-boxed run (the Go fuzzer
+# accepts one -fuzz target per invocation). The committed corpora under
+# testdata/fuzz/ already ran as ordinary tests above; this adds a little
+# fresh mutation on every gate run.
+go test -fuzz '^FuzzParse$' -fuzztime 5s -run '^$' ./internal/minic
+go test -fuzz '^FuzzCompile$' -fuzztime 5s -run '^$' ./internal/minic
+go test -fuzz '^FuzzAssemble$' -fuzztime 5s -run '^$' ./internal/asm
+go test -fuzz '^FuzzAsmRoundTrip$' -fuzztime 5s -run '^$' ./internal/disasm
+go test -fuzz '^FuzzDecodeImage$' -fuzztime 5s -run '^$' ./internal/obj
+
 echo "OK"
