@@ -9,7 +9,7 @@
 //	delinq asm [-o prog.img] prog.s              assemble
 //	delinq disasm prog.img                       objdump-style listing
 //	delinq run prog.img [args...]                simulate with the baseline cache
-//	delinq analyze [-O] prog.c [args...]         identify delinquent loads
+//	delinq analyze [-O] [-inter] prog.c [args...]  identify delinquent loads
 //	delinq profile [-O] prog.c [args...]         hotspot blocks and their loads
 //	delinq trace [-o t.bin] prog.img [args...]   memory trace collection + replay
 //	delinq train                                 print the training report
@@ -82,7 +82,7 @@ func usage() {
   asm [-o out.img] prog.s           assemble MIPS-style assembly
   disasm prog.img                   disassemble an image
   run prog.img [args...]            simulate with the 8KB baseline cache
-  analyze [-O] prog.c [args...]     identify delinquent loads statically
+  analyze [-O] [-inter] prog.c [args...]  identify delinquent loads statically
   profile [-O] prog.c [args...]     basic-block profile and hotspot loads
   trace [-o t.bin] prog.img [args]  collect a memory trace, then replay it
   train                             run the training phase, print weights
@@ -195,6 +195,7 @@ func cmdRun(args []string) error {
 func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	opt := fs.Bool("O", false, "optimise before analysing")
+	inter := fs.Bool("inter", false, "resolve address patterns across calls (function summaries)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -217,7 +218,7 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.IdentifyImage(img, core.Options{Profile: sim})
+	res, err := core.IdentifyImage(img, core.Options{Profile: sim, Interprocedural: *inter})
 	if err != nil {
 		return err
 	}
@@ -382,6 +383,9 @@ func cmdTable(args []string) error {
 	verbose := fs.Bool("v", false, "print memo-cache statistics to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("table -j wants a non-negative worker count, got %d", *workers)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("table wants a table number or 'all'")

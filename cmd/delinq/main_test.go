@@ -63,6 +63,8 @@ func TestCLIEndToEnd(t *testing.T) {
 	if !strings.Contains(out, "baselines:") {
 		t.Errorf("analyze missing baselines:\n%s", out)
 	}
+	run("possibly delinquent", "analyze", "-inter", src)
+	run("possibly delinquent", "analyze", "-O", "-inter", src)
 	run("hotspot loads", "profile", src)
 	run("Table 6.", "table", "6")
 	// The parallel engine: explicit worker count, and -v memo counters
@@ -79,6 +81,12 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 	if err := exec.Command(bin, "table", "-j", "zero", "1").Run(); err == nil {
 		t.Error("table -j with non-numeric arg succeeded")
+	}
+	jOut, err := exec.Command(bin, "table", "-j", "-1", "1").CombinedOutput()
+	if err == nil {
+		t.Error("table -j -1 succeeded, want usage error")
+	} else if !strings.Contains(string(jOut), "non-negative") {
+		t.Errorf("table -j -1 error not a usage message:\n%s", jOut)
 	}
 	if err := exec.Command(bin, "frobnicate").Run(); err == nil {
 		t.Error("unknown command succeeded")

@@ -13,6 +13,30 @@ import (
 	"delinq/internal/tables"
 )
 
+// TestTableInterGolden pins the interprocedural comparison table (S4),
+// which is rendered on demand rather than as part of the default sweep:
+// the committed tables_inter.txt must be reproduced byte for byte.
+func TestTableInterGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark sweep in short mode")
+	}
+	want, err := os.ReadFile("tables_inter.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := tables.ByID("S4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := tab.Render(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("table S4 diverges from tables_inter.txt:\n%s", got.Bytes())
+	}
+}
+
 func TestTableAllGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full table sweep in short mode")

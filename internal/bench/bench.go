@@ -107,8 +107,9 @@ func (r *Run) ExecCount(pc uint32) int64 { return r.Result.ExecAt(pc) }
 // computation instead of duplicating it or serialising on a global
 // lock, which is what lets a worker pool saturate every core.
 var (
-	builds memo.Cache[*Build]
-	runs   memo.Cache[*Run]
+	builds     memo.Cache[*Build]
+	runs       memo.Cache[*Run]
+	interLoads memo.Cache[[]*pattern.Load]
 )
 
 // ResetCache clears the memoised builds and runs (used by tests and the
@@ -120,6 +121,7 @@ var (
 func ResetCache() {
 	builds.Reset()
 	runs.Reset()
+	interLoads.Reset()
 }
 
 // CacheStats returns the activity counters of the build and run memo
@@ -203,6 +205,20 @@ func Compile(b *Benchmark, optimize bool) (*Build, error) {
 			Loads:    pattern.AnalyzeProgram(prog, pattern.DefaultConfig()),
 		}, nil
 	})
+}
+
+// LoadsInter returns the build's loads re-analysed with interprocedural
+// summaries (pattern.Config.Interprocedural). Build.Loads keeps the
+// paper's flat per-function analysis; this alternate view is memoised
+// alongside it so the comparison tables can render both without
+// recomputing either.
+func LoadsInter(bd *Build) []*pattern.Load {
+	out, _ := interLoads.Do(buildKey(bd.Bench.Name, bd.Optimize)+"|inter", func() ([]*pattern.Load, error) {
+		conf := pattern.DefaultConfig()
+		conf.Interprocedural = true
+		return pattern.AnalyzeProgram(bd.Prog, conf), nil
+	})
+	return out
 }
 
 // Simulate runs the binary on the given input, attaching one D-cache per

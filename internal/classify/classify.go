@@ -158,7 +158,10 @@ type Config struct {
 	// UseFrequency enables the AG8/AG9 negative classes, which require
 	// an execution profile (Table 11 reports both settings).
 	UseFrequency bool
-	// Pattern bounds forwarded to the pattern builder.
+	// Pattern bounds forwarded to the pattern builder; this is also
+	// where the Interprocedural knob rides (pattern.Config) when the
+	// whole-program summary analysis is wanted instead of the flat
+	// per-function one.
 	Pattern pattern.Config
 }
 

@@ -39,6 +39,10 @@ type Options struct {
 	Classify *classify.Config
 	// Profile supplies execution counts; nil disables AG8/AG9.
 	Profile classify.ExecProfile
+	// Interprocedural resolves address patterns across call boundaries
+	// using per-function summaries over the call graph (it sets
+	// Classify.Pattern.Interprocedural; see pattern.Config).
+	Interprocedural bool
 }
 
 // Result is a completed identification.
@@ -92,6 +96,9 @@ func IdentifyImage(img *obj.Image, opts Options) (*Result, error) {
 	}
 	if opts.Profile == nil {
 		cfg.UseFrequency = false
+	}
+	if opts.Interprocedural {
+		cfg.Pattern.Interprocedural = true
 	}
 	loads := pattern.AnalyzeProgram(prog, cfg.Pattern)
 	return &Result{

@@ -108,6 +108,7 @@ func FuzzCompile(f *testing.F) {
 		"struct node { int v; struct node *next; }; int main() { struct node *p = malloc(8); p->v = 1; return p->v; }",
 		"int main() { char c = 300; float f = c / 2.0; return f; }",
 		"int h(int a, int b) { return a * b; } int main() { return h(3, 4); }",
+		"int f(int a) { return a + 1; } int g(int a) { return f(a) * 2; } int r(int n, int k) { if (n <= 0) { return k; } return r(n - 1, k + n); } int main() { return g(2) + r(3, 0); }",
 		"int main() { while (1) break; return sizeof(int); }",
 	} {
 		f.Add(s)

@@ -16,6 +16,15 @@ type Config struct {
 	MaxNodes int
 	// MaxDepth caps substitution depth (default 16).
 	MaxDepth int
+	// Interprocedural resolves call boundaries instead of stopping at
+	// them: Ret leaves are replaced by the callee's return-value
+	// summary (instantiated with the argument patterns at the call
+	// site) and Param leaves by the union of the argument patterns
+	// arriving from the function's callers. The same MaxPatterns/
+	// MaxNodes/MaxDepth budgets bound the extra expansion. Off by
+	// default, which reproduces the paper's "largely local" analysis
+	// exactly.
+	Interprocedural bool
 }
 
 // DefaultConfig returns the bounds used throughout the evaluation.
@@ -47,7 +56,15 @@ type Load struct {
 }
 
 // AnalyzeProgram builds address patterns for every load in the program.
+// With conf.Interprocedural set it first computes per-function summaries
+// over the call graph (see ComputeSummaries) and resolves Ret and Param
+// leaves through them; the returned loads appear in the same order as
+// the intraprocedural analysis either way.
 func AnalyzeProgram(p *disasm.Program, conf Config) []*Load {
+	if conf.Interprocedural {
+		conf = conf.withDefaults()
+		return ComputeSummaries(p, conf).analyzeProgram(p)
+	}
 	var out []*Load
 	for _, fn := range p.Funcs {
 		out = append(out, AnalyzeFunc(fn, conf)...)
@@ -55,22 +72,34 @@ func AnalyzeProgram(p *disasm.Program, conf Config) []*Load {
 	return out
 }
 
-// AnalyzeFunc builds address patterns for every load in one function.
+// AnalyzeFunc builds address patterns for every load in one function,
+// intraprocedurally (call boundaries stay opaque Param/Ret leaves).
 func AnalyzeFunc(fn *disasm.Func, conf Config) []*Load {
 	conf = conf.withDefaults()
+	b := newBuilder(fn, conf)
+	return b.analyzeLoads()
+}
+
+// newBuilder constructs a pattern builder over fn's dataflow facts.
+func newBuilder(fn *disasm.Func, conf Config) *builder {
 	g := cfg.Build(fn)
-	b := &builder{
+	return &builder{
 		fn:    fn,
 		conf:  conf,
 		df:    dataflow.Analyze(g),
 		slots: map[int32]int8{},
 	}
+}
+
+// analyzeLoads builds the address patterns of every load in the
+// builder's function.
+func (b *builder) analyzeLoads() []*Load {
 	var out []*Load
-	for i, in := range fn.Insts {
+	for i, in := range b.fn.Insts {
 		if !in.IsLoad() {
 			continue
 		}
-		ld := &Load{Func: fn, Index: i, PC: fn.PC(i), Inst: in}
+		ld := &Load{Func: b.fn, Index: i, PC: b.fn.PC(i), Inst: in}
 		b.truncated = false
 		bases := b.expandReg(in.Rs, i, 0, map[int]bool{})
 		seen := map[string]bool{}
@@ -92,6 +121,13 @@ type builder struct {
 	conf      Config
 	df        *dataflow.Result
 	truncated bool
+	// ipc, when non-nil, enables interprocedural resolution of Ret and
+	// Param leaves through the program's function summaries.
+	ipc *Summaries
+	// sccMates, non-nil only while ipc computes the summary of fn
+	// itself, maps callees in fn's own strongly connected component
+	// (including fn) to the recurrence marker instead of recursing.
+	sccMates map[*disasm.Func]bool
 	// slots memoises stack-slot recurrence queries: 1 yes, 2 no.
 	slots map[int32]int8
 	// storeSlots maps a stack-slot offset to the instructions that
@@ -179,14 +215,26 @@ func (b *builder) expandReg(reg isa.Reg, at, depth int, visiting map[int]bool) [
 		case dataflow.DefEntry:
 			switch reg {
 			case isa.A0, isa.A1, isa.A2, isa.A3:
-				add(&Expr{Kind: Param, Reg: reg})
+				if alts := b.resolveParam(reg); alts != nil {
+					for _, e := range alts {
+						add(e)
+					}
+				} else {
+					add(&Expr{Kind: Param, Reg: reg})
+				}
 			default:
 				add(unknownLeaf)
 			}
 		case dataflow.DefCall:
 			switch reg {
 			case isa.V0, isa.V1:
-				add(&Expr{Kind: Ret, Reg: reg})
+				if alts := b.resolveRet(d, reg, depth, visiting); alts != nil {
+					for _, e := range alts {
+						add(e)
+					}
+				} else {
+					add(&Expr{Kind: Ret, Reg: reg})
+				}
 			default:
 				add(unknownLeaf)
 			}

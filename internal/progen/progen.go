@@ -41,6 +41,12 @@ type Config struct {
 	Floats bool
 	// Funcs adds generated helper functions and bounded recursion.
 	Funcs bool
+	// CallChains deepens the call structure (requires Funcs): a
+	// helper-calls-helper chain and a two-argument recursive helper
+	// with a base case, so address patterns cross several call
+	// boundaries before bottoming out. Exercises the interprocedural
+	// summary analysis.
+	CallChains bool
 	// Args adds arg()/nargs() input reads; runners must agree on Args.
 	Args bool
 }
@@ -57,6 +63,7 @@ func DefaultConfig() Config {
 		Chars:      true,
 		Floats:     true,
 		Funcs:      true,
+		CallChains: true,
 		Args:       true,
 	}
 }
@@ -150,6 +157,15 @@ func (g *Generator) Program(seed int64) string {
 	if g.cfg.Funcs {
 		g.sb.WriteString("int rec(int n) { if (n <= 0) { return 1; } return n + rec(n - 1); }\n")
 		g.helpers = append(g.helpers, "rec")
+		if g.cfg.CallChains {
+			// Fixed multi-hop chains: hc2 -> hc1 -> h1, plus a
+			// recursive helper whose result feeds arithmetic at every
+			// level. Callers mask the recursion argument like rec's.
+			g.sb.WriteString("int hc1(int a, int b) { return h1(a ^ 3, b - 1) + (a & 7); }\n")
+			g.sb.WriteString("int hc2(int a, int b) { return hc1(h1(b, a), a - b) - hc1(b & 31, 2); }\n")
+			g.sb.WriteString("int rec2(int n, int k) { if (n <= 0) { return k ^ 1; } return rec2(n - 1, k + n) + (n & 3); }\n")
+			g.helpers = append(g.helpers, "hc1", "hc2", "rec2")
+		}
 		if g.rng.Intn(2) == 0 {
 			g.genHelper("h2")
 			g.helpers = append(g.helpers, "h2")
@@ -314,11 +330,15 @@ func (g *Generator) expr(depth int) string {
 		return fmt.Sprintf("h1(%s, %s)", a, b)
 	default:
 		h := g.helpers[g.rng.Intn(len(g.helpers))]
-		if h == "rec" {
-			return fmt.Sprintf("rec(%s & 15)", a)
+		if !g.inMain && h == "h2" {
+			h = "h1" // h2 is emitted last and may not call itself
 		}
-		if !g.inMain {
-			h = "h1" // helpers may only call h1 (defined before them)
+		switch h {
+		case "rec":
+			return fmt.Sprintf("rec(%s & 15)", a)
+		case "rec2":
+			// Bound the recursion depth like rec's call sites do.
+			return fmt.Sprintf("rec2(%s & 15, %s)", a, b)
 		}
 		return fmt.Sprintf("%s(%s, %s)", h, a, b)
 	}

@@ -84,9 +84,26 @@ func TestFeatureCoverage(t *testing.T) {
 		"struct node", "malloc(sizeof(struct node))", "->next",
 		"struct pair", "float ", "char ", "while (", "for (",
 		"int *", "arg(", "h1(", "rec(", "print_str", "print_char",
+		"hc1(", "hc2(", "rec2(",
 	} {
 		if !strings.Contains(src, want) {
 			t.Errorf("no generated program in 60 seeds contains %q", want)
+		}
+	}
+}
+
+// TestCallChainGate: with Funcs on but CallChains off, the deep-chain
+// helpers must stay out of the source (and out of the call sites).
+func TestCallChainGate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CallChains = false
+	g := New(cfg)
+	for seed := int64(1); seed <= 30; seed++ {
+		src := g.Program(seed)
+		for _, banned := range []string{"hc1", "hc2", "rec2"} {
+			if strings.Contains(src, banned) {
+				t.Fatalf("seed %d: %q appears with CallChains off:\n%s", seed, banned, src)
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"delinq/internal/classify"
 	"delinq/internal/freq"
 	"delinq/internal/metrics"
+	"delinq/internal/pattern"
 )
 
 // TableS1 is this repository's extension experiment, implementing the
@@ -135,6 +136,62 @@ func TableS2() (*Table, error) {
 		fmt.Sprintf("%.1f / %.0f", avg(fixedPi)*100, avg(fixedRho)*100),
 		fmt.Sprintf("%.1f / %.0f", avg(calPi)*100, avg(calRho)*100),
 	})
+	return t, nil
+}
+
+// TableS4 compares the paper's flat per-function pattern analysis with
+// the interprocedural summary pipeline on every benchmark: the same
+// heuristic and threshold, but Ret leaves resolved through callee
+// return summaries and Param leaves through caller argument patterns.
+// Cross-call pointer chases gain dereference classes (AG4-AG6), so the
+// selected set and its coverage can only move where calls hide address
+// structure. Rendered on demand (`delinq table S4`); not part of the
+// default sweep so the paper-table golden stays byte-identical.
+func TableS4() (*Table, error) {
+	t := &Table{
+		ID:    "S4",
+		Title: "Extension: interprocedural function summaries (pi/rho, %)",
+		Header: []string{"Benchmark", "O0 intra", "O0 inter",
+			"O intra", "O inter"},
+		Notes: "Input 1, 8KB baseline cache; inter = Ret/Param leaves resolved " +
+			"through call-graph summaries, same weights and delta",
+	}
+	cfg, err := HeuristicConfig(true)
+	if err != nil {
+		return nil, err
+	}
+	pis := make([][]float64, 4)
+	rhos := make([][]float64, 4)
+	for _, b := range bench.All() {
+		row := []string{b.Name}
+		col := 0
+		for _, optimize := range []bool{false, true} {
+			ctx, err := Load(b, optimize, false)
+			if err != nil {
+				return nil, err
+			}
+			stats := ctx.Stats(GeomBaseline)
+			for _, loads := range [][]*pattern.Load{ctx.Build.Loads, bench.LoadsInter(ctx.Build)} {
+				delta := map[uint32]bool{}
+				for _, s := range classify.Score(loads, ctx.Run, cfg) {
+					if s.Delinquent {
+						delta[s.Load.PC] = true
+					}
+				}
+				ev := metrics.Evaluate(delta, stats)
+				pis[col] = append(pis[col], ev.Pi)
+				rhos[col] = append(rhos[col], ev.Rho)
+				row = append(row, fmt.Sprintf("%.1f / %.0f", ev.Pi*100, ev.Rho*100))
+				col++
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avgRow := []string{"AVERAGE"}
+	for k := 0; k < 4; k++ {
+		avgRow = append(avgRow, fmt.Sprintf("%.1f / %.0f", avg(pis[k])*100, avg(rhos[k])*100))
+	}
+	t.Rows = append(t.Rows, avgRow)
 	return t, nil
 }
 

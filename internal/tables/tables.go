@@ -429,8 +429,10 @@ func ByID(id string) (*Table, error) {
 		return TableS2()
 	case "S3", "s3":
 		return TableS3()
+	case "S4", "s4":
+		return TableS4()
 	}
-	return nil, fmt.Errorf("tables: unknown table %q (valid: 1-14, S1-S3)", id)
+	return nil, fmt.Errorf("tables: unknown table %q (valid: 1-14, S1-S4)", id)
 }
 
 // IDs lists the regenerable tables.

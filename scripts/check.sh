@@ -37,7 +37,8 @@ echo "== coverage floor"
 go test -cover \
     ./internal/progen ./internal/interp ./internal/difftest \
     ./internal/trace ./internal/train \
-    ./internal/minic ./internal/asm ./internal/obj ./internal/disasm |
+    ./internal/minic ./internal/asm ./internal/obj ./internal/disasm \
+    ./internal/cfg ./internal/dataflow ./internal/callgraph |
 awk '
 /coverage:/ {
     pct = $5; sub(/%.*/, "", pct)
