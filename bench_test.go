@@ -6,6 +6,7 @@
 package delinq
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"runtime"
@@ -23,6 +24,15 @@ import (
 	"delinq/internal/tables"
 	"delinq/internal/vm"
 )
+
+// mustCache builds a cache from a geometry the bench knows is valid.
+func mustCache(cfg cache.Config) *cache.Cache {
+	c, err := cache.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
 
 // parsePct pulls a percentage out of a rendered AVERAGE cell.
 func parsePct(cell string) float64 {
@@ -281,7 +291,7 @@ func BenchmarkVMInstsPerSec(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		caches := make([]*cache.Cache, len(tables.StdGeoms))
 		for k, g := range tables.StdGeoms {
-			caches[k] = cache.MustNew(g)
+			caches[k] = mustCache(g)
 		}
 		res, err := vm.Run(bd.Image, vm.Options{Args: bd.Bench.Input1, Caches: caches})
 		if err != nil {
@@ -310,7 +320,7 @@ func BenchmarkCacheAccess(b *testing.B) {
 		{SizeBytes: 8 * 1024, Assoc: 1, BlockBytes: 32},
 	} {
 		b.Run(cfg.String(), func(b *testing.B) {
-			c := cache.MustNew(cfg)
+			c := mustCache(cfg)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				c.Access(addrs[i&(len(addrs)-1)], i&7 == 7)
@@ -330,7 +340,7 @@ func BenchmarkTableAllParallel(b *testing.B) {
 		bench.ResetCache()
 		tables.ResetTraining()
 		start := time.Now()
-		if err := tables.RenderAll(io.Discard, workers); err != nil {
+		if _, err := tables.RenderAll(context.Background(), io.Discard, workers); err != nil {
 			b.Fatal(err)
 		}
 		return time.Since(start)

@@ -20,6 +20,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,46 +34,90 @@ import (
 	"delinq/internal/classify"
 	"delinq/internal/core"
 	"delinq/internal/difftest"
+	"delinq/internal/faultinject"
 	"delinq/internal/metrics"
-	"delinq/internal/obj"
 	"delinq/internal/tables"
 	"delinq/internal/trace"
 	"delinq/internal/vm"
 )
 
+// usageError marks a command-line mistake (missing arguments, bad
+// values): the process exits 2, distinguishing it from a pipeline
+// failure (exit 1). Exit 0 covers success, including degraded-but-
+// rendered table runs unless -strict is set.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// installFaults arms the fault-injection plan named by the DELINQ_FAULTS
+// environment variable (spec syntax: point=target[#n],..., see
+// faultinject.ParsePlan), seeded by DELINQ_FAULT_SEED (default 1). The
+// hook exists so the CLI's degradation behaviour is testable end to end
+// without a special build.
+func installFaults() error {
+	spec := os.Getenv("DELINQ_FAULTS")
+	if spec == "" {
+		return nil
+	}
+	seed := int64(1)
+	if s := os.Getenv("DELINQ_FAULT_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return usagef("bad DELINQ_FAULT_SEED %q", s)
+		}
+		seed = v
+	}
+	plan, err := faultinject.ParsePlan(spec, seed)
+	if err != nil {
+		return usageError{msg: err.Error()}
+	}
+	faultinject.Install(plan)
+	return nil
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
-	var err error
-	switch os.Args[1] {
-	case "build":
-		err = cmdBuild(os.Args[2:])
-	case "asm":
-		err = cmdAsm(os.Args[2:])
-	case "disasm":
-		err = cmdDisasm(os.Args[2:])
-	case "run":
-		err = cmdRun(os.Args[2:])
-	case "analyze":
-		err = cmdAnalyze(os.Args[2:])
-	case "profile":
-		err = cmdProfile(os.Args[2:])
-	case "trace":
-		err = cmdTrace(os.Args[2:])
-	case "train":
-		err = cmdTrain()
-	case "table":
-		err = cmdTable(os.Args[2:])
-	case "bench":
-		err = cmdBench()
-	case "difftest":
-		err = cmdDifftest(os.Args[2:])
-	default:
-		usage()
+	err := installFaults()
+	if err == nil {
+		switch os.Args[1] {
+		case "build":
+			err = cmdBuild(os.Args[2:])
+		case "asm":
+			err = cmdAsm(os.Args[2:])
+		case "disasm":
+			err = cmdDisasm(os.Args[2:])
+		case "run":
+			err = cmdRun(os.Args[2:])
+		case "analyze":
+			err = cmdAnalyze(os.Args[2:])
+		case "profile":
+			err = cmdProfile(os.Args[2:])
+		case "trace":
+			err = cmdTrace(os.Args[2:])
+		case "train":
+			err = cmdTrain()
+		case "table":
+			err = cmdTable(os.Args[2:])
+		case "bench":
+			err = cmdBench()
+		case "difftest":
+			err = cmdDifftest(os.Args[2:])
+		default:
+			usage()
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "delinq:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -82,11 +128,11 @@ func usage() {
   asm [-o out.img] prog.s           assemble MIPS-style assembly
   disasm prog.img                   disassemble an image
   run prog.img [args...]            simulate with the 8KB baseline cache
-  analyze [-O] [-inter] prog.c [args...]  identify delinquent loads statically
+  analyze [-O] [-inter] [-timeout d] prog.c [args...]  identify delinquent loads statically
   profile [-O] prog.c [args...]     basic-block profile and hotspot loads
   trace [-o t.bin] prog.img [args]  collect a memory trace, then replay it
   train                             run the training phase, print weights
-  table [-j N] [-v] <1-14|S1|all>   regenerate a table (S1 = extension)
+  table [-j N] [-v] [-timeout d] [-strict] <1-14|S1|all>  regenerate a table
   bench                             list the benchmark suite
   difftest [-n N] [-seed S] [-v]    random programs: interp vs -O0 vs -O`)
 	os.Exit(2)
@@ -112,7 +158,7 @@ func cmdBuild(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("build wants one source file")
+		return usagef("build wants one source file")
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -137,7 +183,7 @@ func cmdAsm(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("asm wants one source file")
+		return usagef("asm wants one source file")
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -156,9 +202,9 @@ func cmdAsm(args []string) error {
 
 func cmdDisasm(args []string) error {
 	if len(args) != 1 {
-		return fmt.Errorf("disasm wants one image file")
+		return usagef("disasm wants one image file")
 	}
-	img, err := obj.ReadFile(args[0])
+	img, err := core.LoadImage(args[0])
 	if err != nil {
 		return err
 	}
@@ -171,9 +217,9 @@ func cmdDisasm(args []string) error {
 
 func cmdRun(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("run wants an image file")
+		return usagef("run wants an image file")
 	}
-	img, err := obj.ReadFile(args[0])
+	img, err := core.LoadImage(args[0])
 	if err != nil {
 		return err
 	}
@@ -196,11 +242,12 @@ func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	opt := fs.Bool("O", false, "optimise before analysing")
 	inter := fs.Bool("inter", false, "resolve address patterns across calls (function summaries)")
+	timeout := fs.Duration("timeout", 0, "deadline for simulation and analysis (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("analyze wants a source file")
+		return usagef("analyze wants a source file")
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -210,15 +257,21 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	img, err := core.BuildSource(string(src), *opt)
 	if err != nil {
 		return err
 	}
-	sim, err := core.Simulate(img, progArgs)
+	sim, err := core.SimulateCtx(ctx, img, progArgs)
 	if err != nil {
 		return err
 	}
-	res, err := core.IdentifyImage(img, core.Options{Profile: sim, Interprocedural: *inter})
+	res, err := core.IdentifyImageCtx(ctx, img, core.Options{Profile: sim, Interprocedural: *inter})
 	if err != nil {
 		return err
 	}
@@ -244,9 +297,9 @@ func cmdTrace(args []string) error {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("trace wants an image file")
+		return usagef("trace wants an image file")
 	}
-	img, err := obj.ReadFile(fs.Arg(0))
+	img, err := core.LoadImage(fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -286,7 +339,7 @@ func cmdTrace(args []string) error {
 		{SizeBytes: 8 * 1024, Assoc: 4, BlockBytes: 32},
 		{SizeBytes: 32 * 1024, Assoc: 4, BlockBytes: 32},
 	}
-	stats, err := trace.Replay(bytes.NewReader(buf.Bytes()), geoms...)
+	stats, err := core.ReplayTrace(bytes.NewReader(buf.Bytes()), geoms...)
 	if err != nil {
 		return err
 	}
@@ -308,7 +361,7 @@ func cmdProfile(args []string) error {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("profile wants a source file")
+		return usagef("profile wants a source file")
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -381,24 +434,33 @@ func cmdTable(args []string) error {
 	fs := flag.NewFlagSet("table", flag.ExitOnError)
 	workers := fs.Int("j", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
 	verbose := fs.Bool("v", false, "print memo-cache statistics to stderr")
+	timeout := fs.Duration("timeout", 0, "per-benchmark deadline (0 = none)")
+	strict := fs.Bool("strict", false, "exit nonzero if any benchmark degrades")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 0 {
-		return fmt.Errorf("table -j wants a non-negative worker count, got %d", *workers)
+		return usagef("table -j wants a non-negative worker count, got %d", *workers)
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("table wants a table number or 'all'")
+		return usagef("table wants a table number or 'all'")
 	}
+	tables.SetTimeout(*timeout)
 	var err error
 	if id := fs.Arg(0); id == "all" {
 		// The full sweep preloads every simulation through the parallel
 		// experiment engine before rendering.
-		err = tables.RenderAll(os.Stdout, *workers)
+		var rep *tables.Report
+		if rep, err = tables.RenderAll(context.Background(), os.Stdout, *workers); err == nil {
+			err = reportDegradations(rep.Degraded, *strict)
+		}
 	} else {
+		tables.ResetDegradations()
 		var t *tables.Table
 		if t, err = tables.ByID(id); err == nil {
-			err = t.Render(os.Stdout)
+			if err = t.Render(os.Stdout); err == nil {
+				err = reportDegradations(tables.Degradations(), *strict)
+			}
 		}
 	}
 	if *verbose {
@@ -409,6 +471,23 @@ func cmdTable(args []string) error {
 			rs.Hits, rs.Misses, rs.Joined, rs.Errors)
 	}
 	return err
+}
+
+// reportDegradations summarises quarantined benchmarks on stderr. The
+// run still succeeds (the healthy rows rendered); only -strict turns
+// degradation into a failure.
+func reportDegradations(degs []*tables.Degradation, strict bool) error {
+	if len(degs) == 0 {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "delinq: %d benchmark(s) degraded:\n", len(degs))
+	for _, d := range degs {
+		fmt.Fprintf(os.Stderr, "  %s\n", d)
+	}
+	if strict {
+		return fmt.Errorf("%d benchmark(s) degraded (strict mode)", len(degs))
+	}
+	return nil
 }
 
 // cmdDifftest runs the three-way differential oracle: every generated
@@ -423,10 +502,10 @@ func cmdDifftest(args []string) error {
 		return err
 	}
 	if fs.NArg() != 0 {
-		return fmt.Errorf("difftest takes no positional arguments")
+		return usagef("difftest takes no positional arguments")
 	}
 	if *n <= 0 {
-		return fmt.Errorf("difftest -n wants a positive count")
+		return usagef("difftest -n wants a positive count")
 	}
 	opts := difftest.Options{N: *n, Seed: *seed}
 	if *verbose {

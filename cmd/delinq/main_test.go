@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -93,6 +94,114 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 	if err := exec.Command(bin).Run(); err == nil {
 		t.Error("no-args invocation succeeded")
+	}
+}
+
+// TestCLIExitCodeContract pins the three-level exit contract: 0 for
+// success (including degraded-but-rendered tables), 1 for pipeline
+// failures, 2 for command-line mistakes.
+func TestCLIExitCodeContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+
+	exitCode := func(env []string, args ...string) (int, string) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Env = append(os.Environ(), env...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%v: %v", args, err)
+		}
+		return ee.ExitCode(), string(out)
+	}
+
+	// Usage mistakes: exit 2.
+	for _, c := range [][]string{
+		{"table"},                  // missing table id
+		{"table", "-j", "-1", "1"}, // bad worker count
+		{"run"},                    // missing image
+		{"frobnicate"},             // unknown command
+		{},                         // no command at all
+	} {
+		if code, out := exitCode(nil, c...); code != 2 {
+			t.Errorf("%v: exit %d, want 2\n%s", c, code, out)
+		}
+	}
+	// A bad fault spec is also a usage mistake.
+	if code, out := exitCode([]string{"DELINQ_FAULTS=bogus=x"}, "table", "6"); code != 2 {
+		t.Errorf("bad DELINQ_FAULTS: exit %d, want 2\n%s", code, out)
+	}
+	if code, out := exitCode(
+		[]string{"DELINQ_FAULTS=sim=126.gcc", "DELINQ_FAULT_SEED=zap"}, "table", "6"); code != 2 {
+		t.Errorf("bad DELINQ_FAULT_SEED: exit %d, want 2\n%s", code, out)
+	}
+
+	// Pipeline failures: exit 1.
+	if code, out := exitCode(nil, "run", filepath.Join(t.TempDir(), "missing.img")); code != 1 {
+		t.Errorf("run on a missing image: exit %d, want 1\n%s", code, out)
+	}
+	if code, out := exitCode(nil, "table", "99"); code != 1 {
+		t.Errorf("unknown table id: exit %d, want 1\n%s", code, out)
+	}
+
+	// Degraded-but-rendered: exit 0, DEGRADED row on stdout, summary on
+	// stderr; -strict turns the same run into exit 1.
+	code, out := exitCode([]string{"DELINQ_FAULTS=sim=126.gcc"}, "table", "10")
+	if code != 0 {
+		t.Fatalf("degraded table: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "DEGRADED(simulate)") {
+		t.Errorf("degraded table missing DEGRADED row:\n%s", out)
+	}
+	if !strings.Contains(out, "benchmark(s) degraded") {
+		t.Errorf("degraded table missing stderr summary:\n%s", out)
+	}
+	code, out = exitCode([]string{"DELINQ_FAULTS=sim=126.gcc"}, "table", "-strict", "10")
+	if code != 1 {
+		t.Errorf("degraded table -strict: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "strict mode") {
+		t.Errorf("-strict failure message missing:\n%s", out)
+	}
+	// -strict on a healthy run stays 0.
+	if code, out := exitCode(nil, "table", "-strict", "6"); code != 0 {
+		t.Errorf("healthy table -strict: exit %d, want 0\n%s", code, out)
+	}
+}
+
+// TestCLITimeoutFlag exercises -timeout on both commands that accept
+// it: an absurdly small deadline degrades the table run (still exit 0)
+// and fails analyze (exit 1); a generous one changes nothing.
+func TestCLITimeoutFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.c")
+	if err := os.WriteFile(src, []byte(cliProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(bin, "table", "-timeout", "1ns", "10").CombinedOutput()
+	if err != nil {
+		t.Fatalf("table -timeout 1ns: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "DEGRADED(") {
+		t.Errorf("1ns deadline degraded nothing:\n%s", out)
+	}
+
+	if out, err := exec.Command(bin, "analyze", "-timeout", "1ns", src).CombinedOutput(); err == nil {
+		t.Errorf("analyze -timeout 1ns succeeded:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "analyze", "-timeout", "5m", src).CombinedOutput(); err != nil {
+		t.Errorf("analyze -timeout 5m: %v\n%s", err, out)
 	}
 }
 

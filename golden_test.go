@@ -6,6 +6,7 @@ package delinq
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"runtime"
 	"testing"
@@ -46,8 +47,12 @@ func TestTableAllGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got bytes.Buffer
-	if err := tables.RenderAll(&got, runtime.GOMAXPROCS(0)); err != nil {
+	rep, err := tables.RenderAll(context.Background(), &got, runtime.GOMAXPROCS(0))
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(rep.Degraded) != 0 {
+		t.Fatalf("fault-free sweep reported degradations: %v", rep.Degraded)
 	}
 	if !bytes.Equal(got.Bytes(), want) {
 		// Locate the first divergent line for a readable failure.

@@ -11,13 +11,17 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"delinq/internal/asm"
 	"delinq/internal/cache"
+	"delinq/internal/core"
 	"delinq/internal/disasm"
+	"delinq/internal/faultinject"
 	"delinq/internal/memo"
 	"delinq/internal/metrics"
 	"delinq/internal/minic"
@@ -84,6 +88,11 @@ type Build struct {
 	Image    *obj.Image
 	Prog     *disasm.Program
 	Loads    []*pattern.Load
+	// Degraded is non-nil when a recoverable stage failed and the build
+	// fell back to a lower-fidelity result (currently: pattern analysis
+	// failing even at halved budgets, leaving every load Unknown). The
+	// build is still usable; tables render the benchmark as DEGRADED.
+	Degraded *core.StageError
 }
 
 // NumLoads returns |Λ|.
@@ -184,27 +193,98 @@ func runKey(bd *Build, input []int32, geoms []cache.Config) string {
 // Concurrent calls for the same (benchmark, optimize) pair share one
 // compilation.
 func Compile(b *Benchmark, optimize bool) (*Build, error) {
+	return CompileCtx(context.Background(), b, optimize)
+}
+
+// CompileCtx is Compile under a context: cancellation stops pattern
+// analysis at the next function boundary. Every failure is reported as
+// a *core.StageError naming the stage that failed; a pattern-analysis
+// failure degrades (see Build.Degraded) instead of failing the build.
+func CompileCtx(ctx context.Context, b *Benchmark, optimize bool) (*Build, error) {
 	return builds.Do(buildKey(b.Name, optimize), func() (*Build, error) {
 		asmText, err := minic.Compile(b.Source, minic.Options{Optimize: optimize})
 		if err != nil {
-			return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+			return nil, core.WrapStage(b.Name, core.StageCompile, err)
 		}
 		img, err := asm.Assemble(asmText)
 		if err != nil {
-			return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+			return nil, core.WrapStage(b.Name, core.StageAssemble, err)
+		}
+		corruptImage(b.Name, img)
+		if err := img.Validate(); err != nil {
+			return nil, core.WrapStage(b.Name, core.StageAssemble, err)
 		}
 		prog, err := disasm.Disassemble(img)
 		if err != nil {
-			return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+			return nil, core.WrapStage(b.Name, core.StageDisasm, err)
+		}
+		loads, degraded, err := analyzePatterns(ctx, b.Name, prog)
+		if err != nil {
+			return nil, core.WrapStage(b.Name, core.StagePattern, err)
 		}
 		return &Build{
 			Bench:    b,
 			Optimize: optimize,
 			Image:    img,
 			Prog:     prog,
-			Loads:    pattern.AnalyzeProgram(prog, pattern.DefaultConfig()),
+			Loads:    loads,
+			Degraded: degraded,
 		}, nil
 	})
+}
+
+// corruptImage is the CorruptImage fault seam: when armed it damages the
+// freshly assembled image so the validation that follows rejects it.
+// The entry point is always pushed out of range (deterministic failure);
+// the plan's random stream adds seed-dependent text damage on top.
+func corruptImage(name string, img *obj.Image) {
+	if !faultinject.Fires(faultinject.CorruptImage, name) {
+		return
+	}
+	img.Entry = img.TextEnd() + 4
+	if rng := faultinject.Rand(faultinject.CorruptImage, name); rng != nil && len(img.Text) > 0 {
+		img.Text[rng.Intn(len(img.Text))] ^= 1 << uint(rng.Intn(32))
+	}
+}
+
+// analyzePatterns runs pattern analysis with graceful degradation: a
+// failure (or recovered panic) is retried once with halved MaxPatterns
+// and MaxNodes budgets; if that fails too, every load degrades to the
+// Unknown pattern and the returned *core.StageError records why.
+// Context cancellation is never degraded — it propagates as the error.
+func analyzePatterns(ctx context.Context, name string, prog *disasm.Program) ([]*pattern.Load, *core.StageError, error) {
+	run := func(conf pattern.Config) (loads []*pattern.Load, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				loads, err = nil, fmt.Errorf("pattern analysis panicked: %v", r)
+			}
+		}()
+		if ferr := faultinject.Error(faultinject.PatternBudget, name); ferr != nil {
+			return nil, ferr
+		}
+		return pattern.AnalyzeProgramCtx(ctx, prog, conf)
+	}
+	conf := pattern.DefaultConfig()
+	loads, err := run(conf)
+	if err == nil {
+		return loads, nil, nil
+	}
+	if ctx.Err() != nil {
+		return nil, nil, err
+	}
+	half := conf
+	half.MaxPatterns = conf.MaxPatterns / 2
+	half.MaxNodes = conf.MaxNodes / 2
+	loads, retryErr := run(half)
+	if retryErr == nil {
+		return loads, nil, nil
+	}
+	if ctx.Err() != nil {
+		return nil, nil, retryErr
+	}
+	return pattern.UnknownLoads(prog),
+		core.NewStageError(name, core.StagePattern, fmt.Errorf("degraded to unknown patterns: %w", retryErr)),
+		nil
 }
 
 // LoadsInter returns the build's loads re-analysed with interprocedural
@@ -228,25 +308,43 @@ func LoadsInter(bd *Build) []*pattern.Load {
 // returned Run may reference a distinct but equivalent Build from the
 // caller's argument.
 func Simulate(bd *Build, input []int32, geoms []cache.Config) (*Run, error) {
-	return runs.Do(runKey(bd, input, geoms), func() (*Run, error) {
+	return SimulateCtx(context.Background(), bd, input, geoms)
+}
+
+// SimulateCtx is Simulate under a context: a deadline or cancellation
+// stops the VM within a few thousand instructions. Failures surface as
+// *core.StageError — StageSimulate for VM and geometry faults,
+// StageWorker for a panic recovered by the memo layer.
+func SimulateCtx(ctx context.Context, bd *Build, input []int32, geoms []cache.Config) (*Run, error) {
+	name := bd.Bench.Name
+	r, err := runs.Do(runKey(bd, input, geoms), func() (*Run, error) {
+		faultinject.Crash(faultinject.WorkerPanic, name)
 		caches := make([]*cache.Cache, len(geoms))
 		for i, gcfg := range geoms {
 			c, err := cache.New(gcfg)
 			if err != nil {
-				return nil, err
+				return nil, core.WrapStage(name, core.StageSimulate, err)
 			}
 			caches[i] = c
 		}
-		res, err := vm.Run(bd.Image, vm.Options{
-			Args:     input,
-			Caches:   caches,
-			MaxInsts: 3e8,
-		})
+		opts := vm.Options{Args: input, Caches: caches, MaxInsts: 3e8}
+		if faultinject.Fires(faultinject.SimBudget, name) {
+			opts.MaxInsts = 10000
+		}
+		res, err := vm.RunContext(ctx, bd.Image, opts)
 		if err != nil {
-			return nil, fmt.Errorf("bench %s: %w", bd.Bench.Name, err)
+			return nil, core.WrapStage(name, core.StageSimulate, err)
 		}
 		return &Run{Build: bd, Input: input, Result: res, Caches: caches}, nil
 	})
+	if err != nil {
+		var pe *memo.PanicError
+		if errors.As(err, &pe) {
+			return nil, core.WrapStage(name, core.StageWorker, err)
+		}
+		return nil, core.WrapStage(name, core.StageSimulate, err)
+	}
+	return r, nil
 }
 
 // LoadStats extracts per-load (E(i), M(i,C)) pairs for cache index ci.

@@ -6,6 +6,15 @@ import (
 	"testing/quick"
 )
 
+// mustNew builds a cache from a geometry the test knows is valid.
+func mustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 func TestConfigValidate(t *testing.T) {
 	good := []Config{
 		Training, Baseline,
@@ -32,6 +41,28 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
+// TestNewRejectsInvalidGeometry is the regression for the removed
+// MustNew: an invalid geometry must come back as an error from New,
+// never as a panic anywhere in the pipeline.
+func TestNewRejectsInvalidGeometry(t *testing.T) {
+	bad := []Config{
+		{},
+		{SizeBytes: -1, Assoc: 1, BlockBytes: 32},
+		{SizeBytes: 8192, Assoc: 4, BlockBytes: 24},
+		{SizeBytes: 8192, Assoc: 3, BlockBytes: 32},
+		{SizeBytes: 8192 + 32, Assoc: 1, BlockBytes: 32},
+	}
+	for _, cfg := range bad {
+		c, err := New(cfg)
+		if err == nil || c != nil {
+			t.Errorf("New(%v) = %v, %v; want nil, error", cfg, c, err)
+		}
+	}
+	if _, err := New(Baseline); err != nil {
+		t.Errorf("New(Baseline) = %v", err)
+	}
+}
+
 func TestConfigDerived(t *testing.T) {
 	if Training.Sets() != 256 {
 		t.Errorf("Training sets = %d", Training.Sets())
@@ -45,7 +76,7 @@ func TestConfigDerived(t *testing.T) {
 }
 
 func TestColdMissThenHit(t *testing.T) {
-	c := MustNew(Baseline)
+	c := mustNew(Baseline)
 	if c.Access(0x1000, false) {
 		t.Error("cold access hit")
 	}
@@ -66,7 +97,7 @@ func TestColdMissThenHit(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	// Direct-mapped 2-set cache, 16B blocks: addresses 0 and 32 collide.
-	c := MustNew(Config{SizeBytes: 32, Assoc: 1, BlockBytes: 16})
+	c := mustNew(Config{SizeBytes: 32, Assoc: 1, BlockBytes: 16})
 	c.Access(0, false)
 	c.Access(32, false) // evicts 0
 	if c.Access(0, false) {
@@ -76,7 +107,7 @@ func TestLRUEviction(t *testing.T) {
 
 func TestLRUOrdering(t *testing.T) {
 	// One set, 2-way: A, B, touch A, insert C -> B evicted, A retained.
-	c := MustNew(Config{SizeBytes: 32, Assoc: 2, BlockBytes: 16})
+	c := mustNew(Config{SizeBytes: 32, Assoc: 2, BlockBytes: 16})
 	a, b, d := uint32(0), uint32(32), uint32(64)
 	c.Access(a, false)
 	c.Access(b, false)
@@ -91,7 +122,7 @@ func TestLRUOrdering(t *testing.T) {
 }
 
 func TestStoreMissesCountedSeparately(t *testing.T) {
-	c := MustNew(Baseline)
+	c := mustNew(Baseline)
 	c.Access(0x2000, true)
 	c.Access(0x3000, false)
 	st := c.Stats()
@@ -105,7 +136,7 @@ func TestStoreMissesCountedSeparately(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	c := MustNew(Baseline)
+	c := mustNew(Baseline)
 	c.Access(0x4000, false)
 	c.Reset()
 	if st := c.Stats(); st.Accesses != 0 || st.Misses != 0 {
@@ -132,7 +163,7 @@ func TestQuickWorkingSetFits(t *testing.T) {
 	cfg := Config{SizeBytes: 1024, Assoc: 4, BlockBytes: 32}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		c := MustNew(cfg)
+		c := mustNew(cfg)
 		// 4 blocks mapping to the same set (set 0 of 8).
 		blocks := make([]uint32, 4)
 		for i := range blocks {
@@ -163,8 +194,8 @@ func TestQuickWorkingSetFits(t *testing.T) {
 func TestQuickLRUStackProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		small := MustNew(Config{SizeBytes: 256, Assoc: 8, BlockBytes: 32})   // 1 set
-		large := MustNew(Config{SizeBytes: 1024, Assoc: 32, BlockBytes: 32}) // 1 set
+		small := mustNew(Config{SizeBytes: 256, Assoc: 8, BlockBytes: 32})   // 1 set
+		large := mustNew(Config{SizeBytes: 1024, Assoc: 32, BlockBytes: 32}) // 1 set
 		for i := 0; i < 500; i++ {
 			addr := uint32(rng.Intn(64)) * 32
 			small.Access(addr, false)
@@ -181,7 +212,7 @@ func TestFIFOReplacement(t *testing.T) {
 	// One set, 2-way. FIFO: A, B, touch A, insert C evicts A (oldest
 	// fill); under LRU the same sequence evicts B.
 	cfg := Config{SizeBytes: 32, Assoc: 2, BlockBytes: 16, Repl: FIFO}
-	c := MustNew(cfg)
+	c := mustNew(cfg)
 	a, b, d := uint32(0), uint32(32), uint32(64)
 	c.Access(a, false)
 	c.Access(b, false)
@@ -264,7 +295,7 @@ func TestAgainstReferenceModel(t *testing.T) {
 	}
 	for _, cfg := range geoms {
 		rng := rand.New(rand.NewSource(7))
-		c := MustNew(cfg)
+		c := mustNew(cfg)
 		r := newRef(cfg)
 		var misses uint64
 		for i := 0; i < 20000; i++ {
@@ -302,7 +333,7 @@ func TestAgainstReferenceModel(t *testing.T) {
 // TestDirectMappedFastPath pins the assoc=1 specialisation against the
 // general path semantics: conflict eviction and write-allocate.
 func TestDirectMappedFastPath(t *testing.T) {
-	c := MustNew(Config{SizeBytes: 1024, Assoc: 1, BlockBytes: 32})
+	c := mustNew(Config{SizeBytes: 1024, Assoc: 1, BlockBytes: 32})
 	sets := uint32(32)
 	a, b := uint32(0), 32*sets // same set, different tags
 	if c.Access(a, false) {

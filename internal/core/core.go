@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -86,9 +87,15 @@ func (r *Result) DeltaSet() map[uint32]bool {
 
 // IdentifyImage runs the post-compilation analysis on a linked image.
 func IdentifyImage(img *obj.Image, opts Options) (*Result, error) {
+	return IdentifyImageCtx(context.Background(), img, opts)
+}
+
+// IdentifyImageCtx is IdentifyImage under a context: a deadline or
+// cancellation stops pattern analysis at the next function boundary.
+func IdentifyImageCtx(ctx context.Context, img *obj.Image, opts Options) (*Result, error) {
 	prog, err := disasm.Disassemble(img)
 	if err != nil {
-		return nil, err
+		return nil, WrapStage("", StageDisasm, err)
 	}
 	cfg := classify.DefaultConfig()
 	if opts.Classify != nil {
@@ -100,7 +107,10 @@ func IdentifyImage(img *obj.Image, opts Options) (*Result, error) {
 	if opts.Interprocedural {
 		cfg.Pattern.Interprocedural = true
 	}
-	loads := pattern.AnalyzeProgram(prog, cfg.Pattern)
+	loads, err := pattern.AnalyzeProgramCtx(ctx, prog, cfg.Pattern)
+	if err != nil {
+		return nil, WrapStage("", StagePattern, err)
+	}
 	return &Result{
 		Image:  img,
 		Prog:   prog,
@@ -157,6 +167,12 @@ func (s *Simulation) LoadStats(loads []*pattern.Load, ci int) []metrics.LoadStat
 // Simulate executes the image with the given inputs against one or more
 // cache geometries (defaulting to the 8 KB baseline).
 func Simulate(img *obj.Image, args []int32, geoms ...cache.Config) (*Simulation, error) {
+	return SimulateCtx(context.Background(), img, args, geoms...)
+}
+
+// SimulateCtx is Simulate under a context: a deadline or cancellation
+// stops the VM within a few thousand instructions.
+func SimulateCtx(ctx context.Context, img *obj.Image, args []int32, geoms ...cache.Config) (*Simulation, error) {
 	if len(geoms) == 0 {
 		geoms = []cache.Config{cache.Baseline}
 	}
@@ -164,13 +180,13 @@ func Simulate(img *obj.Image, args []int32, geoms ...cache.Config) (*Simulation,
 	for i, g := range geoms {
 		c, err := cache.New(g)
 		if err != nil {
-			return nil, err
+			return nil, WrapStage("", StageSimulate, err)
 		}
 		caches[i] = c
 	}
-	res, err := vm.Run(img, vm.Options{Args: args, Caches: caches, CaptureOutput: true})
+	res, err := vm.RunContext(ctx, img, vm.Options{Args: args, Caches: caches, CaptureOutput: true})
 	if err != nil {
-		return nil, err
+		return nil, WrapStage("", StageSimulate, err)
 	}
 	return &Simulation{Result: res, Caches: caches}, nil
 }

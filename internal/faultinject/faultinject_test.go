@@ -1,0 +1,219 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// install arms p for the duration of the test, restoring the disarmed
+// state afterwards even if the test fails mid-way.
+func install(t *testing.T, p *Plan) {
+	t.Helper()
+	Install(p)
+	t.Cleanup(Clear)
+}
+
+func TestPointNames(t *testing.T) {
+	for pt := Point(0); pt < numPoints; pt++ {
+		got, ok := PointByName(pt.String())
+		if !ok || got != pt {
+			t.Errorf("PointByName(%q) = %v, %v", pt.String(), got, ok)
+		}
+	}
+	if _, ok := PointByName("frobnicate"); ok {
+		t.Error("PointByName accepted an unknown name")
+	}
+	if s := Point(99).String(); s != "point(99)" {
+		t.Errorf("out-of-range String = %q", s)
+	}
+}
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Clear()
+	if Fires(SimBudget, "x") {
+		t.Error("Fires with no plan")
+	}
+	if err := Error(PatternBudget, "x"); err != nil {
+		t.Errorf("Error with no plan = %v", err)
+	}
+	Crash(WorkerPanic, "x") // must not panic
+	if Rand(CorruptImage, "x") != nil {
+		t.Error("Rand with no plan")
+	}
+	var buf bytes.Buffer
+	if r := Reader(TraceFlip, "x", &buf); r != &buf {
+		t.Error("Reader with no plan wrapped the stream")
+	}
+	if Active() != nil {
+		t.Error("Active with no plan")
+	}
+}
+
+func TestArmFiresEveryTime(t *testing.T) {
+	p := NewPlan(1)
+	p.Arm(SimBudget, "181.mcf")
+	install(t, p)
+	for i := 0; i < 3; i++ {
+		if !Fires(SimBudget, "181.mcf") {
+			t.Fatalf("fire %d missed", i)
+		}
+	}
+	if Fires(SimBudget, "130.li") {
+		t.Error("unarmed target fired")
+	}
+	if Fires(PatternBudget, "181.mcf") {
+		t.Error("unarmed point fired")
+	}
+}
+
+func TestArmNConsumes(t *testing.T) {
+	p := NewPlan(1)
+	p.ArmN(PatternBudget, "008.espresso", 2)
+	install(t, p)
+	if !Fires(PatternBudget, "008.espresso") || !Fires(PatternBudget, "008.espresso") {
+		t.Fatal("first two queries did not fire")
+	}
+	if Fires(PatternBudget, "008.espresso") {
+		t.Error("third query fired after budget of 2")
+	}
+}
+
+func TestWildcardTarget(t *testing.T) {
+	p := NewPlan(1)
+	p.Arm(WorkerPanic, "*")
+	install(t, p)
+	for _, target := range []string{"a", "b", ""} {
+		if !Fires(WorkerPanic, target) {
+			t.Errorf("wildcard did not match %q", target)
+		}
+	}
+}
+
+func TestErrorAndInjected(t *testing.T) {
+	p := NewPlan(1)
+	p.Arm(SimBudget, "x")
+	install(t, p)
+	err := Error(SimBudget, "x")
+	if err == nil {
+		t.Fatal("armed Error returned nil")
+	}
+	if !Injected(err) {
+		t.Error("Injected missed a *Fault")
+	}
+	var f *Fault
+	if !errors.As(err, &f) || f.Point != SimBudget || f.Target != "x" {
+		t.Errorf("fault = %+v", f)
+	}
+	if !strings.Contains(err.Error(), "sim") || !strings.Contains(err.Error(), "x") {
+		t.Errorf("fault message lacks provenance: %v", err)
+	}
+	if Injected(errors.New("ordinary")) {
+		t.Error("Injected matched an ordinary error")
+	}
+}
+
+func TestCrashPanicsWithFault(t *testing.T) {
+	p := NewPlan(1)
+	p.Arm(WorkerPanic, "x")
+	install(t, p)
+	defer func() {
+		r := recover()
+		f, ok := r.(*Fault)
+		if !ok || f.Point != WorkerPanic {
+			t.Errorf("recovered %v, want *Fault{WorkerPanic}", r)
+		}
+	}()
+	Crash(WorkerPanic, "x")
+	t.Fatal("Crash did not panic")
+}
+
+func TestRandDeterministic(t *testing.T) {
+	draw := func(seed int64, target string) [4]int64 {
+		Install(NewPlan(seed))
+		defer Clear()
+		r := Rand(CorruptImage, target)
+		var out [4]int64
+		for i := range out {
+			out[i] = r.Int63()
+		}
+		return out
+	}
+	if draw(7, "t") != draw(7, "t") {
+		t.Error("same (seed, point, target) streams diverge")
+	}
+	if draw(7, "t") == draw(7, "other") {
+		t.Error("different targets produced identical streams")
+	}
+	if draw(7, "t") == draw(8, "t") {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestReaderFlipsDeterministically(t *testing.T) {
+	src := bytes.Repeat([]byte{0xAA}, 512)
+	read := func() []byte {
+		p := NewPlan(3)
+		p.Arm(TraceFlip, "replay")
+		Install(p)
+		defer Clear()
+		out, err := io.ReadAll(Reader(TraceFlip, "replay", bytes.NewReader(src)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := read(), read()
+	if !bytes.Equal(a, b) {
+		t.Error("flipped output not deterministic for a fixed seed")
+	}
+	if bytes.Equal(a, src) {
+		t.Error("armed Reader did not flip any byte")
+	}
+	flips := 0
+	for i := range a {
+		if a[i] != src[i] {
+			flips++
+		}
+	}
+	if flips == 0 || flips > len(src)/8 {
+		t.Errorf("flip density out of range: %d of %d", flips, len(src))
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("sim=181.mcf, worker=*, pattern=008.espresso#2", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed() != 5 {
+		t.Errorf("seed = %d", p.Seed())
+	}
+	install(t, p)
+	if !Fires(SimBudget, "181.mcf") || !Fires(WorkerPanic, "anything") {
+		t.Error("parsed arms did not fire")
+	}
+	if !Fires(PatternBudget, "008.espresso") || !Fires(PatternBudget, "008.espresso") {
+		t.Error("#2 arm did not fire twice")
+	}
+	if Fires(PatternBudget, "008.espresso") {
+		t.Error("#2 arm fired a third time")
+	}
+
+	for _, bad := range []string{
+		"nonsense",
+		"sim=",
+		"frob=181.mcf",
+		"sim=181.mcf#0",
+		"sim=181.mcf#x",
+	} {
+		if _, err := ParsePlan(bad, 1); err == nil {
+			t.Errorf("ParsePlan(%q) succeeded", bad)
+		}
+	}
+	if p, err := ParsePlan("", 1); err != nil || p == nil {
+		t.Errorf("empty spec: %v", err)
+	}
+}

@@ -6,7 +6,46 @@
 // an unrelated one.
 package memo
 
-import "sync"
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// PanicError is delivered to every caller of a computation that
+// panicked: the memo layer recovers the panic so joined waiters are
+// released instead of deadlocking on a done channel that would never
+// close, and so one crashed computation degrades gracefully rather than
+// killing the worker pool above it. Like any other error it is not
+// retained; the next Do for the key recomputes.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // stack of the panicking goroutine, for diagnostics
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("memo: computation panicked: %v", e.Value)
+}
+
+// Unwrap exposes the panic value to errors.Is/As when it was itself an
+// error (e.g. a deliberate fault-injection crash).
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// protect runs fn, converting a panic into a *PanicError.
+func protect[V any](fn func() (V, error)) (v V, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero V
+			v, err = zero, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
 
 // Cache memoises the results of keyed computations.
 //
@@ -84,7 +123,7 @@ func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, error) {
 	c.inflight++
 	c.mu.Unlock()
 
-	e.val, e.err = fn()
+	e.val, e.err = protect(fn)
 
 	c.mu.Lock()
 	e.complete = true

@@ -1,0 +1,83 @@
+package memo
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestPanicBecomesError: a panicking computation must not kill the
+// process or deadlock joined waiters; every caller gets a *PanicError
+// and the failed key is recomputable.
+func TestPanicBecomesError(t *testing.T) {
+	var c Cache[int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = c.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			panic("deliberate")
+		})
+	}()
+	<-started
+	for i := 1; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Do("k", func() (int, error) { return 0, nil })
+		}(i)
+	}
+	// Give the joiners a moment to attach, then let the panic fly.
+	for {
+		c.mu.Lock()
+		joined := c.joined
+		c.mu.Unlock()
+		if joined == 3 {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("caller %d: err = %v, want *PanicError", i, err)
+		}
+		if pe.Value != "deliberate" || len(pe.Stack) == 0 {
+			t.Errorf("caller %d: PanicError = %+v", i, pe)
+		}
+	}
+
+	// The error is not retained: the key recomputes cleanly.
+	v, err := c.Do("k", func() (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Errorf("recompute after panic = %d, %v", v, err)
+	}
+	if st := c.Stats(); st.Inflight != 0 {
+		t.Errorf("inflight = %d after panic", st.Inflight)
+	}
+}
+
+// TestPanicErrorUnwrap: an error panic value is reachable through
+// errors.Is/As; a non-error value unwraps to nil.
+func TestPanicErrorUnwrap(t *testing.T) {
+	cause := errors.New("cause")
+	var c Cache[int]
+	_, err := c.Do("k", func() (int, error) { panic(cause) })
+	if !errors.Is(err, cause) {
+		t.Errorf("error panic value not reachable: %v", err)
+	}
+	pe := &PanicError{Value: 7}
+	if pe.Unwrap() != nil {
+		t.Error("non-error panic value unwrapped to non-nil")
+	}
+}

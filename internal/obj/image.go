@@ -71,6 +71,21 @@ func New() *Image {
 // TextEnd returns the first address past the text segment.
 func (im *Image) TextEnd() uint32 { return TextBase + uint32(len(im.Text))*4 }
 
+// Validate checks that the image is executable at all: a non-empty text
+// segment and an aligned entry point inside it. DecodeImage stays
+// lenient (the wire format round-trips arbitrary images); Validate is
+// the gate execution paths apply before running one.
+func (im *Image) Validate() error {
+	if len(im.Text) == 0 {
+		return fmt.Errorf("obj: image has an empty text segment")
+	}
+	if im.Entry < TextBase || im.Entry >= im.TextEnd() || im.Entry%4 != 0 {
+		return fmt.Errorf("obj: entry point %#x outside text [%#x,%#x)",
+			im.Entry, TextBase, im.TextEnd())
+	}
+	return nil
+}
+
 // DataEnd returns the first address past static data (including BSS); the
 // heap begins here.
 func (im *Image) DataEnd() uint32 { return DataBase + uint32(len(im.Data)) + im.BSS }

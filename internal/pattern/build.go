@@ -1,6 +1,8 @@
 package pattern
 
 import (
+	"context"
+
 	"delinq/internal/cfg"
 	"delinq/internal/dataflow"
 	"delinq/internal/disasm"
@@ -61,13 +63,54 @@ type Load struct {
 // leaves through them; the returned loads appear in the same order as
 // the intraprocedural analysis either way.
 func AnalyzeProgram(p *disasm.Program, conf Config) []*Load {
+	loads, _ := AnalyzeProgramCtx(context.Background(), p, conf)
+	return loads
+}
+
+// AnalyzeProgramCtx is AnalyzeProgram under a context: cancellation is
+// checked between functions (and between the two interprocedural
+// phases), so a deadline stops a pathological analysis at the next
+// function boundary rather than after the whole program.
+func AnalyzeProgramCtx(ctx context.Context, p *disasm.Program, conf Config) ([]*Load, error) {
 	if conf.Interprocedural {
 		conf = conf.withDefaults()
-		return ComputeSummaries(p, conf).analyzeProgram(p)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s := ComputeSummaries(p, conf)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return s.analyzeProgram(p), nil
 	}
 	var out []*Load
 	for _, fn := range p.Funcs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		out = append(out, AnalyzeFunc(fn, conf)...)
+	}
+	return out, nil
+}
+
+// UnknownLoads is the analysis of last resort: every load in the
+// program with the single pattern "?" and Truncated set. The graceful-
+// degradation path uses it when pattern analysis fails even at reduced
+// budgets, so downstream classification still sees every load (and
+// classifies it Unknown) instead of the benchmark vanishing.
+func UnknownLoads(p *disasm.Program) []*Load {
+	var out []*Load
+	for _, fn := range p.Funcs {
+		for i, in := range fn.Insts {
+			if !in.IsLoad() {
+				continue
+			}
+			out = append(out, &Load{
+				Func: fn, Index: i, PC: fn.PC(i), Inst: in,
+				Patterns:  []*Expr{unknownLeaf},
+				Truncated: true,
+			})
+		}
 	}
 	return out
 }

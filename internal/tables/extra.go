@@ -36,9 +36,10 @@ func TableS1() (*Table, error) {
 	pis := make([][]float64, 3)
 	rhos := make([][]float64, 3)
 	for _, b := range bench.All() {
-		ctx, err := Load(b, false, false)
-		if err != nil {
-			return nil, err
+		ctx, deg := LoadSafe(b, false, false)
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
 		}
 		stats := ctx.Stats(GeomBaseline)
 		est := freq.Estimate(ctx.Build.Prog, freq.DefaultConfig())
@@ -94,9 +95,10 @@ func TableS2() (*Table, error) {
 	grid := []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50, 0.65, 0.80, 1.00, 1.25}
 	var fixedPi, fixedRho, calPi, calRho []float64
 	for _, b := range bench.Training() {
-		ctx1, err := Load(b, false, false)
-		if err != nil {
-			return nil, err
+		ctx1, deg := LoadSafe(b, false, false)
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
 		}
 		stats1 := ctx1.Stats(GeomBaseline)
 		best := 0.10
@@ -109,9 +111,10 @@ func TableS2() (*Table, error) {
 				best, bestPi = d, ev.Pi
 			}
 		}
-		ctx2, err := Load(b, false, true)
-		if err != nil {
-			return nil, err
+		ctx2, deg := LoadSafe(b, false, true)
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
 		}
 		stats2 := ctx2.Stats(GeomBaseline)
 		cfgF := base
@@ -163,13 +166,18 @@ func TableS4() (*Table, error) {
 	pis := make([][]float64, 4)
 	rhos := make([][]float64, 4)
 	for _, b := range bench.All() {
+		ctxO0, deg := LoadSafe(b, false, false)
+		var ctxO1 *Ctx
+		if deg == nil {
+			ctxO1, deg = LoadSafe(b, true, false)
+		}
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
+		}
 		row := []string{b.Name}
 		col := 0
-		for _, optimize := range []bool{false, true} {
-			ctx, err := Load(b, optimize, false)
-			if err != nil {
-				return nil, err
-			}
+		for _, ctx := range []*Ctx{ctxO0, ctxO1} {
 			stats := ctx.Stats(GeomBaseline)
 			for _, loads := range [][]*pattern.Load{ctx.Build.Loads, bench.LoadsInter(ctx.Build)} {
 				delta := map[uint32]bool{}
@@ -221,13 +229,10 @@ func TableS3() (*Table, error) {
 	var pis []float64
 	rhos := make([][]float64, len(blockGeoms))
 	for _, b := range bench.Training() {
-		bd, err := bench.Compile(b, false)
-		if err != nil {
-			return nil, err
-		}
-		run, err := bench.Simulate(bd, b.Input1, blockGeoms)
-		if err != nil {
-			return nil, err
+		bd, run, deg := loadGeomsSafe(b, false, b.Input1, blockGeoms)
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
 		}
 		delta := map[uint32]bool{}
 		for _, s := range classify.Score(bd.Loads, run, cfg) {

@@ -1,6 +1,7 @@
 package tables
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -28,7 +29,7 @@ func TestPreloadExactlyOnce(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := Preload(4, combos); err != nil {
+			if err := Preload(context.Background(), 4, combos); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -105,14 +106,14 @@ func TestResetCacheMidPreload(t *testing.T) {
 		{Bench: bench.ByName("300.twolf"), Geoms: []cache.Config{cache.Baseline}},
 	}
 	done := make(chan error, 1)
-	go func() { done <- Preload(2, combos) }()
+	go func() { done <- Preload(context.Background(), 2, combos) }()
 	time.Sleep(30 * time.Millisecond) // land inside some simulation
 	bench.ResetCache()
 	if err := <-done; err != nil {
 		t.Fatalf("preload across reset: %v", err)
 	}
 	// Re-warm and verify the engine is intact: results memoised anew.
-	if err := Preload(2, combos); err != nil {
+	if err := Preload(context.Background(), 2, combos); err != nil {
 		t.Fatal(err)
 	}
 	_, rs := bench.CacheStats()
@@ -131,7 +132,11 @@ func TestRenderAllMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full simulations in short mode")
 	}
-	if err := RenderAll(io.Discard, 0); err != nil {
+	rep, err := RenderAll(context.Background(), io.Discard, 0)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(rep.Degraded) != 0 {
+		t.Errorf("fault-free sweep reported degradations: %v", rep.Degraded)
 	}
 }

@@ -1,0 +1,195 @@
+// Graceful degradation for the table engine: a benchmark whose pipeline
+// fails (or times out, or panics) is quarantined in a package-level
+// degradation registry instead of aborting the whole render. Every
+// table renders the quarantined benchmark as a DEGRADED(<stage>) row,
+// excludes it from averages, and the rest of the suite is unaffected.
+// On a fault-free run nothing here fires and the rendered output is
+// byte-identical to the pre-resilience engine.
+package tables
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"delinq/internal/bench"
+	"delinq/internal/cache"
+	"delinq/internal/core"
+)
+
+// Degradation records one quarantined benchmark: the stage that failed
+// and the underlying error.
+type Degradation struct {
+	Benchmark string
+	Stage     core.Stage
+	Err       error
+}
+
+func (d *Degradation) String() string {
+	return fmt.Sprintf("%s: degraded at %s stage: %v", d.Benchmark, d.Stage, d.Err)
+}
+
+var (
+	degMu       sync.Mutex
+	degraded    = map[string]*Degradation{}
+	benchBudget time.Duration
+)
+
+// SetTimeout sets the per-benchmark deadline applied to every compile
+// and simulate issued by the table engine; zero (the default) means no
+// deadline. A benchmark that exceeds it degrades instead of hanging the
+// render.
+func SetTimeout(d time.Duration) {
+	degMu.Lock()
+	benchBudget = d
+	degMu.Unlock()
+}
+
+// benchCtx derives the per-benchmark context from parent, applying the
+// configured timeout when one is set.
+func benchCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	degMu.Lock()
+	d := benchBudget
+	degMu.Unlock()
+	if d > 0 {
+		return context.WithTimeout(parent, d)
+	}
+	return context.WithCancel(parent)
+}
+
+// record quarantines a benchmark, deriving the stage from the error's
+// StageError (StageWorker when the error carries no stage). The first
+// recording wins; later failures of the same benchmark keep the
+// original provenance.
+func record(name string, err error) *Degradation {
+	stage := core.StageWorker
+	var se *core.StageError
+	if errors.As(err, &se) {
+		stage = se.Stage
+	}
+	degMu.Lock()
+	defer degMu.Unlock()
+	if d, ok := degraded[name]; ok {
+		return d
+	}
+	d := &Degradation{Benchmark: name, Stage: stage, Err: err}
+	degraded[name] = d
+	return d
+}
+
+// degradationFor returns the benchmark's quarantine entry, or nil.
+func degradationFor(name string) *Degradation {
+	degMu.Lock()
+	defer degMu.Unlock()
+	return degraded[name]
+}
+
+// Degradations lists the quarantined benchmarks sorted by name.
+func Degradations() []*Degradation {
+	degMu.Lock()
+	defer degMu.Unlock()
+	out := make([]*Degradation, 0, len(degraded))
+	for _, d := range degraded {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Benchmark < out[j].Benchmark })
+	return out
+}
+
+// ResetDegradations empties the quarantine (RenderAll calls it so each
+// full render re-evaluates every benchmark; tests use it for isolation).
+func ResetDegradations() {
+	degMu.Lock()
+	degraded = map[string]*Degradation{}
+	degMu.Unlock()
+}
+
+// DegradedRow renders a quarantined benchmark as a table row: the name,
+// a DEGRADED(<stage>) marker, and "-" for every remaining column.
+func DegradedRow(d *Degradation, width int) []string {
+	row := make([]string, width)
+	row[0] = d.Benchmark
+	if width > 1 {
+		row[1] = fmt.Sprintf("DEGRADED(%s)", d.Stage)
+	}
+	for i := 2; i < width; i++ {
+		row[i] = "-"
+	}
+	return row
+}
+
+// LoadSafe is Load with quarantine semantics: an already-degraded
+// benchmark short-circuits, a failure (error, recovered panic, timeout,
+// or a build that itself degraded during pattern analysis) is recorded
+// and returned as a Degradation, and a healthy benchmark returns its
+// Ctx. Exactly one of the results is non-nil.
+func LoadSafe(b *bench.Benchmark, optimize, input2 bool) (*Ctx, *Degradation) {
+	if d := degradationFor(b.Name); d != nil {
+		return nil, d
+	}
+	c, err := loadRecover(b, optimize, input2)
+	if err != nil {
+		return nil, record(b.Name, err)
+	}
+	if c.Build.Degraded != nil {
+		return nil, record(b.Name, c.Build.Degraded)
+	}
+	return c, nil
+}
+
+// loadRecover runs Load under the per-benchmark deadline, converting a
+// panic into a StageWorker error.
+func loadRecover(b *bench.Benchmark, optimize, input2 bool) (c *Ctx, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = nil, core.WrapStage(b.Name, core.StageWorker, fmt.Errorf("panic: %v", r))
+		}
+	}()
+	ctx, cancel := benchCtx(context.Background())
+	defer cancel()
+	return LoadCtx(ctx, b, optimize, input2)
+}
+
+// loadGeomsSafe is LoadSafe for experiments on non-standard geometry
+// bundles (the block-size sweep): same quarantine semantics, returning
+// the build and run directly.
+func loadGeomsSafe(b *bench.Benchmark, optimize bool, input []int32, geoms []cache.Config) (*bench.Build, *bench.Run, *Degradation) {
+	if d := degradationFor(b.Name); d != nil {
+		return nil, nil, d
+	}
+	bd, run, err := loadGeomsRecover(b, optimize, input, geoms)
+	if err != nil {
+		return nil, nil, record(b.Name, err)
+	}
+	if bd.Degraded != nil {
+		return nil, nil, record(b.Name, bd.Degraded)
+	}
+	return bd, run, nil
+}
+
+func loadGeomsRecover(b *bench.Benchmark, optimize bool, input []int32, geoms []cache.Config) (bd *bench.Build, run *bench.Run, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			bd, run, err = nil, nil, core.WrapStage(b.Name, core.StageWorker, fmt.Errorf("panic: %v", r))
+		}
+	}()
+	ctx, cancel := benchCtx(context.Background())
+	defer cancel()
+	if bd, err = bench.CompileCtx(ctx, b, optimize); err != nil {
+		return nil, nil, err
+	}
+	if run, err = bench.SimulateCtx(ctx, bd, input, geoms); err != nil {
+		return nil, nil, err
+	}
+	return bd, run, nil
+}
+
+// Report summarises one RenderAll pass.
+type Report struct {
+	// Degraded lists the benchmarks quarantined during the pass, sorted
+	// by name; empty on a fully healthy run.
+	Degraded []*Degradation
+}

@@ -1,0 +1,151 @@
+package tables
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"delinq/internal/bench"
+	"delinq/internal/core"
+	"delinq/internal/faultinject"
+)
+
+// withPlan installs a fault plan and isolates the registries for one
+// test.
+func withPlan(t *testing.T, p *faultinject.Plan) {
+	t.Helper()
+	bench.ResetCache()
+	ResetDegradations()
+	faultinject.Install(p)
+	t.Cleanup(func() {
+		faultinject.Clear()
+		bench.ResetCache()
+		ResetDegradations()
+	})
+}
+
+func TestDegradedRowShape(t *testing.T) {
+	d := &Degradation{Benchmark: "181.mcf", Stage: core.StageSimulate}
+	row := DegradedRow(d, 5)
+	want := []string{"181.mcf", "DEGRADED(simulate)", "-", "-", "-"}
+	if len(row) != len(want) {
+		t.Fatalf("row = %v", row)
+	}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Errorf("row[%d] = %q, want %q", i, row[i], want[i])
+		}
+	}
+}
+
+func TestLoadSafeQuarantines(t *testing.T) {
+	name := "126.gcc" // held-out: degrading it cannot disturb training
+	p := faultinject.NewPlan(1)
+	p.Arm(faultinject.SimBudget, name)
+	withPlan(t, p)
+
+	b := bench.ByName(name)
+	c, deg := LoadSafe(b, false, false)
+	if c != nil || deg == nil {
+		t.Fatalf("LoadSafe = %v, %v; want quarantine", c, deg)
+	}
+	if deg.Benchmark != name || deg.Stage != core.StageSimulate {
+		t.Errorf("degradation = %+v", deg)
+	}
+	if !strings.Contains(deg.String(), "degraded at simulate stage") {
+		t.Errorf("String() = %q", deg.String())
+	}
+
+	// Second call short-circuits on the registry — even with the fault
+	// cleared, the quarantine holds for the rest of the pass.
+	faultinject.Clear()
+	c2, deg2 := LoadSafe(b, false, false)
+	if c2 != nil || deg2 != deg {
+		t.Errorf("short-circuit returned %v, %v; want the original entry", c2, deg2)
+	}
+	if got := Degradations(); len(got) != 1 || got[0] != deg {
+		t.Errorf("Degradations() = %v", got)
+	}
+
+	// A fresh pass re-evaluates: after the reset the benchmark is
+	// healthy again.
+	ResetDegradations()
+	bench.ResetCache()
+	c3, deg3 := LoadSafe(b, false, false)
+	if c3 == nil || deg3 != nil {
+		t.Errorf("post-reset LoadSafe = %v, %v", c3, deg3)
+	}
+}
+
+func TestRecordFirstWinsAndStageDefault(t *testing.T) {
+	ResetDegradations()
+	t.Cleanup(ResetDegradations)
+	first := record("x", core.WrapStage("x", core.StagePattern, errors.New("a")))
+	second := record("x", core.WrapStage("x", core.StageSimulate, errors.New("b")))
+	if first != second || first.Stage != core.StagePattern {
+		t.Errorf("first-wins violated: %+v vs %+v", first, second)
+	}
+	d := record("y", errors.New("stageless"))
+	if d.Stage != core.StageWorker {
+		t.Errorf("stageless error recorded as %s, want worker", d.Stage)
+	}
+}
+
+// TestTimeoutDegrades drives a real table benchmark through an
+// impossibly small deadline and expects quarantine, not a hang or a
+// render error.
+func TestTimeoutDegrades(t *testing.T) {
+	bench.ResetCache()
+	ResetDegradations()
+	SetTimeout(1 * time.Nanosecond)
+	t.Cleanup(func() {
+		SetTimeout(0)
+		bench.ResetCache()
+		ResetDegradations()
+	})
+
+	b := bench.ByName("126.gcc")
+	c, deg := LoadSafe(b, false, false)
+	if c != nil || deg == nil {
+		t.Fatalf("LoadSafe under 1ns deadline = %v, %v", c, deg)
+	}
+	if !errors.Is(deg.Err, context.DeadlineExceeded) {
+		t.Errorf("degradation cause = %v, want deadline exceeded", deg.Err)
+	}
+}
+
+// TestDegradedTableRender renders Table 10 (held-out benchmarks) with
+// one benchmark's simulation sabotaged: the table must still render,
+// carry a DEGRADED row for the victim, and normal rows for the rest.
+func TestDegradedTableRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations in short mode")
+	}
+	name := "126.gcc"
+	p := faultinject.NewPlan(1)
+	p.Arm(faultinject.WorkerPanic, name)
+	withPlan(t, p)
+
+	tab, err := ByID("10")
+	if err != nil {
+		t.Fatalf("table render failed instead of degrading: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "DEGRADED(worker)") {
+		t.Errorf("no DEGRADED row:\n%s", out)
+	}
+	if !strings.Contains(out, "300.twolf") {
+		t.Errorf("healthy benchmarks missing:\n%s", out)
+	}
+	degs := Degradations()
+	if len(degs) != 1 || degs[0].Benchmark != name {
+		t.Errorf("Degradations() = %v", degs)
+	}
+}

@@ -21,9 +21,10 @@ func Table1() (*Table, error) {
 	}
 	var idealPis, profPis, rhos []float64
 	for _, b := range bench.All() {
-		ctx, err := Load(b, false, false)
-		if err != nil {
-			return nil, err
+		ctx, deg := LoadSafe(b, false, false)
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
 		}
 		stats := ctx.Stats(GeomBaseline)
 		hot := metrics.HotspotLoads(ctx.Build.Prog, ctx.Run.Result.ExecAt, 0.90)
@@ -57,9 +58,10 @@ func Table2() (*Table, error) {
 		Notes:  "unoptimised binaries, Input 1, 8KB/4-way/32B D-cache; misses include stores (write-allocate)",
 	}
 	for _, b := range bench.All() {
-		ctx, err := Load(b, false, false)
-		if err != nil {
-			return nil, err
+		ctx, deg := LoadSafe(b, false, false)
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
 		}
 		st := ctx.Run.Caches[GeomBaseline].Stats()
 		t.Rows = append(t.Rows, []string{

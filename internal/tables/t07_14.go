@@ -28,15 +28,16 @@ func Table7() (*Table, error) {
 	}
 	var pi1, rho1, pi2, rho2 []float64
 	for _, b := range bench.Training() {
-		c1, err := Load(b, false, false)
-		if err != nil {
-			return nil, err
+		c1, deg := LoadSafe(b, false, false)
+		var c2 *Ctx
+		if deg == nil {
+			c2, deg = LoadSafe(b, false, true)
+		}
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
 		}
 		e1, err := piRho(c1, GeomBaseline, true)
-		if err != nil {
-			return nil, err
-		}
-		c2, err := Load(b, false, true)
 		if err != nil {
 			return nil, err
 		}
@@ -76,9 +77,10 @@ func Table8() (*Table, error) {
 	var pis []float64
 	rhos := make([][]float64, len(gis))
 	for _, b := range bench.Training() {
-		ctx, err := Load(b, true, false)
-		if err != nil {
-			return nil, err
+		ctx, deg := LoadSafe(b, true, false)
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
 		}
 		row := []string{b.Name}
 		var pi float64
@@ -117,9 +119,10 @@ func Table9() (*Table, error) {
 	var pis []float64
 	rhos := make([][]float64, len(gis))
 	for _, b := range bench.Training() {
-		ctx, err := Load(b, true, false)
-		if err != nil {
-			return nil, err
+		ctx, deg := LoadSafe(b, true, false)
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
 		}
 		row := []string{b.Name}
 		var pi float64
@@ -157,9 +160,10 @@ func Table10() (*Table, error) {
 	}
 	var pis, rhos []float64
 	for _, b := range bench.Test() {
-		ctx, err := Load(b, false, false)
-		if err != nil {
-			return nil, err
+		ctx, deg := LoadSafe(b, false, false)
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
 		}
 		ev, err := piRho(ctx, GeomBaseline, true)
 		if err != nil {
@@ -190,9 +194,10 @@ func Table11() (*Table, error) {
 	}
 	var pi1, rho1, xis, pi2, rho2 []float64
 	for _, b := range bench.All() {
-		ctx, err := Load(b, false, false)
-		if err != nil {
-			return nil, err
+		ctx, deg := LoadSafe(b, false, false)
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
 		}
 		stats := ctx.Stats(GeomBaseline)
 
@@ -237,9 +242,10 @@ func Table12() (*Table, error) {
 	}
 	var oPi, oRho, bPi, bRho []float64
 	for _, b := range bench.All() {
-		ctx, err := Load(b, false, false)
-		if err != nil {
-			return nil, err
+		ctx, deg := LoadSafe(b, false, false)
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
 		}
 		stats := ctx.Stats(GeomBaseline)
 		okn := metrics.Evaluate(baseline.OKN(ctx.Build.Loads), stats)
@@ -271,9 +277,10 @@ func Table13() (*Table, error) {
 	pis := make([][]float64, len(deltas))
 	rhos := make([][]float64, len(deltas))
 	for _, b := range bench.Training() {
-		ctx, err := Load(b, true, false)
-		if err != nil {
-			return nil, err
+		ctx, deg := LoadSafe(b, true, false)
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
 		}
 		stats := ctx.Stats(Geom16K)
 		row := []string{b.Name}
@@ -317,9 +324,10 @@ func Table14() (*Table, error) {
 		return nil, err
 	}
 	for _, b := range bench.All() {
-		ctx, err := Load(b, false, false)
-		if err != nil {
-			return nil, err
+		ctx, deg := LoadSafe(b, false, false)
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
 		}
 		stats := ctx.Stats(GeomBaseline)
 		hot := metrics.HotspotLoads(ctx.Build.Prog, ctx.Run.Result.ExecAt, 0.90)

@@ -6,7 +6,7 @@
 package tables
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -16,6 +16,7 @@ import (
 	"delinq/internal/bench"
 	"delinq/internal/cache"
 	"delinq/internal/classify"
+	"delinq/internal/core"
 	"delinq/internal/metrics"
 	"delinq/internal/train"
 )
@@ -112,7 +113,13 @@ type Ctx struct {
 // Load compiles and simulates one benchmark with the standard geometry
 // bundle (memoised end to end).
 func Load(b *bench.Benchmark, optimize, input2 bool) (*Ctx, error) {
-	bd, err := bench.Compile(b, optimize)
+	return LoadCtx(context.Background(), b, optimize, input2)
+}
+
+// LoadCtx is Load under a context: a deadline or cancellation stops the
+// compile and the simulation promptly.
+func LoadCtx(ctx context.Context, b *bench.Benchmark, optimize, input2 bool) (*Ctx, error) {
+	bd, err := bench.CompileCtx(ctx, b, optimize)
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +127,7 @@ func Load(b *bench.Benchmark, optimize, input2 bool) (*Ctx, error) {
 	if input2 {
 		input = b.Input2
 	}
-	run, err := bench.Simulate(bd, input, StdGeoms)
+	run, err := bench.SimulateCtx(ctx, bd, input, StdGeoms)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +150,11 @@ type Combo struct {
 
 // run compiles and simulates the combo (memoised end to end).
 func (cb Combo) run() (*bench.Run, error) {
-	bd, err := bench.Compile(cb.Bench, cb.Optimize)
+	return cb.runCtx(context.Background())
+}
+
+func (cb Combo) runCtx(ctx context.Context) (*bench.Run, error) {
+	bd, err := bench.CompileCtx(ctx, cb.Bench, cb.Optimize)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +162,21 @@ func (cb Combo) run() (*bench.Run, error) {
 	if cb.Input2 {
 		input = cb.Bench.Input2
 	}
-	return bench.Simulate(bd, input, cb.Geoms)
+	return bench.SimulateCtx(ctx, bd, input, cb.Geoms)
+}
+
+// runSafe runs the combo under the per-benchmark deadline, converting a
+// worker panic into a StageWorker error instead of letting it kill the
+// pool.
+func (cb Combo) runSafe(parent context.Context) (run *bench.Run, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			run, err = nil, core.WrapStage(cb.Bench.Name, core.StageWorker, fmt.Errorf("panic: %v", r))
+		}
+	}()
+	ctx, cancel := benchCtx(parent)
+	defer cancel()
+	return cb.runCtx(ctx)
 }
 
 // AllCombos lists every combination a full table sweep (IDs 1-14 and
@@ -192,9 +217,12 @@ func TrainingCombos() []Combo {
 // goroutines; workers <= 0 means GOMAXPROCS. The singleflight memo
 // layer underneath guarantees each distinct combination is compiled and
 // simulated exactly once no matter how the pool schedules duplicates.
-// All combos are attempted even if some fail; the joined errors are
-// returned.
-func Preload(workers int, combos []Combo) error {
+// All combos are attempted even if some fail: a failing combo (error,
+// panic, or per-benchmark timeout) quarantines its benchmark in the
+// degradation registry instead of aborting the warm-up, so the
+// rendering pass that follows degrades just that benchmark's rows.
+// Preload only returns an error when ctx itself is cancelled.
+func Preload(ctx context.Context, workers int, combos []Combo) error {
 	if combos == nil {
 		combos = AllCombos()
 	}
@@ -208,45 +236,51 @@ func Preload(workers int, combos []Combo) error {
 		return nil
 	}
 	ch := make(chan Combo)
-	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
 			for cb := range ch {
-				if _, err := cb.run(); err != nil && errs[w] == nil {
-					errs[w] = err
+				if ctx.Err() != nil {
+					continue // drain: the render is being abandoned
+				}
+				if _, err := cb.runSafe(ctx); err != nil && ctx.Err() == nil {
+					record(cb.Bench.Name, err)
 				}
 			}
-		}(w)
+		}()
 	}
 	for _, cb := range combos {
 		ch <- cb
 	}
 	close(ch)
 	wg.Wait()
-	return errors.Join(errs...)
+	return ctx.Err()
 }
 
 // RenderAll renders every table (IDs order) to w, first warming the
 // simulation caches with a workers-wide Preload so the serial rendering
 // pass only reads memoised results. The output is byte-identical to
-// rendering each table serially from cold.
-func RenderAll(w io.Writer, workers int) error {
-	if err := Preload(workers, nil); err != nil {
-		return err
+// rendering each table serially from cold. Benchmarks that fail degrade
+// to DEGRADED rows; the returned Report lists them (empty on a fully
+// healthy run). The degradation registry is reset at the start, so each
+// call re-evaluates every benchmark.
+func RenderAll(ctx context.Context, w io.Writer, workers int) (*Report, error) {
+	ResetDegradations()
+	if err := Preload(ctx, workers, nil); err != nil {
+		return nil, err
 	}
 	for _, id := range IDs() {
 		t, err := ByID(id)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := t.Render(w); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return &Report{Degraded: Degradations()}, nil
 }
 
 // Heuristic scores every load with the given configuration.
@@ -316,16 +350,19 @@ func ResetTraining() {
 // TrainingSamples builds the per-benchmark training data (Section 6's
 // learning phase: unoptimised binaries, Input1, training cache). The
 // simulations are warmed by a concurrent Preload; the sample assembly
-// that follows is serial and deterministic.
+// that follows is serial and deterministic. A degraded training
+// benchmark is skipped (quarantined in the registry) rather than
+// failing the whole learning phase: the weights train on the healthy
+// remainder.
 func TrainingSamples() ([]train.Sample, error) {
-	if err := Preload(0, TrainingCombos()); err != nil {
+	if err := Preload(context.Background(), 0, TrainingCombos()); err != nil {
 		return nil, err
 	}
 	var samples []train.Sample
 	for _, b := range bench.Training() {
-		ctx, err := Load(b, false, false)
-		if err != nil {
-			return nil, err
+		ctx, deg := LoadSafe(b, false, false)
+		if deg != nil {
+			continue
 		}
 		s := train.Sample{Name: b.Name}
 		stats := ctx.Stats(GeomTraining)

@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"delinq/internal/cache"
+	"delinq/internal/faultinject"
 )
 
 // Record is one data access.
@@ -108,6 +109,7 @@ type ReplayStats struct {
 // and returns per-geometry statistics — the off-line half of memory
 // profiling.
 func Replay(r io.Reader, geoms ...cache.Config) ([]ReplayStats, error) {
+	r = faultinject.Reader(faultinject.TraceFlip, "replay", r)
 	caches := make([]*cache.Cache, len(geoms))
 	stats := make([]ReplayStats, len(geoms))
 	for i, g := range geoms {

@@ -1,0 +1,80 @@
+package vm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"delinq/internal/asm"
+)
+
+// spin is a program that never exits by itself.
+const spin = `
+main:
+	li $t0, 0
+loop:
+	addiu $t0, $t0, 1
+	j loop
+`
+
+func TestBudgetExhaustionIsErrBudget(t *testing.T) {
+	img, err := asm.Assemble(spin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(img, Options{MaxInsts: 5000})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget through the chain", err)
+	}
+	var ve *Error
+	if !errors.As(err, &ve) || ve.PC == 0 {
+		t.Errorf("budget error lost the faulting pc: %v", err)
+	}
+}
+
+func TestContextCancelStopsRun(t *testing.T) {
+	img, err := asm.Assemble(spin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = RunContext(ctx, img, Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+func TestBackgroundContextCostsNothing(t *testing.T) {
+	// context.Background has a nil Done channel, so the polling branch
+	// must be compiled out of the run entirely; a normal run still works.
+	img, err := asm.Assemble("main:\n\tli $v0, 10\n\tsyscall\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunContext(context.Background(), img, Options{})
+	if err != nil || res.Exit != 0 {
+		t.Fatalf("res = %+v, err = %v", res, err)
+	}
+}
+
+func TestRunRejectsInvalidImage(t *testing.T) {
+	img, err := asm.Assemble("main:\n\tli $v0, 10\n\tsyscall\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Entry = img.TextEnd() + 8
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Run panicked on invalid image: %v", r)
+		}
+	}()
+	if _, err := Run(img, Options{}); err == nil {
+		t.Error("out-of-range entry accepted")
+	}
+}

@@ -6,7 +6,9 @@
 package vm
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -70,13 +72,24 @@ func (r *Result) MissesAt(c int, pc uint32) int64 {
 	return r.LoadMisses[c][i]
 }
 
-// Error is a runtime fault with the faulting pc.
+// ErrBudget marks an execution that exceeded its instruction budget;
+// match with errors.Is to distinguish runaway programs from genuine
+// machine faults.
+var ErrBudget = errors.New("instruction budget exhausted")
+
+// Error is a runtime fault with the faulting pc. Err, when non-nil,
+// carries the underlying cause (ErrBudget, a context cancellation) for
+// errors.Is/As matching through the chain.
 type Error struct {
 	PC  uint32
 	Msg string
+	Err error
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("vm: pc=%#x: %s", e.PC, e.Msg) }
+
+// Unwrap exposes the cause.
+func (e *Error) Unwrap() error { return e.Err }
 
 type machine struct {
 	img    *obj.Image
@@ -104,12 +117,27 @@ type machine struct {
 	caches   []*cache.Cache
 	miss0    []int64
 	onAccess func(pc, addr uint32, store bool)
+	// ctx is non-nil only for cancellable contexts; the step loop then
+	// polls it every few thousand instructions.
+	ctx context.Context
 }
 
 // Run executes the image to completion.
 func Run(img *obj.Image, opts Options) (*Result, error) {
+	return RunContext(context.Background(), img, opts)
+}
+
+// RunContext executes the image to completion, checking ctx
+// periodically in the step loop so a deadline or cancellation stops a
+// runaway simulation within a few thousand instructions. A context
+// without cancellation (context.Background()) costs nothing in the
+// loop.
+func RunContext(ctx context.Context, img *obj.Image, opts Options) (*Result, error) {
 	if opts.MaxInsts == 0 {
 		opts.MaxInsts = 2e9
+	}
+	if err := img.Validate(); err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
 	}
 	m := &machine{
 		img:   img,
@@ -145,6 +173,9 @@ func Run(img *obj.Image, opts Options) (*Result, error) {
 	m.reg[isa.SP] = int32(obj.StackTop)
 	m.reg[isa.RA] = 0 // returning from the entry halts
 	m.pc = img.Entry
+	if ctx.Done() != nil {
+		m.ctx = ctx
+	}
 
 	if err := m.loop(); err != nil {
 		return nil, err
@@ -248,7 +279,16 @@ func (m *machine) loop() error {
 			return m.fault("control transfer outside text")
 		}
 		if m.res.Insts >= m.opts.MaxInsts {
-			return m.fault("instruction budget of %d exhausted", m.opts.MaxInsts)
+			return &Error{
+				PC:  m.pc,
+				Msg: fmt.Sprintf("instruction budget of %d exhausted", m.opts.MaxInsts),
+				Err: ErrBudget,
+			}
+		}
+		if m.ctx != nil && m.res.Insts&8191 == 0 {
+			if err := m.ctx.Err(); err != nil {
+				return &Error{PC: m.pc, Msg: "execution cancelled: " + err.Error(), Err: err}
+			}
 		}
 		m.res.Insts++
 		m.res.Exec[idx]++

@@ -9,6 +9,15 @@ import (
 	"delinq/internal/obj"
 )
 
+// mustCache builds a cache from a geometry the test knows is valid.
+func mustCache(cfg cache.Config) *cache.Cache {
+	c, err := cache.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 func run(t *testing.T, src string, opts Options) *Result {
 	t.Helper()
 	img, err := asm.Assemble(src)
@@ -242,7 +251,7 @@ main:
 }
 
 func TestExecAndMissProfiling(t *testing.T) {
-	c := cache.MustNew(cache.Config{SizeBytes: 128, Assoc: 1, BlockBytes: 32})
+	c := mustCache(cache.Config{SizeBytes: 128, Assoc: 1, BlockBytes: 32})
 	res := run(t, `
 	.data
 	.object big, arr:1024:int
@@ -286,8 +295,8 @@ loop:
 }
 
 func TestMultiCacheAttribution(t *testing.T) {
-	small := cache.MustNew(cache.Config{SizeBytes: 64, Assoc: 1, BlockBytes: 16})
-	big := cache.MustNew(cache.Config{SizeBytes: 64 * 1024, Assoc: 4, BlockBytes: 64})
+	small := mustCache(cache.Config{SizeBytes: 64, Assoc: 1, BlockBytes: 16})
+	big := mustCache(cache.Config{SizeBytes: 64 * 1024, Assoc: 4, BlockBytes: 64})
 	res := run(t, `
 	.data
 a: .space 2048

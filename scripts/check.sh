@@ -25,6 +25,12 @@ go test ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== chaos (race)"
+# The resilience gate: every fault point armed at once under the race
+# detector. The pipeline must quarantine the sabotaged benchmarks,
+# keep every healthy row golden, and stay deterministic.
+go test -race -run 'TestChaos' ./...
+
 echo "== bench smoke"
 # One iteration of the cheap benchmarks: enough to catch a broken
 # benchmark without paying for a full measurement run.
@@ -38,7 +44,8 @@ go test -cover \
     ./internal/progen ./internal/interp ./internal/difftest \
     ./internal/trace ./internal/train \
     ./internal/minic ./internal/asm ./internal/obj ./internal/disasm \
-    ./internal/cfg ./internal/dataflow ./internal/callgraph |
+    ./internal/cfg ./internal/dataflow ./internal/callgraph \
+    ./internal/faultinject ./internal/cache |
 awk '
 /coverage:/ {
     pct = $5; sub(/%.*/, "", pct)
