@@ -16,6 +16,7 @@
 //	delinq table [-j N] [-v] <1-14|S1|all>       regenerate a paper table
 //	delinq bench                                 list the benchmark suite
 //	delinq difftest [-n N] [-seed S] [-v]        three-way differential test
+//	delinq serve [-addr :8080]                   run the analysis daemon
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"time"
 
 	"delinq/internal/bench"
 	"delinq/internal/cache"
@@ -108,6 +110,8 @@ func main() {
 			err = cmdBench()
 		case "difftest":
 			err = cmdDifftest(os.Args[2:])
+		case "serve":
+			err = cmdServe(os.Args[2:])
 		default:
 			usage()
 		}
@@ -127,15 +131,25 @@ func usage() {
   build [-O] [-o out.img] prog.c    compile mini-C and assemble
   asm [-o out.img] prog.s           assemble MIPS-style assembly
   disasm prog.img                   disassemble an image
-  run prog.img [args...]            simulate with the 8KB baseline cache
+  run [-timeout d] prog.img [args...]  simulate with the 8KB baseline cache
   analyze [-O] [-inter] [-timeout d] prog.c [args...]  identify delinquent loads statically
   profile [-O] prog.c [args...]     basic-block profile and hotspot loads
-  trace [-o t.bin] prog.img [args]  collect a memory trace, then replay it
+  trace [-o t.bin] [-timeout d] prog.img [args]  collect a memory trace, then replay it
   train                             run the training phase, print weights
   table [-j N] [-v] [-timeout d] [-strict] <1-14|S1|all>  regenerate a table
   bench                             list the benchmark suite
-  difftest [-n N] [-seed S] [-v]    random programs: interp vs -O0 vs -O`)
+  difftest [-n N] [-seed S] [-v] [-timeout d]  random programs: interp vs -O0 vs -O
+  serve [-addr :8080] [-max-inflight N] [-queue N] [-req-timeout d]  run the analysis daemon`)
 	os.Exit(2)
+}
+
+// deadlineCtx builds the context a -timeout flag asks for; zero means
+// no deadline. The returned cancel is always non-nil.
+func deadlineCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.Background(), func() {}
 }
 
 func parseArgs(raw []string) ([]int32, error) {
@@ -216,18 +230,25 @@ func cmdDisasm(args []string) error {
 }
 
 func cmdRun(args []string) error {
-	if len(args) < 1 {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	timeout := fs.Duration("timeout", 0, "simulation deadline (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
 		return usagef("run wants an image file")
 	}
-	img, err := core.LoadImage(args[0])
+	img, err := core.LoadImage(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	progArgs, err := parseArgs(args[1:])
+	progArgs, err := parseArgs(fs.Args()[1:])
 	if err != nil {
 		return err
 	}
-	sim, err := core.Simulate(img, progArgs)
+	ctx, cancel := deadlineCtx(*timeout)
+	defer cancel()
+	sim, err := core.SimulateCtx(ctx, img, progArgs)
 	if err != nil {
 		return err
 	}
@@ -257,12 +278,8 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := deadlineCtx(*timeout)
+	defer cancel()
 	img, err := core.BuildSource(string(src), *opt)
 	if err != nil {
 		return err
@@ -293,6 +310,7 @@ func cmdAnalyze(args []string) error {
 func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	out := fs.String("o", "", "write the trace to this file (default: in-memory only)")
+	timeout := fs.Duration("timeout", 0, "collection + replay deadline (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -317,14 +335,21 @@ func cmdTrace(args []string) error {
 		sink = f
 	}
 	buf, _ := sink.(*bytes.Buffer)
+	ctx, cancel := deadlineCtx(*timeout)
+	defer cancel()
 	tw := trace.NewWriter(sink)
-	res, err := vm.Run(img, vm.Options{
+	res, err := vm.RunContext(ctx, img, vm.Options{
 		Args: progArgs,
 		OnAccess: func(pc, addr uint32, store bool) {
 			tw.Add(pc, addr, store)
 		},
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			// Deadline expiry gets trace-stage provenance; other VM
+			// failures keep their original message.
+			return core.WrapStage("", core.StageTrace, err)
+		}
 		return err
 	}
 	if err := tw.Flush(); err != nil {
@@ -498,6 +523,7 @@ func cmdDifftest(args []string) error {
 	n := fs.Int("n", 200, "number of random programs to check")
 	seed := fs.Int64("seed", 1, "base seed; program k uses seed+k")
 	verbose := fs.Bool("v", false, "print progress and full failing sources")
+	timeout := fs.Duration("timeout", 0, "deadline for the whole batch (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -513,7 +539,9 @@ func cmdDifftest(args []string) error {
 			fmt.Fprintf(os.Stderr, "difftest: %d/%d\n", done, total)
 		}
 	}
-	sum := difftest.Run(opts)
+	ctx, cancel := deadlineCtx(*timeout)
+	defer cancel()
+	sum, runErr := difftest.RunCtx(ctx, opts)
 	for _, f := range sum.Failures {
 		fmt.Printf("seed %d: %s\n", f.Seed, f.Reason)
 		if *verbose {
@@ -521,6 +549,9 @@ func cmdDifftest(args []string) error {
 		}
 	}
 	fmt.Printf("difftest: %d programs, %d disagreements\n", sum.Programs, len(sum.Failures))
+	if runErr != nil {
+		return runErr
+	}
 	if len(sum.Failures) > 0 {
 		return fmt.Errorf("%d of %d programs disagree", len(sum.Failures), sum.Programs)
 	}

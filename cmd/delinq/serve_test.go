@@ -1,0 +1,252 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// cliSpin runs effectively forever: only a deadline or a drain abort
+// stops it.
+const cliSpin = `
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 2000000000; i++) { s = s + i; }
+	return s;
+}
+`
+
+// startServe launches `delinq serve` on an ephemeral port and returns
+// the base URL plus the running command and its stderr buffer (read it
+// only after cmd.Wait). The caller owns shutdown.
+func startServe(t *testing.T, bin string, extra ...string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("serve printed nothing on stdout; stderr:\n%s", stderr.String())
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected serve banner: %q", line)
+	}
+	return cmd, "http://" + line[i+len(marker):], &stderr
+}
+
+// TestCLIServeSmoke: the daemon comes up, answers health, analysis and
+// metrics requests, and a SIGTERM drains it to a clean exit 0.
+func TestCLIServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	cmd, base, stderr := startServe(t, bin)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	body := fmt.Sprintf(`{"source": %q}`, cliProg)
+	aresp, err := http.Post(base+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	ab, _ := io.ReadAll(aresp.Body)
+	aresp.Body.Close()
+	if aresp.StatusCode != http.StatusOK || !strings.Contains(string(ab), `"heuristic"`) {
+		t.Fatalf("analyze = %d: %s", aresp.StatusCode, ab)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mb), "delinq_requests_total 1") {
+		t.Errorf("metrics missing request count:\n%s", mb)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("serve exited non-zero after SIGTERM: %v", err)
+	}
+	log := stderr.String()
+	if !strings.Contains(log, "draining") || !strings.Contains(log, "stopped") {
+		t.Errorf("drain log missing:\n%s", log)
+	}
+}
+
+// TestCLIServeDrainAbort: a SIGTERM with a spinning request in flight
+// and a short drain deadline still exits 0 — the straggler is aborted,
+// not waited on forever.
+func TestCLIServeDrainAbort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	cmd, base, stderr := startServe(t, bin, "-drain-timeout", "500ms")
+
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/run", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"source": %q}`, cliSpin)))
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+	// Give the request time to reach the VM before signalling.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("metrics during spin: %v", err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(b), "delinq_requests_inflight 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("spin request never became in-flight")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	start := time.Now()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("serve exited non-zero after forced drain: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("forced drain took %v", elapsed)
+	}
+	if code := <-reqDone; code != http.StatusInternalServerError && code != -1 {
+		t.Errorf("aborted straggler answered %d, want 500 (or a dropped connection)", code)
+	}
+	if log := stderr.String(); !strings.Contains(log, "stragglers aborted") {
+		t.Errorf("forced drain not logged:\n%s", log)
+	}
+}
+
+// TestCLIServeUsage: flag mistakes are usage errors (exit 2).
+func TestCLIServeUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	for _, args := range [][]string{
+		{"serve", "stray-positional"},
+		{"serve", "-max-inflight", "0"},
+		{"serve", "-queue", "-1"},
+	} {
+		err := exec.Command(bin, args...).Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("%v: %v, want exit 2", args, err)
+		}
+	}
+	// A dead listen address is a pipeline failure (exit 1) with serve
+	// provenance.
+	out, err := exec.Command(bin, "serve", "-addr", "256.0.0.1:http").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Errorf("bad listen addr: %v, want exit 1\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "serve:") {
+		t.Errorf("listen failure missing serve stage:\n%s", out)
+	}
+}
+
+// TestCLIDeadlineFlags: -timeout on run, trace, and difftest turns
+// expiry into an exit-1 StageError with per-command provenance, and a
+// generous deadline changes nothing.
+func TestCLIDeadlineFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	spin := filepath.Join(dir, "spin.c")
+	img := filepath.Join(dir, "spin.img")
+	if err := os.WriteFile(spin, []byte(cliSpin), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "build", "-o", img, spin).CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	expiry := func(wantSub string, args ...string) {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Fatalf("%v: %v, want exit 1\n%s", args, err, out)
+		}
+		if !strings.Contains(string(out), wantSub) {
+			t.Errorf("%v error missing %q:\n%s", args, wantSub, out)
+		}
+	}
+	expiry("simulate:", "run", "-timeout", "50ms", img)
+	expiry("trace:", "trace", "-timeout", "50ms", img)
+	expiry("difftest:", "difftest", "-n", "1000000", "-timeout", "50ms")
+
+	// Generous deadlines leave healthy runs untouched.
+	good := filepath.Join(dir, "prog.c")
+	gimg := filepath.Join(dir, "prog.img")
+	if err := os.WriteFile(good, []byte(cliProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "build", "-o", gimg, good).CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(bin, "run", "-timeout", "5m", gimg).CombinedOutput(); err != nil {
+		t.Errorf("run -timeout 5m: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(bin, "trace", "-timeout", "5m", gimg).CombinedOutput(); err != nil {
+		t.Errorf("trace -timeout 5m: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(bin, "difftest", "-n", "5", "-timeout", "5m").CombinedOutput(); err != nil {
+		t.Errorf("difftest -timeout 5m: %v\n%s", err, out)
+	}
+}

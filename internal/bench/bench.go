@@ -14,8 +14,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"strconv"
 	"strings"
+	"time"
 
 	"delinq/internal/asm"
 	"delinq/internal/cache"
@@ -27,6 +29,7 @@ import (
 	"delinq/internal/minic"
 	"delinq/internal/obj"
 	"delinq/internal/pattern"
+	"delinq/internal/retry"
 	"delinq/internal/vm"
 )
 
@@ -247,11 +250,34 @@ func corruptImage(name string, img *obj.Image) {
 	}
 }
 
+// patternRetrySleep, when non-nil, replaces the jittered backoff sleep
+// between pattern-analysis attempts (tests install a recorder; the
+// fault-free path never sleeps because the first attempt succeeds).
+var patternRetrySleep func(ctx context.Context, d time.Duration) error
+
+// patternPolicy is the retry schedule for pattern analysis of one
+// benchmark: two attempts — full budgets, then halved — separated by a
+// short capped backoff whose jitter is seeded by the benchmark name, so
+// a chaos storm replays the same schedule run after run.
+func patternPolicy(name string) retry.Policy {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return retry.Policy{
+		Attempts: 2,
+		Base:     25 * time.Millisecond,
+		Cap:      time.Second,
+		Jitter:   0.5,
+		Seed:     int64(h.Sum64()),
+		Sleep:    patternRetrySleep,
+	}
+}
+
 // analyzePatterns runs pattern analysis with graceful degradation: a
-// failure (or recovered panic) is retried once with halved MaxPatterns
-// and MaxNodes budgets; if that fails too, every load degrades to the
-// Unknown pattern and the returned *core.StageError records why.
-// Context cancellation is never degraded — it propagates as the error.
+// failure (or recovered panic) is retried through retry.Policy with
+// halved MaxPatterns and MaxNodes budgets after a jittered backoff; if
+// every attempt fails, every load degrades to the Unknown pattern and
+// the returned *core.StageError records why. Context cancellation is
+// never degraded — it propagates as the error.
 func analyzePatterns(ctx context.Context, name string, prog *disasm.Program) ([]*pattern.Load, *core.StageError, error) {
 	run := func(conf pattern.Config) (loads []*pattern.Load, err error) {
 		defer func() {
@@ -265,25 +291,28 @@ func analyzePatterns(ctx context.Context, name string, prog *disasm.Program) ([]
 		return pattern.AnalyzeProgramCtx(ctx, prog, conf)
 	}
 	conf := pattern.DefaultConfig()
-	loads, err := run(conf)
+	var loads []*pattern.Load
+	err := patternPolicy(name).Do(ctx, func(attempt int) error {
+		c := conf
+		for i := 0; i < attempt; i++ {
+			c.MaxPatterns /= 2
+			c.MaxNodes /= 2
+		}
+		l, rerr := run(c)
+		if rerr != nil {
+			return rerr
+		}
+		loads = l
+		return nil
+	})
 	if err == nil {
 		return loads, nil, nil
 	}
 	if ctx.Err() != nil {
 		return nil, nil, err
 	}
-	half := conf
-	half.MaxPatterns = conf.MaxPatterns / 2
-	half.MaxNodes = conf.MaxNodes / 2
-	loads, retryErr := run(half)
-	if retryErr == nil {
-		return loads, nil, nil
-	}
-	if ctx.Err() != nil {
-		return nil, nil, retryErr
-	}
 	return pattern.UnknownLoads(prog),
-		core.NewStageError(name, core.StagePattern, fmt.Errorf("degraded to unknown patterns: %w", retryErr)),
+		core.NewStageError(name, core.StagePattern, fmt.Errorf("degraded to unknown patterns: %w", err)),
 		nil
 }
 

@@ -123,11 +123,18 @@ func IdentifyImageCtx(ctx context.Context, img *obj.Image, opts Options) (*Resul
 // IdentifySource compiles mini-C source and identifies its delinquent
 // loads.
 func IdentifySource(src string, opts Options) (*Result, error) {
+	return IdentifySourceCtx(context.Background(), src, opts)
+}
+
+// IdentifySourceCtx is IdentifySource under a context: a deadline or
+// cancellation stops pattern analysis at the next function boundary
+// (compilation itself is quick and runs to completion).
+func IdentifySourceCtx(ctx context.Context, src string, opts Options) (*Result, error) {
 	img, err := BuildSource(src, opts.Optimize)
 	if err != nil {
 		return nil, err
 	}
-	return IdentifyImage(img, opts)
+	return IdentifyImageCtx(ctx, img, opts)
 }
 
 // BuildSource compiles and assembles mini-C source to a linked image.

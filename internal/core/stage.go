@@ -38,6 +38,13 @@ const (
 	// StageWorker is a crash (recovered panic) inside an experiment
 	// worker rather than a stage-reported error.
 	StageWorker Stage = "worker"
+	// StageServe is a failure inside the analysis daemon's request
+	// handling (a recovered handler panic, an exceeded request
+	// deadline) rather than in a pipeline stage proper.
+	StageServe Stage = "serve"
+	// StageDifftest is the three-way differential oracle aborting a
+	// batch (e.g. on an exceeded deadline) before all programs ran.
+	StageDifftest Stage = "difftest"
 )
 
 // StageError is one pipeline failure with its provenance. Benchmark is

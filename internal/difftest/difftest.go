@@ -14,10 +14,12 @@
 package difftest
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"delinq/internal/asm"
+	"delinq/internal/core"
 	"delinq/internal/interp"
 	"delinq/internal/minic"
 	"delinq/internal/progen"
@@ -149,6 +151,15 @@ func argsFor(seed int64) []int32 {
 
 // Run generates opts.N programs and checks each one three ways.
 func Run(opts Options) *Summary {
+	sum, _ := RunCtx(context.Background(), opts)
+	return sum
+}
+
+// RunCtx is Run under a context: the batch stops at the next program
+// boundary once ctx is done, returning the programs checked so far
+// together with a difftest-stage *core.StageError recording the abort.
+// A nil error means every requested program ran.
+func RunCtx(ctx context.Context, opts Options) (*Summary, error) {
 	cfg := opts.Config
 	if cfg == (progen.Config{}) {
 		cfg = progen.DefaultConfig()
@@ -156,6 +167,10 @@ func Run(opts Options) *Summary {
 	gen := progen.New(cfg)
 	sum := &Summary{}
 	for k := 0; k < opts.N; k++ {
+		if err := ctx.Err(); err != nil {
+			return sum, core.WrapStage("", core.StageDifftest,
+				fmt.Errorf("aborted after %d of %d programs: %w", sum.Programs, opts.N, err))
+		}
 		seed := opts.Seed + int64(k)
 		src := gen.Program(seed)
 		if reason := CheckProgram(src, argsFor(seed), opts.MaxInsts); reason != "" {
@@ -166,5 +181,5 @@ func Run(opts Options) *Summary {
 			opts.Progress(k+1, opts.N)
 		}
 	}
-	return sum
+	return sum, nil
 }

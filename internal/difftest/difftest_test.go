@@ -1,9 +1,38 @@
 package difftest
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+
+	"delinq/internal/core"
 )
+
+// TestRunCtxAbortsAtProgramBoundary pins the deadline contract: a done
+// context stops the batch between programs, the summary reports the
+// work finished so far, and the error carries difftest-stage
+// provenance.
+func TestRunCtxAbortsAtProgramBoundary(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sum, err := RunCtx(ctx, Options{N: 50, Seed: 1})
+	if sum.Programs != 0 {
+		t.Errorf("ran %d programs under a dead context, want 0", sum.Programs)
+	}
+	if !errors.Is(err, &core.StageError{Stage: core.StageDifftest}) {
+		t.Fatalf("err = %v, want difftest-stage StageError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled through the chain", err)
+	}
+
+	// A live context runs everything and reports no error.
+	sum, err = RunCtx(context.Background(), Options{N: 3, Seed: 1})
+	if err != nil || sum.Programs != 3 {
+		t.Fatalf("healthy RunCtx: programs=%d err=%v", sum.Programs, err)
+	}
+}
 
 // TestThreeWayAgreement is the in-tree slice of the oracle: 150 random
 // programs across all archetypes must agree on all three engines. The

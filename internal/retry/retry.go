@@ -1,0 +1,160 @@
+// Package retry implements capped exponential backoff with
+// deterministic, seedable jitter. It is the one retry policy of the
+// pipeline: transient stage failures (an exhausted analysis budget, a
+// crashed worker, a flaky seam armed by the fault injector) are retried
+// a bounded number of times with growing, jittered delays, while
+// permanent failures (context cancellation, errors marked Permanent)
+// stop immediately.
+//
+// All randomness derives from Policy.Seed, so a fixed seed produces the
+// same backoff schedule run after run — the property every golden and
+// chaos test in this repository relies on. The zero Policy is usable:
+// one attempt, no backoff, which makes retry.Do a drop-in wrapper
+// around any fallible stage.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Policy shapes one retry loop.
+type Policy struct {
+	// Attempts is the total number of tries (first call included).
+	// Values below 1 behave as 1: the operation runs once, no retries.
+	Attempts int
+	// Base is the delay before the first retry; each later retry
+	// multiplies it by Multiplier, capped at Cap.
+	Base time.Duration
+	// Cap bounds the grown delay; zero means no cap.
+	Cap time.Duration
+	// Multiplier grows the delay between attempts; values below 1
+	// (including the zero value) mean the conventional doubling.
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomised, in
+	// [0, 1]: the slept delay is uniform in [d·(1−Jitter/2), d·(1+Jitter/2)].
+	// Zero disables jitter.
+	Jitter float64
+	// Seed drives the jitter stream. Equal seeds produce equal
+	// schedules; derive it from a stable identity (benchmark name,
+	// request key) for reproducible storms.
+	Seed int64
+	// Sleep replaces the context-aware sleep between attempts; tests
+	// inject a recorder here. Nil means a real timer honouring ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do stops retrying and returns it as-is
+// (unwrapped) immediately. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked with
+// Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Backoff returns the delay slept after failed attempt number `attempt`
+// (0-based), before jitter. Exported so callers can report or log the
+// schedule they are about to follow.
+func (p Policy) Backoff(attempt int) time.Duration {
+	d := p.Base
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	for i := 0; i < attempt; i++ {
+		d = time.Duration(float64(d) * mult)
+		if p.Cap > 0 && d > p.Cap {
+			return p.Cap
+		}
+	}
+	if p.Cap > 0 && d > p.Cap {
+		d = p.Cap
+	}
+	return d
+}
+
+// jittered applies the policy's jitter fraction to d using rng.
+func (p Policy) jittered(d time.Duration, rng *rand.Rand) time.Duration {
+	if p.Jitter <= 0 || d <= 0 {
+		return d
+	}
+	j := p.Jitter
+	if j > 1 {
+		j = 1
+	}
+	span := float64(d) * j
+	lo := float64(d) - span/2
+	return time.Duration(lo + rng.Float64()*span)
+}
+
+// sleep waits d or until ctx is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs op until it succeeds, exhausts the policy's attempts, returns
+// an error marked Permanent, or ctx is cancelled. op receives the
+// 0-based attempt number so callers can shrink budgets or vary inputs
+// per try. The returned error is the last attempt's error, unwrapped
+// from any Permanent marker.
+func (p Policy) Do(ctx context.Context, op func(attempt int) error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	slp := p.Sleep
+	if slp == nil {
+		slp = sleep
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return err
+			}
+			return cerr
+		}
+		err = op(attempt)
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		if ctx.Err() != nil || attempt == attempts-1 {
+			return err
+		}
+		if serr := slp(ctx, p.jittered(p.Backoff(attempt), rng)); serr != nil {
+			return err
+		}
+	}
+	return err
+}

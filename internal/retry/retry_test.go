@@ -1,0 +1,168 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestZeroPolicyRunsOnce(t *testing.T) {
+	calls := 0
+	err := Policy{}.Do(context.Background(), func(int) error {
+		calls++
+		return errors.New("boom")
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("calls=%d err=%v, want 1 call and an error", calls, err)
+	}
+	calls = 0
+	if err := (Policy{}).Do(context.Background(), func(int) error { calls++; return nil }); err != nil || calls != 1 {
+		t.Fatalf("success path: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestAttemptNumbersAndRecovery(t *testing.T) {
+	var seen []int
+	var slept []time.Duration
+	p := Policy{
+		Attempts: 4,
+		Base:     10 * time.Millisecond,
+		Sleep:    func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil },
+	}
+	err := p.Do(context.Background(), func(a int) error {
+		seen = append(seen, a)
+		if a < 2 {
+			return fmt.Errorf("transient %d", a)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if len(seen) != 3 || seen[0] != 0 || seen[1] != 1 || seen[2] != 2 {
+		t.Fatalf("attempts = %v, want [0 1 2]", seen)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	if slept[0] != 10*time.Millisecond || slept[1] != 20*time.Millisecond {
+		t.Errorf("backoff schedule = %v, want [10ms 20ms]", slept)
+	}
+}
+
+func TestBackoffCapAndMultiplier(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 450 * time.Millisecond, Multiplier: 3}
+	want := []time.Duration{100e6, 300e6, 450e6, 450e6}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestJitterDeterministicInSeed(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		var slept []time.Duration
+		p := Policy{
+			Attempts: 5,
+			Base:     100 * time.Millisecond,
+			Jitter:   0.5,
+			Seed:     seed,
+			Sleep:    func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil },
+		}
+		p.Do(context.Background(), func(int) error { return errors.New("always") })
+		return slept
+	}
+	a, b := schedule(7), schedule(7)
+	if len(a) != 4 {
+		t.Fatalf("slept %d times, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jittered schedules")
+	}
+	// Jitter stays inside [d/2·(2−j), d/2·(2+j)] → [0.75d, 1.25d] for j=0.5.
+	base := Policy{Base: 100 * time.Millisecond}
+	for i, d := range a {
+		raw := base.Backoff(i)
+		lo := time.Duration(float64(raw) * 0.75)
+		hi := time.Duration(float64(raw) * 1.25)
+		if d < lo || d > hi {
+			t.Errorf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+func TestPermanentStopsRetries(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("fatal")
+	p := Policy{Attempts: 5, Sleep: func(context.Context, time.Duration) error { return nil }}
+	err := p.Do(context.Background(), func(int) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want the sentinel", err)
+	}
+	if IsPermanent(err) {
+		t.Error("returned error still carries the Permanent marker")
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+	if IsPermanent(sentinel) {
+		t.Error("plain error reported permanent")
+	}
+	if !IsPermanent(fmt.Errorf("wrapped: %w", Permanent(sentinel))) {
+		t.Error("wrapped permanent not detected")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	// Cancelled before the first attempt: op never runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Policy{Attempts: 3}.Do(ctx, func(int) error { calls++; return nil })
+	if calls != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: calls=%d err=%v", calls, err)
+	}
+
+	// Cancelled during the backoff sleep: the attempt's error returns.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	transient := errors.New("transient")
+	calls = 0
+	err = Policy{Attempts: 3, Base: time.Hour}.Do(ctx2, func(int) error {
+		calls++
+		cancel2()
+		return transient
+	})
+	if calls != 1 || !errors.Is(err, transient) {
+		t.Fatalf("cancel mid-backoff: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRealSleepHonoursDuration(t *testing.T) {
+	start := time.Now()
+	p := Policy{Attempts: 2, Base: 20 * time.Millisecond}
+	p.Do(context.Background(), func(int) error { return errors.New("x") })
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Errorf("elapsed %v, want >= ~20ms of real backoff", el)
+	}
+}

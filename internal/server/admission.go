@@ -1,0 +1,79 @@
+// Admission control: a semaphore bounding concurrently executing
+// requests plus a bounded FIFO wait queue. Work beyond both bounds is
+// shed immediately with errShed (the handler answers 429 + Retry-After)
+// instead of queueing unboundedly — under sustained overload the daemon
+// degrades to a predictable reject rate rather than to collapse.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errShed reports a request rejected because both the in-flight
+// semaphore and the wait queue are full.
+var errShed = errors.New("server at capacity")
+
+type admission struct {
+	// slots is the in-flight semaphore: sending acquires, receiving
+	// releases; capacity is the max-inflight bound.
+	slots    chan struct{}
+	queueCap int64
+	queued   atomic.Int64
+	inflight atomic.Int64
+}
+
+func newAdmission(maxInflight, queue int) *admission {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &admission{
+		slots:    make(chan struct{}, maxInflight),
+		queueCap: int64(queue),
+	}
+}
+
+// acquire admits the request, blocking in the bounded queue when all
+// slots are busy. It returns a release closure on success; errShed when
+// the queue is full; ctx's error when the caller gave up while queued.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.slots <- struct{}{}:
+	default:
+		// All slots busy: take a queue position or shed. The CAS loop
+		// makes the bound exact under concurrent arrivals.
+		for {
+			q := a.queued.Load()
+			if q >= a.queueCap {
+				return nil, errShed
+			}
+			if a.queued.CompareAndSwap(q, q+1) {
+				break
+			}
+		}
+		defer a.queued.Add(-1)
+		select {
+		case a.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	a.inflight.Add(1)
+	var released atomic.Bool
+	return func() {
+		if released.CompareAndSwap(false, true) {
+			a.inflight.Add(-1)
+			<-a.slots
+		}
+	}, nil
+}
+
+// Inflight returns the number of requests currently holding a slot.
+func (a *admission) Inflight() int64 { return a.inflight.Load() }
+
+// Queued returns the number of requests currently waiting for a slot.
+func (a *admission) Queued() int64 { return a.queued.Load() }

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionShedsBeyondQueue(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx := context.Background()
+
+	rel1, err := a.acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Inflight(); got != 1 {
+		t.Fatalf("Inflight = %d, want 1", got)
+	}
+
+	// Second request queues (slot busy, queue has room).
+	queued := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(queued)
+		rel, err := a.acquire(ctx)
+		if err == nil {
+			defer rel()
+		}
+		done <- err
+	}()
+	<-queued
+	waitFor(t, func() bool { return a.Queued() == 1 })
+
+	// Third request finds slot busy and queue full: shed.
+	if _, err := a.acquire(ctx); !errors.Is(err, errShed) {
+		t.Fatalf("acquire with full queue = %v, want errShed", err)
+	}
+
+	// Releasing the slot admits the queued request.
+	rel1()
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire failed: %v", err)
+	}
+	waitFor(t, func() bool { return a.Inflight() == 0 && a.Queued() == 0 })
+}
+
+func TestAdmissionQueuedCancel(t *testing.T) {
+	a := newAdmission(1, 4)
+	rel, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx)
+		done <- err
+	}()
+	waitFor(t, func() bool { return a.Queued() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled queued acquire = %v, want context.Canceled", err)
+	}
+	waitFor(t, func() bool { return a.Queued() == 0 })
+}
+
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := newAdmission(1, 0)
+	rel, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // double release must not free a second slot
+	if got := a.Inflight(); got != 0 {
+		t.Fatalf("Inflight after double release = %d, want 0", got)
+	}
+	// Exactly one slot exists again.
+	rel2, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel2()
+	if _, err := a.acquire(context.Background()); !errors.Is(err, errShed) {
+		t.Fatal("double release leaked an extra slot")
+	}
+}
+
+func TestAdmissionConcurrentBound(t *testing.T) {
+	const slots, queue, callers = 3, 2, 32
+	a := newAdmission(slots, queue)
+	var (
+		mu             sync.Mutex
+		peak           int64
+		admitted, shed int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := a.acquire(context.Background())
+			if err != nil {
+				mu.Lock()
+				shed++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			admitted++
+			if in := a.Inflight(); in > peak {
+				peak = in
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if peak > slots {
+		t.Errorf("inflight peaked at %d, bound is %d", peak, slots)
+	}
+	if admitted+shed != callers {
+		t.Errorf("admitted %d + shed %d != %d callers", admitted, shed, callers)
+	}
+	if admitted < slots {
+		t.Errorf("only %d admitted, want at least %d", admitted, slots)
+	}
+}
+
+// waitFor polls cond with a deadline; admission state changes are
+// asynchronous but prompt.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,175 @@
+// Circuit breaking: each pipeline unit (a benchmark, a table id, the
+// ad-hoc source pipeline) is guarded by a breaker that trips open after
+// K consecutive failures, short-circuits further work while open, and
+// half-opens on a timer to let one probe request test recovery. Every
+// failure is reported with the pipeline stage that caused it, so the
+// daemon's metrics attribute trips to compile/simulate/pattern/worker
+// stages while the blast radius of a tripped unit stays confined to
+// that unit — a storm of failures in one benchmark never blocks
+// requests for healthy ones.
+package server
+
+import (
+	"sync"
+	"time"
+
+	"delinq/internal/core"
+)
+
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+type breaker struct {
+	state    breakerState
+	failures int        // consecutive failures while closed
+	openedAt time.Time  // when the breaker last tripped
+	probing  bool       // a half-open probe is in flight
+	stage    core.Stage // stage of the most recent failure
+}
+
+// breakerSet is the per-unit breaker collection.
+type breakerSet struct {
+	k        int           // consecutive failures that trip a unit
+	cooldown time.Duration // open → half-open timer
+	now      func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*breaker
+
+	// onTransition observes state changes (metrics); called outside mu.
+	onTransition func(unit string, to breakerState, stage core.Stage)
+}
+
+func newBreakerSet(k int, cooldown time.Duration) *breakerSet {
+	if k < 1 {
+		k = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breakerSet{k: k, cooldown: cooldown, now: time.Now, m: map[string]*breaker{}}
+}
+
+func (s *breakerSet) get(unit string) *breaker {
+	b, ok := s.m[unit]
+	if !ok {
+		b = &breaker{}
+		s.m[unit] = b
+	}
+	return b
+}
+
+// allow reports whether a request for unit may execute now. When the
+// answer is no, retryAfter is the time until the breaker half-opens
+// (never less than a second, so clients get a usable Retry-After). A
+// true answer from a half-open breaker claims the single probe slot;
+// the caller must report the probe's outcome.
+func (s *breakerSet) allow(unit string) (ok bool, retryAfter time.Duration) {
+	s.mu.Lock()
+	b := s.get(unit)
+	var transition bool
+	var stage core.Stage
+	switch b.state {
+	case stateClosed:
+		ok = true
+	case stateOpen:
+		if wait := b.openedAt.Add(s.cooldown).Sub(s.now()); wait > 0 {
+			retryAfter = wait
+		} else {
+			b.state = stateHalfOpen
+			b.probing = true
+			transition, stage = true, b.stage
+			ok = true
+		}
+	case stateHalfOpen:
+		if !b.probing {
+			b.probing = true
+			ok = true
+		} else {
+			retryAfter = s.cooldown
+		}
+	}
+	s.mu.Unlock()
+	if transition && s.onTransition != nil {
+		s.onTransition(unit, stateHalfOpen, stage)
+	}
+	if !ok && retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	return ok, retryAfter
+}
+
+// report records the outcome of an executed request for unit. Failures
+// carry the pipeline stage that failed; a success anywhere resets the
+// consecutive-failure count, closes a half-open breaker, and forgives
+// an open one (a joined flight that succeeded proves recovery).
+func (s *breakerSet) report(unit string, stage core.Stage, success bool) {
+	s.mu.Lock()
+	b := s.get(unit)
+	from := b.state
+	if success {
+		b.failures = 0
+		b.probing = false
+		b.state = stateClosed
+	} else {
+		b.stage = stage
+		switch b.state {
+		case stateClosed:
+			b.failures++
+			if b.failures >= s.k {
+				b.state = stateOpen
+				b.openedAt = s.now()
+			}
+		case stateHalfOpen, stateOpen:
+			// A failed probe (or a straggler failing while open) re-trips
+			// and restarts the cooldown.
+			b.state = stateOpen
+			b.openedAt = s.now()
+			b.probing = false
+		}
+	}
+	to := b.state
+	s.mu.Unlock()
+	if to != from && s.onTransition != nil {
+		s.onTransition(unit, to, stage)
+	}
+}
+
+// cancel releases a claimed execution without recording an outcome:
+// the request turned out to be the client's mistake (4xx) and never
+// exercised the pipeline, so it is evidence of neither health nor
+// failure. A half-open probe slot is returned for the next candidate.
+func (s *breakerSet) cancel(unit string) {
+	s.mu.Lock()
+	s.get(unit).probing = false
+	s.mu.Unlock()
+}
+
+// openUnits counts breakers currently open (metrics gauge).
+func (s *breakerSet) openUnits() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, b := range s.m {
+		if b.state == stateOpen {
+			n++
+		}
+	}
+	return n
+}

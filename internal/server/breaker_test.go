@@ -1,0 +1,166 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"delinq/internal/core"
+)
+
+// fakeClock drives a breakerSet deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeSet(k int, cd time.Duration) (*breakerSet, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	s := newBreakerSet(k, cd)
+	s.now = clk.now
+	return s, clk
+}
+
+func TestBreakerTripsAfterKFailures(t *testing.T) {
+	s, _ := newFakeSet(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if ok, _ := s.allow("u"); !ok {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		s.report("u", core.StageSimulate, false)
+	}
+	// Two consecutive failures: still closed.
+	if ok, _ := s.allow("u"); !ok {
+		t.Fatal("breaker tripped before K failures")
+	}
+	s.report("u", core.StageSimulate, false)
+	// Third failure trips it.
+	ok, ra := s.allow("u")
+	if ok {
+		t.Fatal("breaker allowed a request while open")
+	}
+	if ra < time.Second {
+		t.Errorf("Retry-After %v below the 1s floor", ra)
+	}
+	if got := s.openUnits(); got != 1 {
+		t.Errorf("openUnits = %d, want 1", got)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	s, _ := newFakeSet(3, time.Minute)
+	s.report("u", core.StagePattern, false)
+	s.report("u", core.StagePattern, false)
+	s.report("u", "", true)
+	s.report("u", core.StagePattern, false)
+	s.report("u", core.StagePattern, false)
+	if ok, _ := s.allow("u"); !ok {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	s, clk := newFakeSet(1, time.Minute)
+	s.report("u", core.StageWorker, false) // trips immediately (k=1)
+	if ok, _ := s.allow("u"); ok {
+		t.Fatal("open breaker allowed a request before cooldown")
+	}
+	clk.advance(time.Minute + time.Second)
+
+	// First request after cooldown claims the single probe slot...
+	if ok, _ := s.allow("u"); !ok {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	// ...and a second concurrent candidate is refused.
+	if ok, _ := s.allow("u"); ok {
+		t.Fatal("half-open breaker admitted a second probe")
+	}
+
+	// A successful probe closes the breaker for everyone.
+	s.report("u", "", true)
+	if ok, _ := s.allow("u"); !ok {
+		t.Fatal("breaker still refusing after a successful probe")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	s, clk := newFakeSet(1, time.Minute)
+	s.report("u", core.StageWorker, false)
+	clk.advance(2 * time.Minute)
+	if ok, _ := s.allow("u"); !ok {
+		t.Fatal("probe refused")
+	}
+	s.report("u", core.StageWorker, false) // probe failed: re-trip
+
+	// The cooldown restarted at the failed probe, so the unit is closed
+	// to traffic for another full cooldown.
+	if ok, _ := s.allow("u"); ok {
+		t.Fatal("breaker admitted traffic right after a failed probe")
+	}
+	clk.advance(time.Minute + time.Second)
+	if ok, _ := s.allow("u"); !ok {
+		t.Fatal("breaker never half-opened again")
+	}
+}
+
+// TestBreakerCancelReleasesProbe: a request that claims the probe slot
+// but turns out to be a client error must hand the slot back without
+// closing or re-tripping the breaker.
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	s, clk := newFakeSet(1, time.Minute)
+	s.report("u", core.StageWorker, false)
+	clk.advance(2 * time.Minute)
+	if ok, _ := s.allow("u"); !ok {
+		t.Fatal("probe refused")
+	}
+	s.cancel("u") // 400: no verdict on the unit's health
+
+	// The slot is free again for a real probe, and the breaker is still
+	// half-open (a cancel is not a success).
+	if ok, _ := s.allow("u"); !ok {
+		t.Fatal("cancelled probe slot was not released")
+	}
+	if ok, _ := s.allow("u"); ok {
+		t.Fatal("cancel closed the breaker outright")
+	}
+}
+
+func TestBreakerUnitsAreIndependent(t *testing.T) {
+	s, _ := newFakeSet(1, time.Minute)
+	s.report("sick", core.StageSimulate, false)
+	if ok, _ := s.allow("sick"); ok {
+		t.Fatal("tripped unit still admitting")
+	}
+	if ok, _ := s.allow("healthy"); !ok {
+		t.Fatal("a tripped unit blocked a healthy one")
+	}
+}
+
+func TestBreakerTransitionsObserved(t *testing.T) {
+	s, clk := newFakeSet(1, time.Minute)
+	type tr struct {
+		unit  string
+		to    breakerState
+		stage core.Stage
+	}
+	var seen []tr
+	s.onTransition = func(unit string, to breakerState, stage core.Stage) {
+		seen = append(seen, tr{unit, to, stage})
+	}
+	s.report("u", core.StageCompile, false)
+	clk.advance(2 * time.Minute)
+	s.allow("u")
+	s.report("u", "", true)
+
+	want := []tr{
+		{"u", stateOpen, core.StageCompile},
+		{"u", stateHalfOpen, core.StageCompile},
+		{"u", stateClosed, ""},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("saw %d transitions %v, want %d", len(seen), seen, len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("transition %d = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+}

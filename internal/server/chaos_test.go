@@ -1,0 +1,197 @@
+// The daemon's chaos test: a fault storm against a live listening
+// server. One benchmark is sabotaged with a persistent worker panic
+// while another stays healthy. The daemon must never die, must
+// partition its answers correctly — 500 with stage provenance for the
+// sabotaged unit, 503 once its breaker trips, 400 for client mistakes,
+// 200 for healthy work — and must serve byte-identical healthy
+// responses before, during, and after the storm. When the faults are
+// cleared the breaker half-opens and the sabotaged unit recovers.
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"delinq/internal/bench"
+	"delinq/internal/faultinject"
+)
+
+func TestServeChaosStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full storm in short mode")
+	}
+	bench.ResetCache()
+	t.Cleanup(func() {
+		faultinject.Clear()
+		bench.ResetCache()
+	})
+
+	const (
+		victim   = "022.li"
+		healthy  = "181.mcf"
+		failures = 3
+		cooldown = 300 * time.Millisecond
+	)
+	s := New(Config{
+		Addr:            "127.0.0.1:0",
+		BreakerFailures: failures,
+		BreakerCooldown: cooldown,
+	})
+	addrCh := make(chan net.Addr, 1)
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- s.ListenAndServe(func(a net.Addr) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-serveErr:
+		t.Fatalf("daemon failed to listen: %v", err)
+	}
+
+	analyze := func(name string) (int, string) {
+		code, _, body := postJSON(t, base+"/v1/analyze", fmt.Sprintf(`{"benchmark": %q}`, name))
+		return code, body
+	}
+
+	// --- before the storm: capture the healthy golden bytes -------------
+	code, golden := analyze(healthy)
+	if code != http.StatusOK {
+		t.Fatalf("healthy baseline = %d: %s", code, golden)
+	}
+
+	// --- the storm ------------------------------------------------------
+	p := faultinject.NewPlan(1)
+	p.Arm(faultinject.WorkerPanic, victim)
+	faultinject.Install(p)
+
+	// Each failed request carries worker-stage provenance until the
+	// breaker trips at the configured threshold...
+	for i := 0; i < failures; i++ {
+		code, body := analyze(victim)
+		if code != http.StatusInternalServerError {
+			t.Fatalf("storm request %d = %d (%s), want 500", i, code, body)
+		}
+		if !strings.Contains(body, `"stage":"worker"`) {
+			t.Errorf("storm request %d missing worker provenance: %s", i, body)
+		}
+	}
+	// ...after which the unit short-circuits with 503 + Retry-After.
+	scode, hdr, sbody := postJSON(t, base+"/v1/analyze", fmt.Sprintf(`{"benchmark": %q}`, victim))
+	if scode != http.StatusServiceUnavailable || !strings.Contains(sbody, "circuit open") {
+		t.Fatalf("tripped unit = %d (%s), want 503 circuit open", scode, sbody)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("circuit-open 503 without Retry-After")
+	}
+
+	// Client mistakes still partition as 400, not 500, mid-storm.
+	if code, _, body := postJSON(t, base+"/v1/analyze", `{"benchmark": "999.nope"}`); code != http.StatusBadRequest {
+		t.Errorf("bad request during storm = %d (%s), want 400", code, body)
+	}
+
+	// Healthy work is untouched: same status, same bytes.
+	if code, body := analyze(healthy); code != http.StatusOK || body != golden {
+		t.Errorf("healthy response diverged during storm (code %d)", code)
+	}
+
+	// A concurrent mixed burst: every healthy answer is byte-identical,
+	// every victim answer is a clean 500 or 503, and nothing escapes the
+	// panic isolation (the daemon keeps answering).
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for i := 0; i < 16; i++ {
+		name := healthy
+		if i%2 == 0 {
+			name = victim
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/analyze", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"benchmark": %q}`, name)))
+			if err != nil {
+				errs <- fmt.Sprintf("burst request failed outright: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs <- fmt.Sprintf("burst body read failed: %v", err)
+				return
+			}
+			got := string(b)
+			switch name {
+			case healthy:
+				if resp.StatusCode != http.StatusOK || got != golden {
+					errs <- fmt.Sprintf("healthy burst = %d, bytes diverged", resp.StatusCode)
+				}
+			case victim:
+				if resp.StatusCode != http.StatusInternalServerError &&
+					resp.StatusCode != http.StatusServiceUnavailable {
+					errs <- fmt.Sprintf("victim burst = %d, want 500 or 503", resp.StatusCode)
+				}
+			}
+		}(name)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatal("daemon unhealthy mid-storm: a panic escaped somewhere")
+	}
+
+	// --- recovery -------------------------------------------------------
+	faultinject.Clear()
+	bench.ResetCache() // drop any memoised degraded build
+	time.Sleep(cooldown + 100*time.Millisecond)
+
+	// The half-open probe succeeds and the unit closes again.
+	code, first := analyze(victim)
+	if code != http.StatusOK {
+		t.Fatalf("victim after recovery = %d: %s", code, first)
+	}
+	if code, body := analyze(victim); code != http.StatusOK || body != first {
+		t.Errorf("recovered victim not deterministic (code %d)", code)
+	}
+	// Healthy bytes survived the whole ordeal.
+	if code, body := analyze(healthy); code != http.StatusOK || body != golden {
+		t.Errorf("healthy response diverged after storm (code %d)", code)
+	}
+
+	// The storm is visible in the daemon's own telemetry.
+	reg := s.Metrics()
+	if v, _ := reg.Value("delinq_breaker_open_total"); v < 1 {
+		t.Errorf("delinq_breaker_open_total = %d, want >= 1", v)
+	}
+	if v, _ := reg.Value("delinq_breaker_closed_total"); v < 1 {
+		t.Errorf("delinq_breaker_closed_total = %d, want >= 1", v)
+	}
+	if v, _ := reg.Value("delinq_breaker_short_circuit_total"); v < 1 {
+		t.Errorf("delinq_breaker_short_circuit_total = %d, want >= 1", v)
+	}
+	if v, _ := reg.Value("delinq_errors_worker_total"); v < int64(failures) {
+		t.Errorf("delinq_errors_worker_total = %d, want >= %d", v, failures)
+	}
+
+	// --- shutdown -------------------------------------------------------
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown after the storm: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve returned %v after graceful shutdown", err)
+	}
+}

@@ -1,0 +1,410 @@
+// The daemon's endpoints. POST /v1/analyze and POST /v1/run accept
+// either ad-hoc mini-C source or the name of a registered benchmark
+// (the latter rides the memoised bench stack, so repeated requests for
+// the same benchmark share one compile and one simulation);
+// GET /v1/table/{id} renders one paper table. /healthz, /readyz and
+// /metrics bypass admission control so the daemon stays observable
+// under overload and during drain.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"delinq/internal/baseline"
+	"delinq/internal/bench"
+	"delinq/internal/classify"
+	"delinq/internal/core"
+	"delinq/internal/faultinject"
+	"delinq/internal/metrics"
+	"delinq/internal/tables"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/analyze", s.api("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/run", s.api("run", s.handleRun))
+	s.mux.HandleFunc("GET /v1/table/{id}", s.api("table", s.handleTable))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// maxBodyBytes bounds request bodies; mini-C sources are small.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON parses the request body strictly (unknown fields are a
+// 400, catching client typos before they silently change semantics).
+func decodeJSON(w http.ResponseWriter, r *http.Request, into any) *apiError {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return errorf(http.StatusBadRequest, "bad request body: %v", err)
+	}
+	return nil
+}
+
+// finish settles a guarded unit's breaker from the request outcome:
+// success closes/heals, a 5xx is a failure at the error's stage, and a
+// 4xx never exercised the pipeline so it counts as neither.
+func (s *Server) finish(unit string, ae *apiError) *apiError {
+	switch {
+	case ae == nil:
+		s.brk.report(unit, "", true)
+	case ae.Status >= http.StatusInternalServerError:
+		s.brk.report(unit, core.Stage(ae.Stage), false)
+	default:
+		s.brk.cancel(unit)
+	}
+	return ae
+}
+
+// --- POST /v1/analyze ----------------------------------------------------------
+
+type analyzeRequest struct {
+	// Source is ad-hoc mini-C to analyse; Benchmark names a registered
+	// benchmark instead. Exactly one must be set.
+	Source    string  `json:"source"`
+	Benchmark string  `json:"benchmark"`
+	Optimize  bool    `json:"optimize"`
+	Inter     bool    `json:"inter"`
+	Input2    bool    `json:"input2"`
+	Args      []int32 `json:"args"`
+}
+
+type setEval struct {
+	Selected int     `json:"selected"`
+	Loads    int     `json:"loads"`
+	Pi       float64 `json:"pi"`
+	Rho      float64 `json:"rho"`
+}
+
+func evalJSON(ev metrics.SetEval) setEval {
+	return setEval{Selected: ev.Selected, Loads: ev.Loads, Pi: ev.Pi, Rho: ev.Rho}
+}
+
+type analyzeResponse struct {
+	Benchmark  string   `json:"benchmark,omitempty"`
+	Optimize   bool     `json:"optimize"`
+	Inter      bool     `json:"inter"`
+	Heuristic  setEval  `json:"heuristic"`
+	OKN        setEval  `json:"okn"`
+	BDH        setEval  `json:"bdh"`
+	Delinquent []string `json:"delinquent"`
+}
+
+func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *http.Request) *apiError {
+	var req analyzeRequest
+	if ae := decodeJSON(w, r, &req); ae != nil {
+		return ae
+	}
+	unit, ae := validateTarget(req.Source, req.Benchmark, req.Args)
+	if ae != nil {
+		return ae
+	}
+	if ae := s.guard(unit); ae != nil {
+		return ae
+	}
+	faultinject.Crash(faultinject.WorkerPanic, "serve:analyze")
+
+	var resp *analyzeResponse
+	if req.Benchmark != "" {
+		resp, ae = s.analyzeBenchmark(ctx, req)
+	} else {
+		resp, ae = s.analyzeSource(ctx, req)
+	}
+	if s.finish(unit, ae); ae != nil {
+		return ae
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// validateTarget checks the source/benchmark request shape shared by
+// analyze and run, returning the breaker unit guarding the work.
+func validateTarget(source, benchmark string, args []int32) (string, *apiError) {
+	switch {
+	case source == "" && benchmark == "":
+		return "", errorf(http.StatusBadRequest, "one of source or benchmark is required")
+	case source != "" && benchmark != "":
+		return "", errorf(http.StatusBadRequest, "source and benchmark are mutually exclusive")
+	case benchmark != "":
+		if bench.ByName(benchmark) == nil {
+			return "", errorf(http.StatusBadRequest, "unknown benchmark %q", benchmark)
+		}
+		if len(args) > 0 {
+			return "", errorf(http.StatusBadRequest, "args are only valid with source (benchmarks carry their inputs)")
+		}
+		return benchmark, nil
+	default:
+		return "adhoc", nil
+	}
+}
+
+// analyzeSource runs the ad-hoc pipeline: compile, simulate, identify.
+// Compile failures are the client's (400); later stages are ours (500).
+func (s *Server) analyzeSource(ctx context.Context, req analyzeRequest) (*analyzeResponse, *apiError) {
+	img, err := core.BuildSource(req.Source, req.Optimize)
+	if err != nil {
+		return nil, errorf(http.StatusBadRequest, "compile: %v", err)
+	}
+	sim, err := core.SimulateCtx(ctx, img, req.Args)
+	if err != nil {
+		return nil, pipelineError(err)
+	}
+	res, err := core.IdentifyImageCtx(ctx, img, core.Options{Profile: sim, Interprocedural: req.Inter})
+	if err != nil {
+		return nil, pipelineError(err)
+	}
+	ev := res.Evaluate(sim, 0)
+	okn, bdh := res.Baselines(sim, 0)
+	resp := &analyzeResponse{
+		Optimize:   req.Optimize,
+		Inter:      req.Inter,
+		Heuristic:  evalJSON(ev),
+		OKN:        evalJSON(okn),
+		BDH:        evalJSON(bdh),
+		Delinquent: describeAll(res.Delinquent()),
+	}
+	return resp, nil
+}
+
+// analyzeBenchmark analyses a registered benchmark through the
+// memoised bench stack (and its fault seams). Failures here are
+// server-side: the corpus is ours, so nothing maps to 400.
+func (s *Server) analyzeBenchmark(ctx context.Context, req analyzeRequest) (*analyzeResponse, *apiError) {
+	b := bench.ByName(req.Benchmark)
+	bd, err := bench.CompileCtx(ctx, b, req.Optimize)
+	if err != nil {
+		return nil, pipelineError(err)
+	}
+	if bd.Degraded != nil {
+		return nil, pipelineError(bd.Degraded)
+	}
+	input := b.Input1
+	if req.Input2 {
+		input = b.Input2
+	}
+	run, err := bench.SimulateCtx(ctx, bd, input, tables.StdGeoms)
+	if err != nil {
+		return nil, pipelineError(err)
+	}
+	loads := bd.Loads
+	if req.Inter {
+		loads = bench.LoadsInter(bd)
+	}
+	scored := classify.Score(loads, run, classify.DefaultConfig())
+	delta := map[uint32]bool{}
+	for _, sc := range classify.Delinquent(scored) {
+		delta[sc.Load.PC] = true
+	}
+	stats := make([]metrics.LoadStat, 0, len(loads))
+	for _, ld := range loads {
+		stats = append(stats, metrics.LoadStat{
+			PC:     ld.PC,
+			Exec:   run.Result.ExecAt(ld.PC),
+			Misses: run.Result.MissesAt(tables.GeomBaseline, ld.PC),
+		})
+	}
+	resp := &analyzeResponse{
+		Benchmark:  b.Name,
+		Optimize:   req.Optimize,
+		Inter:      req.Inter,
+		Heuristic:  evalJSON(metrics.Evaluate(delta, stats)),
+		OKN:        evalJSON(metrics.Evaluate(baseline.OKN(loads), stats)),
+		BDH:        evalJSON(metrics.Evaluate(baseline.BDH(bd.Prog, loads), stats)),
+		Delinquent: describeAll(sortScored(classify.Delinquent(scored))),
+	}
+	return resp, nil
+}
+
+// sortScored orders delinquent loads as core.Result.Delinquent does:
+// highest φ first, then pc, so responses are deterministic.
+func sortScored(scored []*classify.Scored) []*classify.Scored {
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Phi != scored[j].Phi {
+			return scored[i].Phi > scored[j].Phi
+		}
+		return scored[i].Load.PC < scored[j].Load.PC
+	})
+	return scored
+}
+
+func describeAll(scored []*classify.Scored) []string {
+	out := make([]string, 0, len(scored))
+	for _, sc := range scored {
+		out = append(out, core.Describe(sc))
+	}
+	return out
+}
+
+// --- POST /v1/run ----------------------------------------------------------
+
+type runRequest struct {
+	Source    string  `json:"source"`
+	Benchmark string  `json:"benchmark"`
+	Optimize  bool    `json:"optimize"`
+	Input2    bool    `json:"input2"`
+	Args      []int32 `json:"args"`
+}
+
+type runResponse struct {
+	Benchmark string  `json:"benchmark,omitempty"`
+	Exit      int32   `json:"exit"`
+	Insts     int64   `json:"insts"`
+	Accesses  uint64  `json:"accesses"`
+	Misses    uint64  `json:"misses"`
+	MissRate  float64 `json:"missRate"`
+	Output    string  `json:"output"`
+}
+
+func (s *Server) handleRun(ctx context.Context, w http.ResponseWriter, r *http.Request) *apiError {
+	var req runRequest
+	if ae := decodeJSON(w, r, &req); ae != nil {
+		return ae
+	}
+	unit, ae := validateTarget(req.Source, req.Benchmark, req.Args)
+	if ae != nil {
+		return ae
+	}
+	if ae := s.guard(unit); ae != nil {
+		return ae
+	}
+	faultinject.Crash(faultinject.WorkerPanic, "serve:run")
+
+	var resp *runResponse
+	if req.Benchmark != "" {
+		resp, ae = s.runBenchmark(ctx, req)
+	} else {
+		resp, ae = s.runSource(ctx, req)
+	}
+	if s.finish(unit, ae); ae != nil {
+		return ae
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) runSource(ctx context.Context, req runRequest) (*runResponse, *apiError) {
+	img, err := core.BuildSource(req.Source, req.Optimize)
+	if err != nil {
+		return nil, errorf(http.StatusBadRequest, "compile: %v", err)
+	}
+	sim, err := core.SimulateCtx(ctx, img, req.Args)
+	if err != nil {
+		return nil, pipelineError(err)
+	}
+	st := sim.Caches[0].Stats()
+	return &runResponse{
+		Exit:     sim.Result.Exit,
+		Insts:    sim.Result.Insts,
+		Accesses: st.Accesses,
+		Misses:   st.Misses,
+		MissRate: st.MissRate(),
+		Output:   sim.Result.Output,
+	}, nil
+}
+
+func (s *Server) runBenchmark(ctx context.Context, req runRequest) (*runResponse, *apiError) {
+	b := bench.ByName(req.Benchmark)
+	bd, err := bench.CompileCtx(ctx, b, req.Optimize)
+	if err != nil {
+		return nil, pipelineError(err)
+	}
+	if bd.Degraded != nil {
+		return nil, pipelineError(bd.Degraded)
+	}
+	input := b.Input1
+	if req.Input2 {
+		input = b.Input2
+	}
+	run, err := bench.SimulateCtx(ctx, bd, input, tables.StdGeoms)
+	if err != nil {
+		return nil, pipelineError(err)
+	}
+	st := run.Caches[tables.GeomBaseline].Stats()
+	return &runResponse{
+		Benchmark: b.Name,
+		Exit:      run.Result.Exit,
+		Insts:     run.Result.Insts,
+		Accesses:  st.Accesses,
+		Misses:    st.Misses,
+		MissRate:  st.MissRate(),
+		Output:    run.Result.Output,
+	}, nil
+}
+
+// --- GET /v1/table/{id} ----------------------------------------------------------
+
+func (s *Server) handleTable(ctx context.Context, w http.ResponseWriter, r *http.Request) *apiError {
+	id := r.PathValue("id")
+	unit := "table:" + id
+	if ae := s.guard(unit); ae != nil {
+		return ae
+	}
+	faultinject.Crash(faultinject.WorkerPanic, "serve:table")
+
+	body, degraded, ae := s.renderTable(ctx, id)
+	if s.finish(unit, ae); ae != nil {
+		return ae
+	}
+	if degraded > 0 {
+		w.Header().Set("Delinq-Degraded", strconv.Itoa(degraded))
+	}
+	s.writeText(w, http.StatusOK, body)
+	return nil
+}
+
+// renderTable regenerates one table. Table rendering shares the
+// package-global degradation registry and the per-benchmark timeout of
+// internal/tables, so renders are serialised; the memoised bench stack
+// underneath keeps repeat renders cheap. The context bounds the
+// per-benchmark work via tables.SetTimeout only when this request
+// carries a deadline.
+func (s *Server) renderTable(ctx context.Context, id string) (string, int, *apiError) {
+	s.tableMu.Lock()
+	defer s.tableMu.Unlock()
+	tables.ResetDegradations()
+	if dl, ok := ctx.Deadline(); ok {
+		if remain := time.Until(dl); remain > 0 {
+			tables.SetTimeout(remain)
+			defer tables.SetTimeout(0)
+		}
+	}
+	t, err := tables.ByID(id)
+	if err != nil {
+		return "", 0, errorf(http.StatusBadRequest, "%v", err)
+	}
+	var buf bytes.Buffer
+	if err := t.Render(&buf); err != nil {
+		return "", 0, pipelineError(err)
+	}
+	// A degraded render is still an answer — the CLI exits 0 on
+	// quarantined rows and the daemon follows suit, serving the partial
+	// table with a Delinq-Degraded count so clients can tell.
+	return buf.String(), len(tables.Degradations()), nil
+}
+
+// --- health and observability ----------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeText(w, http.StatusOK, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeText(w, http.StatusServiceUnavailable, "draining\n")
+		return
+	}
+	s.writeText(w, http.StatusOK, "ready\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	s.reg.WriteTo(&buf)
+	s.writeText(w, http.StatusOK, buf.String())
+}

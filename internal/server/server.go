@@ -1,0 +1,423 @@
+// Package server is the hardened analysis daemon: an HTTP JSON API
+// serving concurrent delinquent-load analyses off the existing
+// bench/core/pattern/tables stack. Robustness is the design centre:
+//
+//   - admission control (semaphore + bounded queue) sheds overload with
+//     429 + Retry-After instead of queueing unboundedly;
+//   - per-request deadlines propagate through the pipeline's context
+//     plumbing down to the VM's instruction-budget sentinel;
+//   - per-request panic isolation: a recovered handler panic answers
+//     500 with serve-stage provenance, the process never dies;
+//   - per-unit circuit breakers trip after K consecutive failures,
+//     short-circuit with 503 while open, and half-open on a timer;
+//   - graceful drain: BeginDrain flips /readyz to 503 and refuses new
+//     API work, Drain waits for in-flight requests up to a deadline,
+//     then aborts stragglers via context cancellation.
+//
+// Every counter the controller maintains is published on GET /metrics
+// through internal/metrics.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"delinq/internal/core"
+	"delinq/internal/metrics"
+)
+
+// Config shapes one daemon.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default :8080).
+	Addr string
+	// MaxInflight bounds concurrently executing API requests
+	// (default 8).
+	MaxInflight int
+	// Queue bounds requests waiting for an execution slot; beyond it
+	// requests are shed with 429 (default 32).
+	Queue int
+	// ReqTimeout is the per-request deadline propagated through the
+	// pipeline; zero means no deadline.
+	ReqTimeout time.Duration
+	// BreakerFailures is the consecutive-failure count that trips a
+	// unit's circuit breaker (default 5).
+	BreakerFailures int
+	// BreakerCooldown is the open → half-open timer (default 5s).
+	BreakerCooldown time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 8
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	} else if c.Queue == 0 {
+		c.Queue = 32
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Server is one analysis daemon.
+type Server struct {
+	cfg Config
+	adm *admission
+	brk *breakerSet
+	reg *metrics.Registry
+	mux *http.ServeMux
+
+	baseCtx    context.Context // cancelled to abort straggling requests
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+
+	// The drain gate: entry and the draining flag are checked under one
+	// lock, so BeginDrain cannot race a request past the check, and
+	// drainDone closes exactly when the last pre-drain request leaves.
+	drainMu   sync.Mutex
+	inflightN int
+	drainDone chan struct{}
+	drainOnce sync.Once
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+	tableMu sync.Mutex // table renders share package-global state
+}
+
+// New builds a daemon from cfg (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		adm:        newAdmission(cfg.MaxInflight, cfg.Queue),
+		brk:        newBreakerSet(cfg.BreakerFailures, cfg.BreakerCooldown),
+		reg:        metrics.NewRegistry(),
+		mux:        http.NewServeMux(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		drainDone:  make(chan struct{}),
+	}
+	s.brk.onTransition = func(unit string, to breakerState, stage core.Stage) {
+		switch to {
+		case stateOpen:
+			s.reg.Counter("delinq_breaker_open_total").Inc()
+			s.reg.Counter("delinq_breaker_open_" + sanitizeStage(stage) + "_total").Inc()
+		case stateHalfOpen:
+			s.reg.Counter("delinq_breaker_half_open_total").Inc()
+		case stateClosed:
+			s.reg.Counter("delinq_breaker_closed_total").Inc()
+		}
+	}
+	// Pre-register the headline counters so a fresh daemon exposes them
+	// at zero instead of omitting them until first increment.
+	for _, name := range []string{
+		"delinq_requests_total",
+		"delinq_requests_shed_total",
+		"delinq_errors_total",
+		"delinq_panics_recovered_total",
+		"delinq_breaker_open_total",
+		"delinq_breaker_short_circuit_total",
+	} {
+		s.reg.Counter(name)
+	}
+	s.reg.Gauge("delinq_requests_inflight", s.adm.Inflight)
+	s.reg.Gauge("delinq_requests_queued", s.adm.Queued)
+	s.reg.Gauge("delinq_breaker_open_units", s.brk.openUnits)
+	s.reg.Gauge("delinq_draining", func() int64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	s.routes()
+	return s
+}
+
+// sanitizeStage renders a stage as a metric-name fragment.
+func sanitizeStage(st core.Stage) string {
+	if st == "" {
+		return "unknown"
+	}
+	return string(st)
+}
+
+// Metrics exposes the daemon's registry (tests and embedders).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Handler returns the daemon's HTTP handler (httptest and embedders).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe listens on cfg.Addr and serves until Shutdown. The
+// returned listener address callback, when non-nil, receives the bound
+// address before serving starts (so :0 callers learn their port).
+func (s *Server) ListenAndServe(onListen func(addr net.Addr)) error {
+	l, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return core.WrapStage("", core.StageServe, err)
+	}
+	if onListen != nil {
+		onListen(l.Addr())
+	}
+	return s.Serve(l)
+}
+
+// Serve serves connections from l until Shutdown. http.ErrServerClosed
+// is swallowed: a drained shutdown is a success, not an error.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{
+		Handler: s.mux,
+		// Request contexts derive from baseCtx, so aborting stragglers
+		// at the end of a drain cancels every in-flight pipeline.
+		BaseContext: func(net.Listener) context.Context { return s.baseCtx },
+	}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	err := srv.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// enterRequest admits one API request through the drain gate; false
+// means the daemon is draining and the request must be refused.
+func (s *Server) enterRequest() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflightN++
+	return true
+}
+
+// leaveRequest retires one API request; the last one out during a
+// drain releases Drain.
+func (s *Server) leaveRequest() {
+	s.drainMu.Lock()
+	s.inflightN--
+	if s.draining.Load() && s.inflightN == 0 {
+		s.drainOnce.Do(func() { close(s.drainDone) })
+	}
+	s.drainMu.Unlock()
+}
+
+// BeginDrain flips the daemon into draining mode: /readyz answers 503
+// and new API requests are refused with 503. Idempotent.
+func (s *Server) BeginDrain() {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	if s.inflightN == 0 {
+		s.drainOnce.Do(func() { close(s.drainDone) })
+	}
+	s.drainMu.Unlock()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully quiesces the daemon: it begins draining, waits for
+// in-flight API requests to complete, and — if ctx expires first —
+// aborts the stragglers by cancelling every request context, then waits
+// for them to unwind. It returns ctx.Err() when the drain deadline
+// forced an abort, nil for a clean drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	select {
+	case <-s.drainDone:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-s.drainDone // cancellation unwinds the stragglers promptly
+		return ctx.Err()
+	}
+}
+
+// Shutdown drains and then closes the listener and connections: the
+// full SIGTERM path. The ctx deadline bounds the whole shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	drainErr := s.Drain(ctx)
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv != nil {
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+	}
+	s.baseCancel()
+	return drainErr
+}
+
+// --- request plumbing ----------------------------------------------------------
+
+// apiError is the JSON error envelope; Status is the HTTP code and
+// retryAfter, when positive, becomes a Retry-After header.
+type apiError struct {
+	Status    int    `json:"-"`
+	Err       string `json:"error"`
+	Stage     string `json:"stage,omitempty"`
+	Benchmark string `json:"benchmark,omitempty"`
+
+	retryAfter time.Duration
+}
+
+func errorf(status int, format string, args ...any) *apiError {
+	return &apiError{Status: status, Err: fmt.Sprintf(format, args...)}
+}
+
+// pipelineError maps a pipeline failure to an apiError: compile and
+// assemble failures of user-supplied source are the client's fault
+// (400); everything else — simulation, pattern analysis, worker
+// panics, deadline expiry — is a server-side failure (500). StageError
+// provenance is preserved in the envelope.
+func pipelineError(err error, clientStages ...core.Stage) *apiError {
+	status := http.StatusInternalServerError
+	ae := &apiError{Err: err.Error()}
+	var se *core.StageError
+	if errors.As(err, &se) {
+		ae.Stage = string(se.Stage)
+		ae.Benchmark = se.Benchmark
+		for _, cs := range clientStages {
+			if se.Stage == cs {
+				status = http.StatusBadRequest
+			}
+		}
+	}
+	ae.Status = status
+	return ae
+}
+
+// handlerFunc is one API endpoint: it returns a non-nil apiError to
+// fail the request, having written nothing, or writes its own success
+// response and returns nil.
+type handlerFunc func(ctx context.Context, w http.ResponseWriter, r *http.Request) *apiError
+
+// api wraps an endpoint with the full robustness chain: request
+// counting, drain refusal, admission control, panic isolation, the
+// per-request deadline, and response-code accounting.
+func (s *Server) api(name string, h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Counter("delinq_requests_total").Inc()
+		s.reg.Counter("delinq_requests_" + name + "_total").Inc()
+		if !s.enterRequest() {
+			s.writeError(w, &apiError{Status: http.StatusServiceUnavailable, Err: "draining"}, time.Second)
+			return
+		}
+		defer s.leaveRequest()
+
+		// The request context: client disconnect, the drain abort
+		// (baseCtx), and the per-request deadline all cancel it. It is
+		// built before admission so a queued request aborts with the rest
+		// of the stragglers when a drain deadline forces cancellation.
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		stop := context.AfterFunc(s.baseCtx, cancel)
+		defer stop()
+		if s.cfg.ReqTimeout > 0 {
+			var tcancel context.CancelFunc
+			ctx, tcancel = context.WithTimeout(ctx, s.cfg.ReqTimeout)
+			defer tcancel()
+		}
+
+		release, err := s.adm.acquire(ctx)
+		if err != nil {
+			if err == errShed {
+				s.reg.Counter("delinq_requests_shed_total").Inc()
+				s.writeError(w, &apiError{Status: http.StatusTooManyRequests, Err: "overloaded"}, time.Second)
+			} else {
+				// The client gave up (or the drain abort fired) while
+				// queued; answer for the log's sake.
+				s.writeError(w, &apiError{Status: http.StatusServiceUnavailable, Err: "cancelled while queued"}, 0)
+			}
+			return
+		}
+		defer release()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.reg.Counter("delinq_panics_recovered_total").Inc()
+				se := core.NewStageError("", core.StageServe, fmt.Errorf("recovered panic: %v", rec))
+				s.writeError(w, &apiError{
+					Status: http.StatusInternalServerError,
+					Err:    se.Error(),
+					Stage:  string(core.StageServe),
+				}, 0)
+			}
+		}()
+
+		if ae := h(ctx, w, r); ae != nil {
+			if ae.Status == http.StatusInternalServerError {
+				s.reg.Counter("delinq_errors_total").Inc()
+				if ae.Stage != "" {
+					s.reg.Counter("delinq_errors_" + ae.Stage + "_total").Inc()
+				}
+			}
+			s.writeError(w, ae, 0)
+		}
+	}
+}
+
+// guard consults the unit's circuit breaker; a nil return admits the
+// request (the caller must report the outcome via s.brk.report).
+func (s *Server) guard(unit string) *apiError {
+	ok, retryAfter := s.brk.allow(unit)
+	if ok {
+		return nil
+	}
+	s.reg.Counter("delinq_breaker_short_circuit_total").Inc()
+	ae := errorf(http.StatusServiceUnavailable, "circuit open for %s", unit)
+	ae.retryAfter = retryAfter
+	return ae
+}
+
+// writeError renders the JSON error envelope. retryAfter > 0 (or set
+// on the error itself) adds a whole-seconds Retry-After header.
+func (s *Server) writeError(w http.ResponseWriter, ae *apiError, retryAfter time.Duration) {
+	if ae.retryAfter > retryAfter {
+		retryAfter = ae.retryAfter
+	}
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	s.writeJSON(w, ae.Status, ae)
+}
+
+// writeJSON renders v with a stable encoding and counts the response.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		b = []byte(`{"error":"response encoding failed"}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+	s.reg.Counter("delinq_responses_" + strconv.Itoa(status) + "_total").Inc()
+}
+
+// writeText renders a plain-text body and counts the response.
+func (s *Server) writeText(w http.ResponseWriter, status int, body string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(status)
+	fmt.Fprint(w, body)
+	s.reg.Counter("delinq_responses_" + strconv.Itoa(status) + "_total").Inc()
+}

@@ -1,0 +1,354 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"delinq/internal/bench"
+	"delinq/internal/faultinject"
+)
+
+// srcLoop is a small mini-C program with a strided array walk: cheap to
+// compile and simulate, and load-bearing enough for the identifier to
+// have something to say.
+const srcLoop = `
+int a[256];
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 20000; i++) { s = s + a[(i * 16) & 255]; }
+	print_int(s);
+	return 0;
+}`
+
+// srcSpin runs long enough that only a deadline or a drain abort ends
+// it (billions of iterations; the VM polls its context while running).
+const srcSpin = `
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 2000000000; i++) { s = s + i; }
+	return s;
+}`
+
+func newTestDaemon(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(b)
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestAnalyzeSource(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	body := fmt.Sprintf(`{"source": %q}`, srcLoop)
+	code, _, got := postJSON(t, ts.URL+"/v1/analyze", body)
+	if code != http.StatusOK {
+		t.Fatalf("analyze = %d: %s", code, got)
+	}
+	var resp analyzeResponse
+	if err := json.Unmarshal([]byte(got), &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, got)
+	}
+	if resp.Heuristic.Loads == 0 {
+		t.Error("analysis saw zero loads in a program full of them")
+	}
+	if resp.Heuristic.Pi < 0 || resp.Heuristic.Pi > 1 || resp.Heuristic.Rho < 0 || resp.Heuristic.Rho > 1 {
+		t.Errorf("π/ρ out of range: %+v", resp.Heuristic)
+	}
+
+	// Determinism: the same request returns the same bytes.
+	_, _, again := postJSON(t, ts.URL+"/v1/analyze", body)
+	if got != again {
+		t.Error("identical analyze requests returned different bytes")
+	}
+}
+
+func TestAnalyzeBenchmark(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	code, _, got := postJSON(t, ts.URL+"/v1/analyze", `{"benchmark": "181.mcf"}`)
+	if code != http.StatusOK {
+		t.Fatalf("analyze benchmark = %d: %s", code, got)
+	}
+	var resp analyzeResponse
+	if err := json.Unmarshal([]byte(got), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Benchmark != "181.mcf" {
+		t.Errorf("benchmark echoed as %q", resp.Benchmark)
+	}
+	if resp.Heuristic.Loads == 0 || resp.OKN.Loads == 0 || resp.BDH.Loads == 0 {
+		t.Errorf("empty evaluation: %+v", resp)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	cases := []struct {
+		name, body, want string
+	}{
+		{"neither", `{}`, "one of source or benchmark"},
+		{"both", `{"source": "int main() { return 0; }", "benchmark": "181.mcf"}`, "mutually exclusive"},
+		{"unknown benchmark", `{"benchmark": "999.nope"}`, "unknown benchmark"},
+		{"args with benchmark", `{"benchmark": "181.mcf", "args": [1]}`, "args are only valid with source"},
+		{"bad json", `{"source": `, "bad request body"},
+		{"unknown field", `{"source": "int main() { return 0; }", "optimise": true}`, "unknown field"},
+		{"compile error", `{"source": "int main() { return undeclared; }"}`, "compile:"},
+	}
+	for _, tc := range cases {
+		code, _, body := postJSON(t, ts.URL+"/v1/analyze", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, code, body)
+		}
+		if !strings.Contains(body, tc.want) {
+			t.Errorf("%s: body %q missing %q", tc.name, body, tc.want)
+		}
+	}
+}
+
+func TestRunSourceAndBenchmark(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	code, _, got := postJSON(t, ts.URL+"/v1/run", fmt.Sprintf(`{"source": %q}`, srcLoop))
+	if code != http.StatusOK {
+		t.Fatalf("run source = %d: %s", code, got)
+	}
+	var rr runResponse
+	if err := json.Unmarshal([]byte(got), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Exit != 0 || rr.Insts == 0 || rr.Accesses == 0 {
+		t.Errorf("implausible run result: %+v", rr)
+	}
+	if rr.Output != "0" {
+		t.Errorf("output %q, want %q", rr.Output, "0")
+	}
+
+	code, _, got = postJSON(t, ts.URL+"/v1/run", `{"benchmark": "181.mcf", "input2": true}`)
+	if code != http.StatusOK {
+		t.Fatalf("run benchmark = %d: %s", code, got)
+	}
+	if err := json.Unmarshal([]byte(got), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Benchmark != "181.mcf" || rr.Insts == 0 {
+		t.Errorf("implausible benchmark run: %+v", rr)
+	}
+}
+
+func TestTableEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table renders simulate many benchmarks")
+	}
+	_, ts := newTestDaemon(t, Config{})
+	code, body := get(t, ts.URL+"/v1/table/4")
+	if code != http.StatusOK {
+		t.Fatalf("table 4 = %d: %s", code, body)
+	}
+	if len(body) == 0 || !strings.Contains(body, "Table 4") {
+		t.Errorf("table body looks wrong: %q", body)
+	}
+	// Memoised second render is byte-identical.
+	_, again := get(t, ts.URL+"/v1/table/4")
+	if body != again {
+		t.Error("repeat table render returned different bytes")
+	}
+
+	code, body = get(t, ts.URL+"/v1/table/99")
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown table = %d (%s), want 400", code, body)
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	s, ts := newTestDaemon(t, Config{})
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusOK || body != "ready\n" {
+		t.Errorf("readyz = %d %q", code, body)
+	}
+	s.BeginDrain()
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Errorf("draining readyz = %d %q", code, body)
+	}
+	// healthz stays green while draining: the process is alive.
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Error("healthz went red during drain")
+	}
+}
+
+// TestMetricsShape pins the exposition contract: every line is
+// `name value`, names are sorted and delinq_-prefixed, and the request
+// counters reflect exactly the traffic this test sent.
+func TestMetricsShape(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	postJSON(t, ts.URL+"/v1/analyze", fmt.Sprintf(`{"source": %q}`, srcLoop))
+	postJSON(t, ts.URL+"/v1/analyze", `{}`) // 400
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	line := regexp.MustCompile(`^delinq_[a-z0-9_]+ -?\d+$`)
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	var names []string
+	for _, l := range lines {
+		if !line.MatchString(l) {
+			t.Errorf("malformed metric line %q", l)
+		}
+		names = append(names, strings.Fields(l)[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Error("metric names not sorted")
+	}
+
+	want := map[string]string{
+		"delinq_requests_total":         "2",
+		"delinq_requests_analyze_total": "2",
+		"delinq_responses_200_total":    "1",
+		"delinq_responses_400_total":    "1",
+		"delinq_requests_inflight":      "0",
+		"delinq_requests_queued":        "0",
+		"delinq_requests_shed_total":    "0",
+		"delinq_draining":               "0",
+		"delinq_breaker_open_units":     "0",
+	}
+	for name, val := range want {
+		if !strings.Contains(body, name+" "+val+"\n") {
+			t.Errorf("metrics missing %q = %s:\n%s", name, val, body)
+		}
+	}
+}
+
+// TestPanicIsolation arms the serve-stage crash seam: the handler
+// panics, the middleware answers a 500 with serve-stage provenance, and
+// the daemon keeps serving.
+func TestPanicIsolation(t *testing.T) {
+	s, ts := newTestDaemon(t, Config{})
+	p := faultinject.NewPlan(1)
+	p.ArmN(faultinject.WorkerPanic, "serve:analyze", 1)
+	faultinject.Install(p)
+	t.Cleanup(faultinject.Clear)
+
+	code, _, body := postJSON(t, ts.URL+"/v1/analyze", fmt.Sprintf(`{"source": %q}`, srcLoop))
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d (%s), want 500", code, body)
+	}
+	if !strings.Contains(body, `"stage":"serve"`) || !strings.Contains(body, "recovered panic") {
+		t.Errorf("panic envelope missing provenance: %s", body)
+	}
+	if v, _ := s.Metrics().Value("delinq_panics_recovered_total"); v != 1 {
+		t.Errorf("delinq_panics_recovered_total = %d, want 1", v)
+	}
+
+	// The fault was one-shot: the daemon serves the same request fine.
+	code, _, body = postJSON(t, ts.URL+"/v1/analyze", fmt.Sprintf(`{"source": %q}`, srcLoop))
+	if code != http.StatusOK {
+		t.Errorf("daemon did not survive the panic: %d %s", code, body)
+	}
+}
+
+// TestShed fills the single execution slot with a request whose body
+// the test holds open, then verifies the next request is shed with
+// 429 + Retry-After rather than queued forever.
+func TestShed(t *testing.T) {
+	s, ts := newTestDaemon(t, Config{MaxInflight: 1, Queue: -1})
+
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", pr)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return s.adm.Inflight() == 1 })
+
+	code, hdr, body := postJSON(t, ts.URL+"/v1/analyze", `{}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded daemon = %d (%s), want 429", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if v, _ := s.Metrics().Value("delinq_requests_shed_total"); v != 1 {
+		t.Errorf("delinq_requests_shed_total = %d, want 1", v)
+	}
+
+	// Complete the slow request; the slot frees and service resumes.
+	fmt.Fprintf(pw, `{"source": %q}`, srcLoop)
+	pw.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("slow request failed: %v", err)
+	}
+	waitFor(t, func() bool { return s.adm.Inflight() == 0 })
+	if code, _, _ := postJSON(t, ts.URL+"/v1/analyze", fmt.Sprintf(`{"source": %q}`, srcLoop)); code != http.StatusOK {
+		t.Errorf("service did not resume after shed: %d", code)
+	}
+}
+
+// TestRequestTimeout: the per-request deadline reaches the VM, which
+// abandons a spinning program; the client sees a 500 with simulate
+// provenance instead of a hung connection.
+func TestRequestTimeout(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{ReqTimeout: 100 * time.Millisecond})
+	start := time.Now()
+	code, _, body := postJSON(t, ts.URL+"/v1/run", fmt.Sprintf(`{"source": %q}`, srcSpin))
+	if code != http.StatusInternalServerError {
+		t.Fatalf("timed-out run = %d (%s), want 500", code, body)
+	}
+	if !strings.Contains(body, `"stage":"simulate"`) {
+		t.Errorf("timeout envelope missing simulate stage: %s", body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline took %v to fire", elapsed)
+	}
+}
+
+// TestBenchmarkPathUsesMemo: two analyze requests for the same
+// benchmark share one compilation (the memoised bench stack dedupes).
+func TestBenchmarkPathUsesMemo(t *testing.T) {
+	bench.ResetCache()
+	t.Cleanup(bench.ResetCache)
+	_, ts := newTestDaemon(t, Config{})
+	_, _, first := postJSON(t, ts.URL+"/v1/analyze", `{"benchmark": "181.mcf"}`)
+	_, _, second := postJSON(t, ts.URL+"/v1/analyze", `{"benchmark": "181.mcf"}`)
+	if first != second {
+		t.Error("memoised benchmark analyses differ")
+	}
+}

@@ -31,6 +31,12 @@ echo "== chaos (race)"
 # keep every healthy row golden, and stay deterministic.
 go test -race -run 'TestChaos' ./...
 
+echo "== serve chaos (race)"
+# The daemon's storm gate: a live listening server under injected
+# faults must keep the 400/429/500/503 partition, trip and recover its
+# breakers, and serve byte-identical healthy responses throughout.
+go test -race -run 'TestServeChaosStorm|TestGracefulDrain|TestDrainAbortsStragglers' ./internal/server
+
 echo "== bench smoke"
 # One iteration of the cheap benchmarks: enough to catch a broken
 # benchmark without paying for a full measurement run.
@@ -45,7 +51,8 @@ go test -cover \
     ./internal/trace ./internal/train \
     ./internal/minic ./internal/asm ./internal/obj ./internal/disasm \
     ./internal/cfg ./internal/dataflow ./internal/callgraph \
-    ./internal/faultinject ./internal/cache |
+    ./internal/faultinject ./internal/cache \
+    ./internal/server ./internal/retry ./internal/metrics |
 awk '
 /coverage:/ {
     pct = $5; sub(/%.*/, "", pct)
