@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check bench tables fmt difftest fuzz-smoke
+.PHONY: build test race check bench tables fmt difftest fuzz-smoke loadtest
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,11 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzAssemble$$' -fuzztime 5s -run '^$$' ./internal/asm
 	$(GO) test -fuzz '^FuzzAsmRoundTrip$$' -fuzztime 5s -run '^$$' ./internal/disasm
 	$(GO) test -fuzz '^FuzzDecodeImage$$' -fuzztime 5s -run '^$$' ./internal/obj
+
+# loadtest drives five seconds of skewed closed-loop load at an
+# in-process daemon and refreshes the committed BENCH_serve.json.
+loadtest:
+	$(GO) run ./cmd/delinq loadtest -workers 8 -duration 5s -keys 16 -skew 1.2 -seed 1 -o BENCH_serve.json
 
 fmt:
 	gofmt -w .

@@ -17,6 +17,7 @@
 //	delinq bench                                 list the benchmark suite
 //	delinq difftest [-n N] [-seed S] [-v]        three-way differential test
 //	delinq serve [-addr :8080]                   run the analysis daemon
+//	delinq loadtest [-workers N] [-duration d]   drive load at a daemon, report latency
 package main
 
 import (
@@ -112,6 +113,8 @@ func main() {
 			err = cmdDifftest(os.Args[2:])
 		case "serve":
 			err = cmdServe(os.Args[2:])
+		case "loadtest":
+			err = cmdLoadtest(os.Args[2:])
 		default:
 			usage()
 		}
@@ -139,7 +142,8 @@ func usage() {
   table [-j N] [-v] [-timeout d] [-strict] <1-14|S1|all>  regenerate a table
   bench                             list the benchmark suite
   difftest [-n N] [-seed S] [-v] [-timeout d]  random programs: interp vs -O0 vs -O
-  serve [-addr :8080] [-max-inflight N] [-queue N] [-req-timeout d]  run the analysis daemon`)
+  serve [-addr :8080] [-max-inflight N] [-queue N] [-req-timeout d] [-cache-entries N] [-cache-ttl d] [-no-cache]  run the analysis daemon
+  loadtest [-addr URL] [-workers N] [-duration d] [-rps R] [-keys N] [-skew S] [-endpoint analyze|run] [-o f.json]  drive load, report latency percentiles`)
 	os.Exit(2)
 }
 

@@ -24,6 +24,10 @@ func cmdServe(args []string) error {
 	queue := fs.Int("queue", 32, "max requests waiting for a slot before shedding")
 	reqTimeout := fs.Duration("req-timeout", 0, "per-request pipeline deadline (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
+	cacheEntries := fs.Int("cache-entries", 0, "result-cache entry cap (0 = default)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "result-cache byte cap (0 = default)")
+	cacheTTL := fs.Duration("cache-ttl", 0, "result-cache entry lifetime (0 = never expire)")
+	noCache := fs.Bool("no-cache", false, "disable the result cache entirely")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -36,16 +40,26 @@ func cmdServe(args []string) error {
 	if *queue < 0 {
 		return usagef("serve -queue wants a non-negative count, got %d", *queue)
 	}
+	if *cacheEntries < 0 {
+		return usagef("serve -cache-entries wants a non-negative count, got %d", *cacheEntries)
+	}
+	if *cacheBytes < 0 {
+		return usagef("serve -cache-bytes wants a non-negative size, got %d", *cacheBytes)
+	}
 
 	cfgQueue := *queue
 	if cfgQueue == 0 {
 		cfgQueue = -1 // Config treats 0 as "use the default"; -1 means no queue
 	}
 	s := server.New(server.Config{
-		Addr:        *addr,
-		MaxInflight: *maxInflight,
-		Queue:       cfgQueue,
-		ReqTimeout:  *reqTimeout,
+		Addr:         *addr,
+		MaxInflight:  *maxInflight,
+		Queue:        cfgQueue,
+		ReqTimeout:   *reqTimeout,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheBytes,
+		CacheTTL:     *cacheTTL,
+		CacheOff:     *noCache,
 	})
 
 	sigCh := make(chan os.Signal, 1)

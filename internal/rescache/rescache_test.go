@@ -1,0 +1,462 @@
+package rescache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"delinq/internal/memo"
+)
+
+// fakeClock is the injectable clock: tests advance it explicitly so TTL
+// expiry is asserted without time.Sleep polling.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func fillOK(v string) func() (string, bool, error) {
+	return func() (string, bool, error) { return v, true, nil }
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c := New[string](Config{}, func(s string) int { return len(s) })
+	ctx := context.Background()
+
+	v, o, err := c.Do(ctx, "k", fillOK("value"))
+	if v != "value" || o != OutcomeMiss || err != nil {
+		t.Fatalf("first Do = (%q, %v, %v), want (value, miss, nil)", v, o, err)
+	}
+	v, o, err = c.Do(ctx, "k", func() (string, bool, error) {
+		t.Fatal("fill ran on a hit")
+		return "", false, nil
+	})
+	if v != "value" || o != OutcomeHit || err != nil {
+		t.Fatalf("second Do = (%q, %v, %v), want (value, hit, nil)", v, o, err)
+	}
+	if got, ok := c.Get("k"); !ok || got != "value" {
+		t.Errorf("Get = (%q, %v), want (value, true)", got, ok)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Error("Get invented a value for an absent key")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Entries != 1 || st.Bytes != 5 {
+		t.Errorf("stats = %+v, want 1 miss, 2 hits, 1 entry, 5 bytes", st)
+	}
+}
+
+// TestExactlyOnce is the memo-style concurrency battery: N goroutines
+// racing on one key must execute the fill exactly once; every caller
+// gets the same value; exactly one caller reports OutcomeMiss.
+func TestExactlyOnce(t *testing.T) {
+	const goroutines = 64
+	c := New[string](Config{}, nil)
+	var fills atomic.Int64
+	gate := make(chan struct{})
+
+	var wg sync.WaitGroup
+	var misses, coalesced, hits atomic.Int64
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			v, o, err := c.Do(context.Background(), "shared", func() (string, bool, error) {
+				fills.Add(1)
+				time.Sleep(10 * time.Millisecond) // widen the coalescing window
+				return "once", true, nil
+			})
+			if err != nil || v != "once" {
+				t.Errorf("Do = (%q, %v)", v, err)
+			}
+			switch o {
+			case OutcomeMiss:
+				misses.Add(1)
+			case OutcomeCoalesced:
+				coalesced.Add(1)
+			case OutcomeHit:
+				hits.Add(1)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+
+	if fills.Load() != 1 {
+		t.Fatalf("fill executed %d times, want exactly once", fills.Load())
+	}
+	if misses.Load() != 1 {
+		t.Errorf("%d callers reported miss, want 1", misses.Load())
+	}
+	if misses.Load()+coalesced.Load()+hits.Load() != goroutines {
+		t.Errorf("outcomes don't partition: miss=%d coalesced=%d hit=%d",
+			misses.Load(), coalesced.Load(), hits.Load())
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != uint64(coalesced.Load()) {
+		t.Errorf("stats disagree with observed outcomes: %+v", st)
+	}
+}
+
+// TestConcurrentDistinctKeysExactlyOnce: with distinct keys under
+// concurrency, fills == keys (the exactly-once counter generalises).
+func TestConcurrentDistinctKeysExactlyOnce(t *testing.T) {
+	const keys, perKey = 16, 8
+	c := New[int](Config{}, nil)
+	var fills atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		for i := 0; i < perKey; i++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				v, _, err := c.Do(context.Background(), fmt.Sprintf("k%d", k), func() (int, bool, error) {
+					fills.Add(1)
+					return k * 10, true, nil
+				})
+				if err != nil || v != k*10 {
+					t.Errorf("key %d: Do = (%d, %v)", k, v, err)
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+	if fills.Load() != keys {
+		t.Errorf("fills = %d, want %d (exactly once per key)", fills.Load(), keys)
+	}
+}
+
+// TestEvictionLRU: the least-recently-used entry goes first, and a
+// touched entry is spared.
+func TestEvictionLRU(t *testing.T) {
+	c := New[string](Config{MaxEntries: 2}, nil)
+	ctx := context.Background()
+	c.Do(ctx, "a", fillOK("A"))
+	c.Do(ctx, "b", fillOK("B"))
+	c.Do(ctx, "a", fillOK("A")) // touch a: b is now the LRU tail
+	c.Do(ctx, "c", fillOK("C")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU-tail entry b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently-used entry a was evicted")
+	}
+	if st := c.Stats(); st.EvictedSize != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 size eviction, 2 entries", st)
+	}
+}
+
+// TestEvictionBytes: the byte cap evicts from the tail until under
+// budget; an oversized single value is delivered but never retained.
+func TestEvictionBytes(t *testing.T) {
+	c := New[string](Config{MaxBytes: 10}, func(s string) int { return len(s) })
+	ctx := context.Background()
+	c.Do(ctx, "a", fillOK("aaaa")) // 4 bytes
+	c.Do(ctx, "b", fillOK("bbbb")) // 8 bytes total
+	c.Do(ctx, "c", fillOK("cccc")) // 12 -> evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Error("byte cap did not evict the tail")
+	}
+	if c.Bytes() != 8 {
+		t.Errorf("Bytes = %d, want 8", c.Bytes())
+	}
+
+	v, o, err := c.Do(ctx, "big", fillOK("0123456789ABCDEF"))
+	if v != "0123456789ABCDEF" || o != OutcomeMiss || err != nil {
+		t.Fatalf("oversized Do = (%q, %v, %v)", v, o, err)
+	}
+	if _, ok := c.Get("big"); ok {
+		t.Error("a value larger than MaxBytes was retained")
+	}
+	if c.Bytes() > 10 {
+		t.Errorf("Bytes = %d exceeds the cap", c.Bytes())
+	}
+}
+
+// TestEvictionUnderConcurrentInsert: many goroutines inserting distinct
+// keys against a tiny cache. Under -race this exercises the insert/evict
+// interleavings; afterwards the caps must hold exactly.
+func TestEvictionUnderConcurrentInsert(t *testing.T) {
+	const maxEntries, inserts = 8, 256
+	c := New[string](Config{MaxEntries: maxEntries, MaxBytes: 1 << 20}, func(s string) int { return len(s) })
+	var wg sync.WaitGroup
+	for i := 0; i < inserts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%03d", i)
+			v, _, err := c.Do(context.Background(), key, fillOK(key))
+			if err != nil || v != key {
+				t.Errorf("insert %s: (%q, %v)", key, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > maxEntries {
+		t.Errorf("entries = %d exceeds cap %d", st.Entries, maxEntries)
+	}
+	if st.Misses != inserts {
+		t.Errorf("misses = %d, want %d (distinct keys fill exactly once)", st.Misses, inserts)
+	}
+	if st.EvictedSize != inserts-uint64(st.Entries) {
+		t.Errorf("evictions %d + entries %d != inserts %d", st.EvictedSize, st.Entries, inserts)
+	}
+	var wantBytes int64
+	for i := 0; i < inserts; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%03d", i)); ok {
+			wantBytes += 4
+		}
+	}
+	if c.Bytes() != wantBytes {
+		t.Errorf("Bytes = %d, retained entries sum to %d", c.Bytes(), wantBytes)
+	}
+}
+
+// TestTTLExpiry drives expiry entirely through the injectable clock: no
+// sleeping, no polling.
+func TestTTLExpiry(t *testing.T) {
+	clock := newFakeClock()
+	c := New[string](Config{TTL: time.Minute, Now: clock.Now}, nil)
+	ctx := context.Background()
+
+	c.Do(ctx, "k", fillOK("v1"))
+	clock.Advance(59 * time.Second)
+	if v, o, _ := c.Do(ctx, "k", fillOK("nope")); v != "v1" || o != OutcomeHit {
+		t.Fatalf("fresh entry = (%q, %v), want (v1, hit)", v, o)
+	}
+
+	clock.Advance(2 * time.Second) // 61s since insert: expired
+	var refilled bool
+	v, o, err := c.Do(ctx, "k", func() (string, bool, error) {
+		refilled = true
+		return "v2", true, nil
+	})
+	if !refilled || v != "v2" || o != OutcomeMiss || err != nil {
+		t.Fatalf("expired entry: refilled=%v (%q, %v, %v), want refill as miss", refilled, v, o, err)
+	}
+	if st := c.Stats(); st.EvictedTTL != 1 {
+		t.Errorf("EvictedTTL = %d, want 1", st.EvictedTTL)
+	}
+
+	// Get also observes expiry.
+	clock.Advance(2 * time.Minute)
+	if _, ok := c.Get("k"); ok {
+		t.Error("Get returned an expired entry")
+	}
+	if st := c.Stats(); st.EvictedTTL != 2 || st.Entries != 0 {
+		t.Errorf("stats after Get-expiry = %+v", st)
+	}
+}
+
+// TestErrorNotRetained: a failed fill answers its waiters but the next
+// Do recomputes; nothing is poisoned.
+func TestErrorNotRetained(t *testing.T) {
+	c := New[string](Config{}, nil)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, o, err := c.Do(ctx, "k", func() (string, bool, error) { return "", false, boom }); err != boom || o != OutcomeMiss {
+		t.Fatalf("failing Do = (%v, %v)", o, err)
+	}
+	v, o, err := c.Do(ctx, "k", fillOK("ok"))
+	if v != "ok" || o != OutcomeMiss || err != nil {
+		t.Fatalf("retry after error = (%q, %v, %v), want fresh miss", v, o, err)
+	}
+	if st := c.Stats(); st.Errors != 1 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 1 error, 2 misses", st)
+	}
+}
+
+// TestUncacheableNotRetained: a successful fill that declines retention
+// (the server's DEGRADED rule) is delivered but not stored.
+func TestUncacheableNotRetained(t *testing.T) {
+	c := New[string](Config{}, nil)
+	ctx := context.Background()
+	v, o, err := c.Do(ctx, "k", func() (string, bool, error) { return "degraded", false, nil })
+	if v != "degraded" || o != OutcomeMiss || err != nil {
+		t.Fatalf("uncacheable Do = (%q, %v, %v)", v, o, err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("uncacheable result was retained")
+	}
+	var refills atomic.Int64
+	c.Do(ctx, "k", func() (string, bool, error) { refills.Add(1); return "fine", true, nil })
+	if refills.Load() != 1 {
+		t.Error("uncacheable result suppressed the refill")
+	}
+	if st := c.Stats(); st.Uncacheable != 1 {
+		t.Errorf("Uncacheable = %d, want 1", st.Uncacheable)
+	}
+}
+
+// TestPanicPropagatesToAllWaiters: a panicking fill delivers a
+// *memo.PanicError to the executor AND every coalesced waiter, and
+// poisons nothing — the next Do succeeds.
+func TestPanicPropagatesToAllWaiters(t *testing.T) {
+	const waiters = 16
+	c := New[string](Config{}, nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	executorErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() (string, bool, error) {
+			close(started)
+			<-release
+			panic("deliberate fill panic")
+		})
+		executorErr <- err
+	}()
+	<-started
+
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, o, err := c.Do(context.Background(), "k", func() (string, bool, error) {
+				t.Error("waiter ran its own fill during an in-flight panic")
+				return "", false, nil
+			})
+			if o != OutcomeCoalesced {
+				t.Errorf("waiter outcome = %v, want coalesced", o)
+			}
+			errs <- err
+		}()
+	}
+	// Waiters enqueue before the panic fires. Coalesced counts under mu,
+	// so once Stats sees them all they are all joined.
+	waitUntil(t, func() bool { return c.Stats().Coalesced == waiters })
+	close(release)
+	wg.Wait()
+	close(errs)
+
+	check := func(err error) {
+		var pe *memo.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("waiter got %v, want *memo.PanicError", err)
+		}
+		if pe.Value != "deliberate fill panic" {
+			t.Errorf("panic value = %v", pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Error("panic error without a stack")
+		}
+	}
+	check(<-executorErr)
+	for err := range errs {
+		check(err)
+	}
+
+	// Nothing is poisoned: the key fills fresh and the cache still works.
+	v, o, err := c.Do(context.Background(), "k", fillOK("recovered"))
+	if v != "recovered" || o != OutcomeMiss || err != nil {
+		t.Fatalf("Do after panic = (%q, %v, %v), want fresh success", v, o, err)
+	}
+	if st := c.Stats(); st.Errors != 1 || st.Entries != 1 {
+		t.Errorf("stats after recovery = %+v", st)
+	}
+}
+
+// TestWaiterContextCancellation: a joined waiter abandons the wait when
+// its own context dies (the drain-abort path); the fill keeps running
+// and still completes for the cache.
+func TestWaiterContextCancellation(t *testing.T) {
+	c := New[string](Config{}, nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		c.Do(context.Background(), "k", func() (string, bool, error) {
+			close(started)
+			<-release
+			return "slow", true, nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, o, err := c.Do(ctx, "k", nil) // joins; fill func unused
+		if o != OutcomeCoalesced {
+			t.Errorf("outcome = %v, want coalesced", o)
+		}
+		waiterDone <- err
+	}()
+	waitUntil(t, func() bool { return c.Stats().Coalesced == 1 })
+	cancel()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+
+	close(release)
+	waitUntil(t, func() bool { _, ok := c.Get("k"); return ok })
+	if v, ok := c.Get("k"); !ok || v != "slow" {
+		t.Errorf("fill result lost after waiter cancellation: (%q, %v)", v, ok)
+	}
+}
+
+// TestResetDetachesInflight: Reset during a fill drops retention but
+// the fill still answers its waiters, and a post-Reset Do recomputes.
+func TestResetDetachesInflight(t *testing.T) {
+	c := New[string](Config{}, nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	got := make(chan string, 1)
+	go func() {
+		v, _, _ := c.Do(context.Background(), "k", func() (string, bool, error) {
+			close(started)
+			<-release
+			return "detached", true, nil
+		})
+		got <- v
+	}()
+	<-started
+	c.Reset()
+	close(release)
+	if v := <-got; v != "detached" {
+		t.Fatalf("detached fill answered %q", v)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("detached result was retained after Reset")
+	}
+	var fills atomic.Int64
+	c.Do(context.Background(), "k", func() (string, bool, error) { fills.Add(1); return "new", true, nil })
+	if fills.Load() != 1 {
+		t.Error("post-Reset Do did not recompute")
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

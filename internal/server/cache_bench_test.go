@@ -1,0 +1,60 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// benchPost issues one POST and drains the body; any non-OK status
+// fails the benchmark (a shed or error would make the numbers lies).
+func benchPost(b *testing.B, url, body string) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(resp.Body)
+		b.Fatalf("POST = %d: %s", resp.StatusCode, payload)
+	}
+	io.Copy(io.Discard, resp.Body)
+}
+
+// BenchmarkServeCacheHit measures the full HTTP round-trip for a
+// cached /v1/analyze answer: decode, key, lookup, write.
+func BenchmarkServeCacheHit(b *testing.B) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := fmt.Sprintf(`{"source": %q}`, srcLoop)
+	benchPost(b, ts.URL+"/v1/analyze", body) // prime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts.URL+"/v1/analyze", body)
+	}
+}
+
+// BenchmarkServeCacheMiss measures the cold path: every iteration is a
+// distinct source, so each request compiles, simulates, and analyses.
+// CacheEntries is kept small so the run's footprint stays bounded.
+func BenchmarkServeCacheMiss(b *testing.B) {
+	s := New(Config{CacheEntries: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := fmt.Sprintf(`
+int a[256];
+int main() {
+	int i; int s = %d;
+	for (i = 0; i < 40000; i++) { s = s + a[(i * 4) & 255]; }
+	print_int(s);
+	return 0;
+}`, i+1)
+		benchPost(b, ts.URL+"/v1/analyze", fmt.Sprintf(`{"source": %q}`, src))
+	}
+}

@@ -67,6 +67,13 @@ func TestServeChaosStorm(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("healthy baseline = %d: %s", code, golden)
 	}
+	// The result cache is live: the baseline recomputed, a repeat hits
+	// and answers the exact same bytes.
+	if code, hdr, body := postJSON(t, base+"/v1/analyze", fmt.Sprintf(`{"benchmark": %q}`, healthy)); code != http.StatusOK ||
+		hdr.Get("Delinq-Cache") != "hit" || body != golden {
+		t.Fatalf("healthy repeat = %d cache=%q (bytes equal: %v), want 200 hit identical",
+			code, hdr.Get("Delinq-Cache"), body == golden)
+	}
 
 	// --- the storm ------------------------------------------------------
 	p := faultinject.NewPlan(1)
@@ -74,14 +81,19 @@ func TestServeChaosStorm(t *testing.T) {
 	faultinject.Install(p)
 
 	// Each failed request carries worker-stage provenance until the
-	// breaker trips at the configured threshold...
+	// breaker trips at the configured threshold. Every one recomputes —
+	// a failure must never be served from (or admitted into) the cache,
+	// or a single glitch would replay forever.
 	for i := 0; i < failures; i++ {
-		code, body := analyze(victim)
+		code, hdr, body := postJSON(t, base+"/v1/analyze", fmt.Sprintf(`{"benchmark": %q}`, victim))
 		if code != http.StatusInternalServerError {
 			t.Fatalf("storm request %d = %d (%s), want 500", i, code, body)
 		}
 		if !strings.Contains(body, `"stage":"worker"`) {
 			t.Errorf("storm request %d missing worker provenance: %s", i, body)
+		}
+		if h := hdr.Get("Delinq-Cache"); h != "miss" {
+			t.Errorf("storm request %d Delinq-Cache = %q, want miss (failures are never cached)", i, h)
 		}
 	}
 	// ...after which the unit short-circuits with 503 + Retry-After.
@@ -98,9 +110,11 @@ func TestServeChaosStorm(t *testing.T) {
 		t.Errorf("bad request during storm = %d (%s), want 400", code, body)
 	}
 
-	// Healthy work is untouched: same status, same bytes.
-	if code, body := analyze(healthy); code != http.StatusOK || body != golden {
-		t.Errorf("healthy response diverged during storm (code %d)", code)
+	// Healthy work is untouched: same status, same bytes — now straight
+	// from the cache, so the storm cannot even perturb its latency.
+	if code, hdr, body := postJSON(t, base+"/v1/analyze", fmt.Sprintf(`{"benchmark": %q}`, healthy)); code != http.StatusOK ||
+		hdr.Get("Delinq-Cache") != "hit" || body != golden {
+		t.Errorf("healthy response diverged during storm (code %d, cache %q)", code, hdr.Get("Delinq-Cache"))
 	}
 
 	// A concurrent mixed burst: every healthy answer is byte-identical,
@@ -157,13 +171,19 @@ func TestServeChaosStorm(t *testing.T) {
 	bench.ResetCache() // drop any memoised degraded build
 	time.Sleep(cooldown + 100*time.Millisecond)
 
-	// The half-open probe succeeds and the unit closes again.
-	code, first := analyze(victim)
+	// The half-open probe succeeds and the unit closes again. The probe
+	// is a genuine recompute (nothing poisoned the cache during the
+	// storm), and only the now-healthy result gets cached.
+	code, rhdr, first := postJSON(t, base+"/v1/analyze", fmt.Sprintf(`{"benchmark": %q}`, victim))
 	if code != http.StatusOK {
 		t.Fatalf("victim after recovery = %d: %s", code, first)
 	}
-	if code, body := analyze(victim); code != http.StatusOK || body != first {
-		t.Errorf("recovered victim not deterministic (code %d)", code)
+	if h := rhdr.Get("Delinq-Cache"); h != "miss" {
+		t.Errorf("recovery probe Delinq-Cache = %q, want miss", h)
+	}
+	if code, hdr, body := postJSON(t, base+"/v1/analyze", fmt.Sprintf(`{"benchmark": %q}`, victim)); code != http.StatusOK ||
+		hdr.Get("Delinq-Cache") != "hit" || body != first {
+		t.Errorf("recovered victim not deterministic (code %d, cache %q)", code, hdr.Get("Delinq-Cache"))
 	}
 	// Healthy bytes survived the whole ordeal.
 	if code, body := analyze(healthy); code != http.StatusOK || body != golden {
@@ -183,6 +203,18 @@ func TestServeChaosStorm(t *testing.T) {
 	}
 	if v, _ := reg.Value("delinq_errors_worker_total"); v < int64(failures) {
 		t.Errorf("delinq_errors_worker_total = %d, want >= %d", v, failures)
+	}
+	// ...and so is the cache's: healthy hits accumulated, every storm
+	// failure counted as an uncached fill error, nothing degraded or
+	// poisoned slipped into the retained entries.
+	if v, _ := reg.Value("delinq_cache_hits_total"); v < 3 {
+		t.Errorf("delinq_cache_hits_total = %d, want >= 3", v)
+	}
+	if v, _ := reg.Value("delinq_cache_errors_total"); v < int64(failures) {
+		t.Errorf("delinq_cache_errors_total = %d, want >= %d", v, failures)
+	}
+	if v, _ := reg.Value("delinq_cache_entries"); v != 2 {
+		t.Errorf("delinq_cache_entries = %d, want 2 (healthy + recovered victim)", v)
 	}
 
 	// --- shutdown -------------------------------------------------------

@@ -13,7 +13,6 @@ import (
 	"encoding/json"
 	"net/http"
 	"sort"
-	"strconv"
 	"time"
 
 	"delinq/internal/baseline"
@@ -27,6 +26,7 @@ import (
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/analyze", s.api("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/analyze/batch", s.api("batch", s.handleBatch))
 	s.mux.HandleFunc("POST /v1/run", s.api("run", s.handleRun))
 	s.mux.HandleFunc("GET /v1/table/{id}", s.api("table", s.handleTable))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -106,22 +106,37 @@ func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *ht
 	if ae != nil {
 		return ae
 	}
-	if ae := s.guard(unit); ae != nil {
-		return ae
-	}
-	faultinject.Crash(faultinject.WorkerPanic, "serve:analyze")
+	fill := s.analyzeFill(ctx, req, unit, func() (func(), *apiError) { return s.admit(ctx) })
+	return s.serveCached(ctx, w, analyzeCacheKey(req), fill)
+}
 
-	var resp *analyzeResponse
-	if req.Benchmark != "" {
-		resp, ae = s.analyzeBenchmark(ctx, req)
-	} else {
-		resp, ae = s.analyzeSource(ctx, req)
+// analyzeFill builds the singleflight fill for one analyze request: it
+// admits (through acquire — per-request normally, a shared lazy slot
+// for batches), consults the unit's breaker, runs the pipeline, and
+// renders the response. Only a clean success is cacheable.
+func (s *Server) analyzeFill(ctx context.Context, req analyzeRequest, unit string, acquire func() (func(), *apiError)) fillFunc {
+	return func() (*cachedResponse, bool, error) {
+		release, ae := acquire()
+		if ae != nil {
+			return nil, false, ae
+		}
+		defer release()
+		if ae := s.guard(unit); ae != nil {
+			return nil, false, ae
+		}
+		faultinject.Crash(faultinject.WorkerPanic, "serve:analyze")
+
+		var resp *analyzeResponse
+		if req.Benchmark != "" {
+			resp, ae = s.analyzeBenchmark(ctx, req)
+		} else {
+			resp, ae = s.analyzeSource(ctx, req)
+		}
+		if s.finish(unit, ae); ae != nil {
+			return nil, false, ae
+		}
+		return jsonBody(resp)
 	}
-	if s.finish(unit, ae); ae != nil {
-		return ae
-	}
-	s.writeJSON(w, http.StatusOK, resp)
-	return nil
 }
 
 // validateTarget checks the source/benchmark request shape shared by
@@ -271,22 +286,29 @@ func (s *Server) handleRun(ctx context.Context, w http.ResponseWriter, r *http.R
 	if ae != nil {
 		return ae
 	}
-	if ae := s.guard(unit); ae != nil {
-		return ae
-	}
-	faultinject.Crash(faultinject.WorkerPanic, "serve:run")
+	fill := func() (*cachedResponse, bool, error) {
+		release, ae := s.admit(ctx)
+		if ae != nil {
+			return nil, false, ae
+		}
+		defer release()
+		if ae := s.guard(unit); ae != nil {
+			return nil, false, ae
+		}
+		faultinject.Crash(faultinject.WorkerPanic, "serve:run")
 
-	var resp *runResponse
-	if req.Benchmark != "" {
-		resp, ae = s.runBenchmark(ctx, req)
-	} else {
-		resp, ae = s.runSource(ctx, req)
+		var resp *runResponse
+		if req.Benchmark != "" {
+			resp, ae = s.runBenchmark(ctx, req)
+		} else {
+			resp, ae = s.runSource(ctx, req)
+		}
+		if s.finish(unit, ae); ae != nil {
+			return nil, false, ae
+		}
+		return jsonBody(resp)
 	}
-	if s.finish(unit, ae); ae != nil {
-		return ae
-	}
-	s.writeJSON(w, http.StatusOK, resp)
-	return nil
+	return s.serveCached(ctx, w, runCacheKey(req), fill)
 }
 
 func (s *Server) runSource(ctx context.Context, req runRequest) (*runResponse, *apiError) {
@@ -343,20 +365,128 @@ func (s *Server) runBenchmark(ctx context.Context, req runRequest) (*runResponse
 func (s *Server) handleTable(ctx context.Context, w http.ResponseWriter, r *http.Request) *apiError {
 	id := r.PathValue("id")
 	unit := "table:" + id
-	if ae := s.guard(unit); ae != nil {
-		return ae
-	}
-	faultinject.Crash(faultinject.WorkerPanic, "serve:table")
+	fill := func() (*cachedResponse, bool, error) {
+		release, ae := s.admit(ctx)
+		if ae != nil {
+			return nil, false, ae
+		}
+		defer release()
+		if ae := s.guard(unit); ae != nil {
+			return nil, false, ae
+		}
+		faultinject.Crash(faultinject.WorkerPanic, "serve:table")
 
-	body, degraded, ae := s.renderTable(ctx, id)
-	if s.finish(unit, ae); ae != nil {
+		body, degraded, ae := s.renderTable(ctx, id)
+		if s.finish(unit, ae); ae != nil {
+			return nil, false, ae
+		}
+		// A degraded render is still an answer but never a cached one:
+		// the next request retries the quarantined benchmarks instead of
+		// replaying the partial table until eviction.
+		cr := &cachedResponse{
+			contentType: "text/plain; charset=utf-8",
+			body:        []byte(body),
+			degraded:    degraded,
+		}
+		return cr, degraded == 0, nil
+	}
+	return s.serveCached(ctx, w, tableCacheKey(id), fill)
+}
+
+// --- POST /v1/analyze/batch ----------------------------------------------------------
+
+// maxBatch caps the requests in one batch call.
+const maxBatch = 64
+
+type batchRequest struct {
+	Requests []analyzeRequest `json:"requests"`
+}
+
+// batchItem is one per-request result: Status mirrors what the same
+// request would have answered as a single call; Response carries the
+// success payload, Error/Stage the failure envelope.
+type batchItem struct {
+	Cache    string          `json:"cache,omitempty"`
+	Status   int             `json:"status"`
+	Response json.RawMessage `json:"response,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Stage    string          `json:"stage,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+}
+
+// handleBatch amortizes a request set: one execution slot admits the
+// whole batch (acquired lazily on the first cache miss, so an all-hit
+// batch bypasses admission entirely), and the memoised bench stack
+// underneath shares compiles and simulations across items naming the
+// same benchmark. Items fail independently; the batch itself only
+// fails on malformed envelopes.
+func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, r *http.Request) *apiError {
+	var req batchRequest
+	if ae := decodeJSON(w, r, &req); ae != nil {
 		return ae
 	}
-	if degraded > 0 {
-		w.Header().Set("Delinq-Degraded", strconv.Itoa(degraded))
+	if len(req.Requests) == 0 {
+		return errorf(http.StatusBadRequest, "batch wants at least one request")
 	}
-	s.writeText(w, http.StatusOK, body)
+	if len(req.Requests) > maxBatch {
+		return errorf(http.StatusBadRequest, "batch is capped at %d requests, got %d", maxBatch, len(req.Requests))
+	}
+	faultinject.Crash(faultinject.WorkerPanic, "serve:batch")
+
+	var release func()
+	defer func() {
+		if release != nil {
+			release()
+		}
+	}()
+	acquire := func() (func(), *apiError) {
+		if release == nil {
+			rel, ae := s.admit(ctx)
+			if ae != nil {
+				return nil, ae
+			}
+			release = rel
+		}
+		// Items share the batch's slot; the real release happens once,
+		// after the last item.
+		return func() {}, nil
+	}
+
+	resp := batchResponse{Results: make([]batchItem, 0, len(req.Requests))}
+	for _, item := range req.Requests {
+		resp.Results = append(resp.Results, s.batchOne(ctx, item, acquire))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 	return nil
+}
+
+// batchOne answers one batch item through the same validate → cache →
+// fill path a single analyze request takes.
+func (s *Server) batchOne(ctx context.Context, req analyzeRequest, acquire func() (func(), *apiError)) batchItem {
+	unit, ae := validateTarget(req.Source, req.Benchmark, req.Args)
+	var outcome string
+	if ae == nil {
+		cr, o, err := s.doCached(ctx, analyzeCacheKey(req), s.analyzeFill(ctx, req, unit, acquire))
+		outcome = s.cacheHeader(o)
+		if err == nil {
+			return batchItem{
+				Cache:    outcome,
+				Status:   http.StatusOK,
+				Response: json.RawMessage(bytes.TrimSpace(cr.body)),
+			}
+		}
+		ae = s.asAPIError(err)
+	}
+	if ae.Status >= http.StatusInternalServerError {
+		s.reg.Counter("delinq_errors_total").Inc()
+		if ae.Stage != "" {
+			s.reg.Counter("delinq_errors_" + ae.Stage + "_total").Inc()
+		}
+	}
+	return batchItem{Cache: outcome, Status: ae.Status, Error: ae.Err, Stage: ae.Stage}
 }
 
 // renderTable regenerates one table. Table rendering shares the

@@ -32,6 +32,7 @@ import (
 
 	"delinq/internal/core"
 	"delinq/internal/metrics"
+	"delinq/internal/rescache"
 )
 
 // Config shapes one daemon.
@@ -52,6 +53,17 @@ type Config struct {
 	BreakerFailures int
 	// BreakerCooldown is the open → half-open timer (default 5s).
 	BreakerCooldown time.Duration
+	// CacheEntries caps the result cache's retained entries
+	// (default 1024).
+	CacheEntries int
+	// CacheBytes caps the result cache's retained bytes (default 64 MiB).
+	CacheBytes int64
+	// CacheTTL expires cached results this long after insertion; zero
+	// means results never expire (the pipeline is deterministic).
+	CacheTTL time.Duration
+	// CacheOff disables the result cache entirely: every request runs
+	// the pipeline and responses carry `Delinq-Cache: off`.
+	CacheOff bool
 }
 
 func (c Config) withDefaults() Config {
@@ -72,16 +84,23 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
 	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
 	return c
 }
 
 // Server is one analysis daemon.
 type Server struct {
-	cfg Config
-	adm *admission
-	brk *breakerSet
-	reg *metrics.Registry
-	mux *http.ServeMux
+	cfg   Config
+	adm   *admission
+	brk   *breakerSet
+	reg   *metrics.Registry
+	mux   *http.ServeMux
+	cache *rescache.Cache[*cachedResponse] // nil when Config.CacheOff
 
 	baseCtx    context.Context // cancelled to abort straggling requests
 	baseCancel context.CancelFunc
@@ -113,6 +132,13 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		drainDone:  make(chan struct{}),
+	}
+	if !cfg.CacheOff {
+		s.cache = rescache.New(rescache.Config{
+			MaxEntries: cfg.CacheEntries,
+			MaxBytes:   cfg.CacheBytes,
+			TTL:        cfg.CacheTTL,
+		}, respSize)
 	}
 	s.brk.onTransition = func(unit string, to breakerState, stage core.Stage) {
 		switch to {
@@ -146,6 +172,23 @@ func New(cfg Config) *Server {
 		}
 		return 0
 	})
+	if s.cache != nil {
+		// Cache telemetry reads the cache's own counters, so /metrics can
+		// never drift from what the cache actually did — the loadtest
+		// harness cross-checks these against client-observed outcomes.
+		stat := func(f func(rescache.Stats) int64) func() int64 {
+			return func() int64 { return f(s.cache.Stats()) }
+		}
+		s.reg.Gauge("delinq_cache_hits_total", stat(func(st rescache.Stats) int64 { return int64(st.Hits) }))
+		s.reg.Gauge("delinq_cache_misses_total", stat(func(st rescache.Stats) int64 { return int64(st.Misses) }))
+		s.reg.Gauge("delinq_cache_coalesced_total", stat(func(st rescache.Stats) int64 { return int64(st.Coalesced) }))
+		s.reg.Gauge("delinq_cache_errors_total", stat(func(st rescache.Stats) int64 { return int64(st.Errors) }))
+		s.reg.Gauge("delinq_cache_uncacheable_total", stat(func(st rescache.Stats) int64 { return int64(st.Uncacheable) }))
+		s.reg.Gauge("delinq_cache_evicted_size_total", stat(func(st rescache.Stats) int64 { return int64(st.EvictedSize) }))
+		s.reg.Gauge("delinq_cache_evicted_ttl_total", stat(func(st rescache.Stats) int64 { return int64(st.EvictedTTL) }))
+		s.reg.Gauge("delinq_cache_entries", stat(func(st rescache.Stats) int64 { return int64(st.Entries) }))
+		s.reg.Gauge("delinq_cache_bytes", stat(func(st rescache.Stats) int64 { return st.Bytes }))
+	}
 	s.routes()
 	return s
 }
@@ -207,6 +250,14 @@ func (s *Server) enterRequest() bool {
 	}
 	s.inflightN++
 	return true
+}
+
+// enteredRequests reports how many API requests are past the drain
+// gate (admitted or not); tests synchronise on it.
+func (s *Server) enteredRequests() int {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.inflightN
 }
 
 // leaveRequest retires one API request; the last one out during a
@@ -280,6 +331,11 @@ type apiError struct {
 	retryAfter time.Duration
 }
 
+// Error makes apiError a Go error so it travels intact through the
+// result cache's singleflight layer: coalesced waiters of a failed fill
+// receive the exact envelope the executor produced.
+func (e *apiError) Error() string { return e.Err }
+
 func errorf(status int, format string, args ...any) *apiError {
 	return &apiError{Status: status, Err: fmt.Sprintf(format, args...)}
 }
@@ -312,8 +368,11 @@ func pipelineError(err error, clientStages ...core.Stage) *apiError {
 type handlerFunc func(ctx context.Context, w http.ResponseWriter, r *http.Request) *apiError
 
 // api wraps an endpoint with the full robustness chain: request
-// counting, drain refusal, admission control, panic isolation, the
-// per-request deadline, and response-code accounting.
+// counting, drain refusal, panic isolation, the per-request deadline,
+// and response-code accounting. Admission control happens deeper, in
+// the cache-miss fill path (Server.admit): a request answered from the
+// result cache never needs an execution slot, so only work that will
+// actually run the pipeline contends for the semaphore and queue.
 func (s *Server) api(name string, h handlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.reg.Counter("delinq_requests_total").Inc()
@@ -338,19 +397,6 @@ func (s *Server) api(name string, h handlerFunc) http.HandlerFunc {
 			defer tcancel()
 		}
 
-		release, err := s.adm.acquire(ctx)
-		if err != nil {
-			if err == errShed {
-				s.reg.Counter("delinq_requests_shed_total").Inc()
-				s.writeError(w, &apiError{Status: http.StatusTooManyRequests, Err: "overloaded"}, time.Second)
-			} else {
-				// The client gave up (or the drain abort fired) while
-				// queued; answer for the log's sake.
-				s.writeError(w, &apiError{Status: http.StatusServiceUnavailable, Err: "cancelled while queued"}, 0)
-			}
-			return
-		}
-		defer release()
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.reg.Counter("delinq_panics_recovered_total").Inc()

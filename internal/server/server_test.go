@@ -282,24 +282,28 @@ func TestPanicIsolation(t *testing.T) {
 	}
 }
 
-// TestShed fills the single execution slot with a request whose body
-// the test holds open, then verifies the next request is shed with
+// TestShed occupies the single execution slot with a spinning request
+// (admission is only taken by cache-miss fills, so the slot must be
+// held by real pipeline work), then verifies that a distinct request —
+// a different cache key, so it cannot hit or coalesce — is shed with
 // 429 + Retry-After rather than queued forever.
 func TestShed(t *testing.T) {
-	s, ts := newTestDaemon(t, Config{MaxInflight: 1, Queue: -1})
+	s, ts := newTestDaemon(t, Config{MaxInflight: 1, Queue: -1, ReqTimeout: 2 * time.Second})
 
-	pr, pw := io.Pipe()
-	done := make(chan error, 1)
+	done := make(chan int, 1)
 	go func() {
-		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", pr)
-		if err == nil {
-			resp.Body.Close()
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"source": %q}`, srcSpin)))
+		if err != nil {
+			done <- -1
+			return
 		}
-		done <- err
+		resp.Body.Close()
+		done <- resp.StatusCode
 	}()
 	waitFor(t, func() bool { return s.adm.Inflight() == 1 })
 
-	code, hdr, body := postJSON(t, ts.URL+"/v1/analyze", `{}`)
+	code, hdr, body := postJSON(t, ts.URL+"/v1/analyze", fmt.Sprintf(`{"source": %q}`, srcLoop))
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("overloaded daemon = %d (%s), want 429", code, body)
 	}
@@ -310,11 +314,9 @@ func TestShed(t *testing.T) {
 		t.Errorf("delinq_requests_shed_total = %d, want 1", v)
 	}
 
-	// Complete the slow request; the slot frees and service resumes.
-	fmt.Fprintf(pw, `{"source": %q}`, srcLoop)
-	pw.Close()
-	if err := <-done; err != nil {
-		t.Fatalf("slow request failed: %v", err)
+	// The spinner dies at its deadline; the slot frees, service resumes.
+	if code := <-done; code != http.StatusInternalServerError {
+		t.Fatalf("spinning slot-holder = %d, want 500 (deadline)", code)
 	}
 	waitFor(t, func() bool { return s.adm.Inflight() == 0 })
 	if code, _, _ := postJSON(t, ts.URL+"/v1/analyze", fmt.Sprintf(`{"source": %q}`, srcLoop)); code != http.StatusOK {

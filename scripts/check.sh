@@ -34,8 +34,10 @@ go test -race -run 'TestChaos' ./...
 echo "== serve chaos (race)"
 # The daemon's storm gate: a live listening server under injected
 # faults must keep the 400/429/500/503 partition, trip and recover its
-# breakers, and serve byte-identical healthy responses throughout.
-go test -race -run 'TestServeChaosStorm|TestGracefulDrain|TestDrainAbortsStragglers' ./internal/server
+# breakers, and serve byte-identical healthy responses throughout —
+# with the result cache live, so failures never poison cached answers
+# and coalesced waiters survive drain.
+go test -race -run 'TestServeChaosStorm|TestGracefulDrain|TestDrainAbortsStragglers|TestCacheCoalescesThunderingHerd|TestCacheFailureNotCached|TestCacheBreakerShortCircuitBeforeFill|TestCacheDrainAbortsCoalescedWaiters' ./internal/server
 
 echo "== bench smoke"
 # One iteration of the cheap benchmarks: enough to catch a broken
@@ -52,7 +54,8 @@ go test -cover \
     ./internal/minic ./internal/asm ./internal/obj ./internal/disasm \
     ./internal/cfg ./internal/dataflow ./internal/callgraph \
     ./internal/faultinject ./internal/cache \
-    ./internal/server ./internal/retry ./internal/metrics |
+    ./internal/server ./internal/retry ./internal/metrics \
+    ./internal/rescache |
 awk '
 /coverage:/ {
     pct = $5; sub(/%.*/, "", pct)
@@ -60,6 +63,14 @@ awk '
 }
 END { exit bad }
 '
+
+echo "== loadtest smoke"
+# A one-second closed-loop run against an in-process daemon: the load
+# generator must come up, drive traffic, and report a self-consistent
+# delinq-loadtest/v1 JSON document (the CLI tests cross-check its
+# numbers against the daemon's own /metrics).
+go run ./cmd/delinq loadtest -workers 2 -duration 1s -keys 4 -o /tmp/delinq-loadtest-smoke.json
+rm -f /tmp/delinq-loadtest-smoke.json
 
 echo "== difftest smoke"
 # Three-way differential oracle: AST interpreter vs -O0 vs -O over a
