@@ -8,8 +8,8 @@
 //	delinq build [-O] [-o prog.img] prog.c       compile + assemble
 //	delinq asm [-o prog.img] prog.s              assemble
 //	delinq disasm prog.img                       objdump-style listing
-//	delinq run prog.img [args...]                simulate with the baseline cache
-//	delinq analyze [-O] [-inter] prog.c [args...]  identify delinquent loads
+//	delinq run [-isa arm] prog.img [args...]     simulate with the baseline cache
+//	delinq analyze [-O] [-inter] [-isa arm] prog.c [args...]  identify delinquent loads
 //	delinq profile [-O] prog.c [args...]         hotspot blocks and their loads
 //	delinq trace [-o t.bin] prog.img [args...]   memory trace collection + replay
 //	delinq train                                 print the training report
@@ -38,6 +38,9 @@ import (
 	"delinq/internal/core"
 	"delinq/internal/difftest"
 	"delinq/internal/faultinject"
+	"delinq/internal/isa"
+	_ "delinq/internal/isa/arm"
+	_ "delinq/internal/isa/mips"
 	"delinq/internal/metrics"
 	"delinq/internal/tables"
 	"delinq/internal/trace"
@@ -134,17 +137,26 @@ func usage() {
   build [-O] [-o out.img] prog.c    compile mini-C and assemble
   asm [-o out.img] prog.s           assemble MIPS-style assembly
   disasm prog.img                   disassemble an image
-  run [-timeout d] prog.img [args...]  simulate with the 8KB baseline cache
-  analyze [-O] [-inter] [-timeout d] prog.c [args...]  identify delinquent loads statically
+  run [-timeout d] [-isa name] prog.img [args...]  simulate with the 8KB baseline cache
+  analyze [-O] [-inter] [-timeout d] [-isa name] prog.c [args...]  identify delinquent loads statically
   profile [-O] prog.c [args...]     basic-block profile and hotspot loads
   trace [-o t.bin] [-timeout d] prog.img [args]  collect a memory trace, then replay it
   train                             run the training phase, print weights
-  table [-j N] [-v] [-timeout d] [-strict] <1-14|S1|all>  regenerate a table
+  table [-j N] [-v] [-timeout d] [-strict] [-isa name] <1-14|S1|all>  regenerate a table
   bench                             list the benchmark suite
-  difftest [-n N] [-seed S] [-v] [-timeout d]  random programs: interp vs -O0 vs -O
+  difftest [-n N] [-seed S] [-v] [-timeout d] [-isa name]  random programs: interp vs -O0 vs -O
   serve [-addr :8080] [-max-inflight N] [-queue N] [-req-timeout d] [-cache-entries N] [-cache-ttl d] [-no-cache]  run the analysis daemon
   loadtest [-addr URL] [-workers N] [-duration d] [-rps R] [-keys N] [-skew S] [-endpoint analyze|run] [-o f.json]  drive load, report latency percentiles`)
 	os.Exit(2)
+}
+
+// checkISA validates a -isa flag value: an unknown machine description
+// is a usage error (exit 2), listing the registered names.
+func checkISA(name string) error {
+	if _, err := isa.ByName(name); err != nil {
+		return usageError{msg: err.Error()}
+	}
+	return nil
 }
 
 // deadlineCtx builds the context a -timeout flag asks for; zero means
@@ -236,7 +248,11 @@ func cmdDisasm(args []string) error {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	timeout := fs.Duration("timeout", 0, "simulation deadline (0 = none)")
+	isaName := fs.String("isa", "", "lower the image to this machine description before simulating (mips, arm)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkISA(*isaName); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
@@ -244,6 +260,9 @@ func cmdRun(args []string) error {
 	}
 	img, err := core.LoadImage(fs.Arg(0))
 	if err != nil {
+		return err
+	}
+	if img, err = core.LowerImage(img, *isaName); err != nil {
 		return err
 	}
 	progArgs, err := parseArgs(fs.Args()[1:])
@@ -268,7 +287,11 @@ func cmdAnalyze(args []string) error {
 	opt := fs.Bool("O", false, "optimise before analysing")
 	inter := fs.Bool("inter", false, "resolve address patterns across calls (function summaries)")
 	timeout := fs.Duration("timeout", 0, "deadline for simulation and analysis (0 = none)")
+	isaName := fs.String("isa", "", "machine description to build for (mips, arm)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkISA(*isaName); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
@@ -284,7 +307,7 @@ func cmdAnalyze(args []string) error {
 	}
 	ctx, cancel := deadlineCtx(*timeout)
 	defer cancel()
-	img, err := core.BuildSource(string(src), *opt)
+	img, err := core.BuildSourceISA(string(src), *opt, *isaName)
 	if err != nil {
 		return err
 	}
@@ -465,7 +488,11 @@ func cmdTable(args []string) error {
 	verbose := fs.Bool("v", false, "print memo-cache statistics to stderr")
 	timeout := fs.Duration("timeout", 0, "per-benchmark deadline (0 = none)")
 	strict := fs.Bool("strict", false, "exit nonzero if any benchmark degrades")
+	isaName := fs.String("isa", "", "machine description to evaluate on (mips, arm)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkISA(*isaName); err != nil {
 		return err
 	}
 	if *workers < 0 {
@@ -475,6 +502,7 @@ func cmdTable(args []string) error {
 		return usagef("table wants a table number or 'all'")
 	}
 	tables.SetTimeout(*timeout)
+	tables.SetISA(*isaName)
 	var err error
 	if id := fs.Arg(0); id == "all" {
 		// The full sweep preloads every simulation through the parallel
@@ -528,7 +556,11 @@ func cmdDifftest(args []string) error {
 	seed := fs.Int64("seed", 1, "base seed; program k uses seed+k")
 	verbose := fs.Bool("v", false, "print progress and full failing sources")
 	timeout := fs.Duration("timeout", 0, "deadline for the whole batch (0 = none)")
+	isaName := fs.String("isa", "", "machine description the compiled pipelines target (mips, arm)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkISA(*isaName); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
@@ -537,7 +569,7 @@ func cmdDifftest(args []string) error {
 	if *n <= 0 {
 		return usagef("difftest -n wants a positive count")
 	}
-	opts := difftest.Options{N: *n, Seed: *seed}
+	opts := difftest.Options{N: *n, Seed: *seed, ISA: *isaName}
 	if *verbose {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "difftest: %d/%d\n", done, total)

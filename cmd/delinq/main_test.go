@@ -97,6 +97,61 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCLIISAFlag covers the -isa machine-description flag: an unknown
+// name is a usage mistake (exit 2) on every command that takes the
+// flag, and the arm backend runs the same pipeline end to end.
+func TestCLIISAFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.c")
+	img := filepath.Join(dir, "prog.img")
+	if err := os.WriteFile(src, []byte(cliProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown ISA: exit 2 with a message naming the valid set.
+	for _, c := range [][]string{
+		{"analyze", "-isa", "sparc", src},
+		{"run", "-isa", "sparc", img},
+		{"table", "-isa", "sparc", "6"},
+		{"difftest", "-isa", "sparc", "-n", "1"},
+	} {
+		out, err := exec.Command(bin, c...).CombinedOutput()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+			t.Errorf("%v: err %v, want exit 2\n%s", c, err, out)
+		}
+		if !strings.Contains(string(out), "unknown machine") {
+			t.Errorf("%v error does not name the bad ISA:\n%s", c, out)
+		}
+	}
+
+	// The arm backend end to end: build a mips image, lower+run it, and
+	// analyze source directly on arm. Outputs must match the mips run.
+	run := func(wantSub string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, out)
+		}
+		if wantSub != "" && !strings.Contains(string(out), wantSub) {
+			t.Errorf("%v output missing %q:\n%s", args, wantSub, out)
+		}
+		return string(out)
+	}
+	run("wrote", "build", "-o", img, src)
+	mipsOut := run("exit=", "run", img)
+	armOut := run("exit=", "run", "-isa", "arm", img)
+	if mipsOut[:strings.Index(mipsOut, "exit=")] != armOut[:strings.Index(armOut, "exit=")] {
+		t.Errorf("program output differs across ISAs:\nmips: %s\narm: %s", mipsOut, armOut)
+	}
+	run("possibly delinquent", "analyze", "-isa", "arm", src)
+	run("difftest: 5 programs, 0 disagreements", "difftest", "-isa", "arm", "-n", "5")
+}
+
 // TestCLIExitCodeContract pins the three-level exit contract: 0 for
 // success (including degraded-but-rendered tables), 1 for pipeline
 // failures, 2 for command-line mistakes.

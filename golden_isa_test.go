@@ -1,0 +1,38 @@
+// The cross-ISA golden guard: table S5 compares the heuristic on the
+// MIPS and ARM backends with per-ISA retrained weights, and its
+// committed rendering must not move. Kept separate from golden_test.go
+// so the original MIPS golden guard stays untouched.
+package delinq
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"delinq/internal/tables"
+)
+
+// TestTableISAGolden pins the cross-ISA comparison table (S5), rendered
+// on demand like S4: the committed tables_isa.txt must be reproduced
+// byte for byte, covering both the mips and arm analysis pipelines and
+// their per-ISA retrained weights.
+func TestTableISAGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark sweep in short mode")
+	}
+	want, err := os.ReadFile("tables_isa.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := tables.ByID("S5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := tab.Render(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("table S5 diverges from tables_isa.txt:\n%s", got.Bytes())
+	}
+}

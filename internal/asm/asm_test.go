@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"delinq/internal/isa"
+	"delinq/internal/isa/mips"
 	"delinq/internal/obj"
 )
 
@@ -21,7 +22,7 @@ func decodeAll(t *testing.T, img *obj.Image) []isa.Inst {
 	t.Helper()
 	out := make([]isa.Inst, len(img.Text))
 	for i, w := range img.Text {
-		in, err := isa.Decode(w)
+		in, err := mips.Decode(w)
 		if err != nil {
 			t.Fatalf("decode word %d (%#08x): %v", i, w, err)
 		}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"delinq/internal/isa"
+	"delinq/internal/isa/mips"
 	"delinq/internal/obj"
 )
 
@@ -224,7 +225,7 @@ func (a *assembler) emit() error {
 				return err
 			}
 			for _, in := range insts {
-				w, err := isa.Encode(in)
+				w, err := mips.Encode(in)
 				if err != nil {
 					return a.errf(s.line, "%v", err)
 				}

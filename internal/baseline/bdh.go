@@ -5,6 +5,7 @@ import (
 	"delinq/internal/dataflow"
 	"delinq/internal/disasm"
 	"delinq/internal/isa"
+	"delinq/internal/isa/mips"
 	"delinq/internal/obj"
 	"delinq/internal/pattern"
 )
@@ -21,11 +22,16 @@ func ClassifyBDH(prog *disasm.Program, loads []*pattern.Load) map[uint32]Class {
 	for _, ld := range loads {
 		byFn[ld.Func] = append(byFn[ld.Func], ld)
 	}
+	m, err := isa.ByName(prog.Image.ISAName())
+	if err != nil {
+		m = mips.M
+	}
 	for fn, lds := range byFn {
 		c := &bdhClassifier{
 			prog: prog,
 			fn:   fn,
-			df:   dataflow.Analyze(cfg.Build(fn)),
+			m:    m,
+			df:   dataflow.AnalyzeMachine(cfg.Build(fn), m),
 		}
 		ptrs := c.pointerLoads()
 		for _, ld := range lds {
@@ -55,6 +61,7 @@ func BDH(prog *disasm.Program, loads []*pattern.Load) map[uint32]bool {
 type bdhClassifier struct {
 	prog *disasm.Program
 	fn   *disasm.Func
+	m    isa.Machine
 	df   *dataflow.Result
 }
 
@@ -308,10 +315,11 @@ func fieldTypeAt(st *obj.Type, off int) *obj.Type {
 func (c *bdhClassifier) pointerLoads() map[int]bool {
 	out := map[int]bool{}
 	const maxDepth = 6
+	gp, hasGP := c.m.GP()
 	var chase func(reg isa.Reg, at, depth int, visiting map[int]bool)
 	chase = func(reg isa.Reg, at, depth int, visiting map[int]bool) {
-		if depth > maxDepth || reg == isa.Zero || reg == isa.SP ||
-			reg == isa.GP || reg == isa.FP {
+		if depth > maxDepth || reg == c.m.Zero() || reg == c.m.SP() ||
+			(hasGP && reg == gp) || reg == c.m.FP() {
 			return
 		}
 		for _, d := range c.df.ReachingAt(at, reg) {
@@ -330,6 +338,16 @@ func (c *bdhClassifier) pointerLoads() map[int]bool {
 				chase(in.Rs, d.Inst, depth+1, visiting)
 				chase(in.Rt, d.Inst, depth+1, visiting)
 			case in.Op == isa.SLL || in.Op == isa.SRL || in.Op == isa.SRA:
+				chase(in.Rt, d.Inst, depth+1, visiting)
+			case in.Op == isa.AMOV:
+				chase(in.Rs, d.Inst, depth+1, visiting)
+			case in.Op == isa.AADDI || in.Op == isa.AORRI ||
+				in.Op == isa.ALSLI || in.Op == isa.ALSRI || in.Op == isa.AASRI:
+				chase(in.Rd, d.Inst, depth+1, visiting)
+			case in.Op == isa.AADD || in.Op == isa.ASUB || in.Op == isa.ARSB ||
+				in.Op == isa.AMUL || in.Op == isa.ALSL || in.Op == isa.ALSR ||
+				in.Op == isa.AASR:
+				chase(in.Rd, d.Inst, depth+1, visiting)
 				chase(in.Rt, d.Inst, depth+1, visiting)
 			}
 			delete(visiting, d.ID)

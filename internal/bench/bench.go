@@ -88,9 +88,12 @@ func ByName(name string) *Benchmark {
 type Build struct {
 	Bench    *Benchmark
 	Optimize bool
-	Image    *obj.Image
-	Prog     *disasm.Program
-	Loads    []*pattern.Load
+	// ISA is the machine description the image was lowered to; empty
+	// means the assembler's native mips.
+	ISA   string
+	Image *obj.Image
+	Prog  *disasm.Program
+	Loads []*pattern.Load
 	// Degraded is non-nil when a recoverable stage failed and the build
 	// fell back to a lower-fidelity result (currently: pattern analysis
 	// failing even at halved budgets, leaving every load Unknown). The
@@ -147,8 +150,10 @@ func CacheStats() (build, run memo.Stats) {
 }
 
 // buildKey canonically encodes a compile request. The benchmark name is
-// length-prefixed so no name can alias another's encoding.
-func buildKey(name string, optimize bool) string {
+// length-prefixed so no name can alias another's encoding, and the
+// target ISA is folded in (canonicalised so "" and "mips" share one
+// build) so memoised builds never cross machine descriptions.
+func buildKey(name string, optimize bool, isaName string) string {
 	var sb strings.Builder
 	sb.WriteString(strconv.Itoa(len(name)))
 	sb.WriteByte(':')
@@ -158,6 +163,11 @@ func buildKey(name string, optimize bool) string {
 	} else {
 		sb.WriteString("|O0")
 	}
+	if isaName == "" {
+		isaName = "mips"
+	}
+	sb.WriteString("|isa=")
+	sb.WriteString(isaName)
 	return sb.String()
 }
 
@@ -168,7 +178,7 @@ func buildKey(name string, optimize bool) string {
 // length-prefixed and each element fully delimited).
 func runKey(bd *Build, input []int32, geoms []cache.Config) string {
 	var sb strings.Builder
-	sb.WriteString(buildKey(bd.Bench.Name, bd.Optimize))
+	sb.WriteString(buildKey(bd.Bench.Name, bd.Optimize, bd.ISA))
 	sb.WriteString("|in")
 	sb.WriteString(strconv.Itoa(len(input)))
 	sb.WriteByte(':')
@@ -204,12 +214,30 @@ func Compile(b *Benchmark, optimize bool) (*Build, error) {
 // a *core.StageError naming the stage that failed; a pattern-analysis
 // failure degrades (see Build.Degraded) instead of failing the build.
 func CompileCtx(ctx context.Context, b *Benchmark, optimize bool) (*Build, error) {
-	return builds.Do(buildKey(b.Name, optimize), func() (*Build, error) {
+	return CompileISACtx(ctx, b, optimize, "")
+}
+
+// CompileISA is CompileCtx for a named machine description: the
+// assembled MIPS image is lowered through core.LowerImage before
+// disassembly and pattern analysis, so the cached Build's Prog and
+// Loads describe the target ISA's instructions. Builds for different
+// ISAs are memoised under distinct keys and never shared.
+func CompileISA(b *Benchmark, optimize bool, isaName string) (*Build, error) {
+	return CompileISACtx(context.Background(), b, optimize, isaName)
+}
+
+// CompileISACtx is CompileISA under a context.
+func CompileISACtx(ctx context.Context, b *Benchmark, optimize bool, isaName string) (*Build, error) {
+	return builds.Do(buildKey(b.Name, optimize, isaName), func() (*Build, error) {
 		asmText, err := minic.Compile(b.Source, minic.Options{Optimize: optimize})
 		if err != nil {
 			return nil, core.WrapStage(b.Name, core.StageCompile, err)
 		}
 		img, err := asm.Assemble(asmText)
+		if err != nil {
+			return nil, core.WrapStage(b.Name, core.StageAssemble, err)
+		}
+		img, err = core.LowerImage(img, isaName)
 		if err != nil {
 			return nil, core.WrapStage(b.Name, core.StageAssemble, err)
 		}
@@ -228,6 +256,7 @@ func CompileCtx(ctx context.Context, b *Benchmark, optimize bool) (*Build, error
 		return &Build{
 			Bench:    b,
 			Optimize: optimize,
+			ISA:      isaName,
 			Image:    img,
 			Prog:     prog,
 			Loads:    loads,
@@ -322,7 +351,7 @@ func analyzePatterns(ctx context.Context, name string, prog *disasm.Program) ([]
 // alongside it so the comparison tables can render both without
 // recomputing either.
 func LoadsInter(bd *Build) []*pattern.Load {
-	out, _ := interLoads.Do(buildKey(bd.Bench.Name, bd.Optimize)+"|inter", func() ([]*pattern.Load, error) {
+	out, _ := interLoads.Do(buildKey(bd.Bench.Name, bd.Optimize, bd.ISA)+"|inter", func() ([]*pattern.Load, error) {
 		conf := pattern.DefaultConfig()
 		conf.Interprocedural = true
 		return pattern.AnalyzeProgram(bd.Prog, conf), nil

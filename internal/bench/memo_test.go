@@ -13,14 +13,20 @@ import (
 // differing in any dimension never collide, including slice encodings
 // that would alias under naive string joining.
 func TestKeysCanonical(t *testing.T) {
-	if buildKey("181.mcf", false) != buildKey("181.mcf", false) {
+	if buildKey("181.mcf", false, "") != buildKey("181.mcf", false, "") {
 		t.Error("identical build requests got different keys")
 	}
-	if buildKey("181.mcf", false) == buildKey("181.mcf", true) {
+	if buildKey("181.mcf", false, "") == buildKey("181.mcf", true, "") {
 		t.Error("optimize flag not encoded")
 	}
-	if buildKey("a|O1", false) == buildKey("a", true) {
+	if buildKey("a|O1", false, "") == buildKey("a", true, "") {
 		t.Error("name containing separator aliases the optimize flag")
+	}
+	if buildKey("181.mcf", false, "") != buildKey("181.mcf", false, "mips") {
+		t.Error("empty ISA and mips should share one build")
+	}
+	if buildKey("181.mcf", false, "mips") == buildKey("181.mcf", false, "arm") {
+		t.Error("ISA not encoded in build key")
 	}
 
 	bd := &Build{Bench: &Benchmark{Name: "x"}}

@@ -5,8 +5,8 @@
 // summaries, and top-down (callers before callees) to propagate the
 // argument patterns arriving at each function.
 //
-// Direct calls (jal to the entry of a known function) become edges.
-// Indirect calls (jalr) have no static target: they are recorded on the
+// Direct calls (jal/bl to the entry of a known function) become edges.
+// Indirect calls (jalr, blx) have no static target: they are recorded on the
 // caller and surfaced through Graph.HasIndirect so clients can fall
 // back to conservative behaviour where an unknown caller or callee
 // would make propagation unsound.
@@ -14,7 +14,6 @@ package callgraph
 
 import (
 	"delinq/internal/disasm"
-	"delinq/internal/isa"
 )
 
 // Edge is one direct call site: instruction Site of Caller transfers to
@@ -69,8 +68,7 @@ func Build(p *disasm.Program) *Graph {
 				continue
 			}
 			var callee *disasm.Func
-			if in.Op == isa.JAL {
-				t := in.JumpTarget(n.Fn.PC(i))
+			if t, ok := in.DirectJumpTarget(n.Fn.PC(i)); ok {
 				if tf := p.FuncAt(t); tf != nil && tf.Entry == t {
 					callee = tf
 				}

@@ -34,7 +34,7 @@ type Graph struct {
 // blocks here — the dataflow layer models call clobbering at block
 // granularity — but control continues to the fall-through block.
 func terminatesBlock(in isa.Inst) bool {
-	return in.IsBranch() || in.IsJump() || in.Op == isa.SYSCALL
+	return in.IsBranch() || in.IsJump() || in.IsSyscall()
 }
 
 // Build constructs the CFG of a disassembled function.
@@ -58,16 +58,20 @@ func Build(fn *disasm.Func) *Graph {
 			}
 		}
 		if in.IsJump() {
-			if in.Op == isa.J {
-				if t := fn.Index(in.JumpTarget(fn.PC(i))); t >= 0 {
-					leader[t] = true
+			// Direct non-call jumps (j, b) stay local; call targets are
+			// other functions and never split this one.
+			if !in.IsCall() {
+				if tgt, ok := in.DirectJumpTarget(fn.PC(i)); ok {
+					if t := fn.Index(tgt); t >= 0 {
+						leader[t] = true
+					}
 				}
 			}
 			if i+1 < n {
 				leader[i+1] = true
 			}
 		}
-		if in.Op == isa.SYSCALL && i+1 < n {
+		if in.IsSyscall() && i+1 < n {
 			leader[i+1] = true
 		}
 	}
@@ -104,14 +108,16 @@ func Build(fn *disasm.Func) *Graph {
 			if fall != nil {
 				link(b, fall)
 			}
-		case last.Op == isa.J:
-			if t := fn.Index(last.JumpTarget(fn.PC(b.End - 1))); t >= 0 {
-				link(b, g.BlockOf[t])
+		case last.Op == isa.J, last.Op == isa.AB:
+			if tgt, ok := last.DirectJumpTarget(fn.PC(b.End - 1)); ok {
+				if t := fn.Index(tgt); t >= 0 {
+					link(b, g.BlockOf[t])
+				}
 			}
-			// A j outside the function is a tail transfer: no local edge.
-		case last.Op == isa.JR:
+			// A jump outside the function is a tail transfer: no local edge.
+		case last.Op == isa.JR, last.Op == isa.ABX:
 			// Return or computed jump: no intraprocedural successor.
-		case last.IsCall(), last.Op == isa.SYSCALL:
+		case last.IsCall(), last.IsSyscall():
 			if fall != nil {
 				link(b, fall)
 			}

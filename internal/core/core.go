@@ -23,6 +23,8 @@ import (
 	"delinq/internal/cache"
 	"delinq/internal/classify"
 	"delinq/internal/disasm"
+	"delinq/internal/isa"
+	"delinq/internal/isa/arm"
 	"delinq/internal/metrics"
 	"delinq/internal/minic"
 	"delinq/internal/obj"
@@ -34,6 +36,9 @@ import (
 type Options struct {
 	// Optimize selects the compiler's -O mode for IdentifySource.
 	Optimize bool
+	// ISA names the machine description IdentifySource builds for
+	// ("mips", "arm"); empty means mips. See BuildSourceISA.
+	ISA string
 	// Classify configures the heuristic; zero value means the trained
 	// default (paper weights, δ=0.10, frequency classes enabled when a
 	// profile is available).
@@ -130,20 +135,53 @@ func IdentifySource(src string, opts Options) (*Result, error) {
 // cancellation stops pattern analysis at the next function boundary
 // (compilation itself is quick and runs to completion).
 func IdentifySourceCtx(ctx context.Context, src string, opts Options) (*Result, error) {
-	img, err := BuildSource(src, opts.Optimize)
+	img, err := BuildSourceISA(src, opts.Optimize, opts.ISA)
 	if err != nil {
 		return nil, err
 	}
 	return IdentifyImageCtx(ctx, img, opts)
 }
 
-// BuildSource compiles and assembles mini-C source to a linked image.
+// BuildSource compiles and assembles mini-C source to a linked MIPS
+// image.
 func BuildSource(src string, optimize bool) (*obj.Image, error) {
+	return BuildSourceISA(src, optimize, "")
+}
+
+// BuildSourceISA compiles and assembles mini-C source, then lowers the
+// image to the named machine description. Empty or "mips" keeps the
+// assembled image; "arm" rewrites it through arm.LowerImage.
+func BuildSourceISA(src string, optimize bool, isaName string) (*obj.Image, error) {
+	if _, err := isa.ByName(isaName); err != nil {
+		return nil, err
+	}
 	asmText, err := minic.Compile(src, minic.Options{Optimize: optimize})
 	if err != nil {
 		return nil, err
 	}
-	return asm.Assemble(asmText)
+	img, err := asm.Assemble(asmText)
+	if err != nil {
+		return nil, err
+	}
+	return LowerImage(img, isaName)
+}
+
+// LowerImage rewrites an assembled MIPS image for the named machine
+// description; empty or "mips" returns img unchanged.
+func LowerImage(img *obj.Image, isaName string) (*obj.Image, error) {
+	if isaName == "" || isaName == img.ISAName() {
+		return img, nil
+	}
+	switch isaName {
+	case "arm":
+		return arm.LowerImage(img)
+	default:
+		_, err := isa.ByName(isaName)
+		if err == nil {
+			err = fmt.Errorf("no lowering to ISA %q", isaName)
+		}
+		return nil, err
+	}
 }
 
 // BuildAsm assembles assembly text to a linked image.

@@ -12,6 +12,7 @@ package dataflow
 import (
 	"delinq/internal/cfg"
 	"delinq/internal/isa"
+	"delinq/internal/isa/mips"
 )
 
 // DefKind discriminates definition sites.
@@ -34,13 +35,14 @@ type Def struct {
 	Reg  isa.Reg
 }
 
-// callClobbered lists the caller-saved registers redefined by a call
-// under the o32 convention (plus $ra). $v0 is also written by syscalls.
-var callClobbered = []isa.Reg{
-	isa.V0, isa.V1,
-	isa.A0, isa.A1, isa.A2, isa.A3,
-	isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5, isa.T6, isa.T7,
-	isa.T8, isa.T9, isa.AT, isa.RA,
+// clobberedFor returns the caller-saved registers redefined by a call
+// under the machine's convention. A nil machine means the original
+// MIPS o32 set, preserving the historical Analyze behaviour.
+func clobberedFor(m isa.Machine) []isa.Reg {
+	if m == nil {
+		m = mips.M
+	}
+	return m.CallClobbered()
 }
 
 type bitset []uint64
@@ -76,8 +78,14 @@ type Result struct {
 	in []bitset
 }
 
-// Analyze runs reaching definitions to a fixed point.
-func Analyze(g *cfg.Graph) *Result {
+// Analyze runs reaching definitions to a fixed point under the MIPS
+// calling convention (the historical default).
+func Analyze(g *cfg.Graph) *Result { return AnalyzeMachine(g, nil) }
+
+// AnalyzeMachine runs reaching definitions to a fixed point, taking
+// the call-clobbered register set from m. A nil machine means MIPS.
+func AnalyzeMachine(g *cfg.Graph, m isa.Machine) *Result {
+	callClobbered := clobberedFor(m)
 	r := &Result{Graph: g, instDefs: make([][]int, len(g.Fn.Insts))}
 
 	addDef := func(kind DefKind, inst int, reg isa.Reg) int {
@@ -102,7 +110,7 @@ func Analyze(g *cfg.Graph) *Result {
 				addDef(DefInst, i, reg)
 			}
 		}
-		if in.IsCall() || in.Op == isa.SYSCALL {
+		if in.IsCall() || in.IsSyscall() {
 			for _, reg := range callClobbered {
 				addDef(DefCall, i, reg)
 			}

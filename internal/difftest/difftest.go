@@ -38,6 +38,11 @@ type Options struct {
 	// MaxInsts bounds each VM execution; zero means 20e6. The
 	// interpreter's step budget scales from the same bound.
 	MaxInsts int64
+	// ISA names the machine description the compiled pipelines target
+	// ("mips", "arm"); empty means mips. The reference interpreter is
+	// machine-independent, so a disagreement under "arm" localises a
+	// bug to the lowering, the ARM encoder/decoder, or the ARM VM.
+	ISA string
 	// Progress, when set, receives a line per 100 programs.
 	Progress func(done, total int)
 }
@@ -69,9 +74,9 @@ func (o outcome) String() string {
 	return fmt.Sprintf("exit=%d output=%q", o.exit, o.output)
 }
 
-// runCompiled sends src through compile/assemble/simulate at the given
-// optimisation level.
-func runCompiled(src string, optimize bool, args []int32, maxInsts int64) outcome {
+// runCompiled sends src through compile/assemble/lower/simulate at the
+// given optimisation level and machine description.
+func runCompiled(src string, optimize bool, args []int32, maxInsts int64, isaName string) outcome {
 	asmText, err := minic.Compile(src, minic.Options{Optimize: optimize})
 	if err != nil {
 		return outcome{err: fmt.Errorf("compile: %w", err)}
@@ -79,6 +84,10 @@ func runCompiled(src string, optimize bool, args []int32, maxInsts int64) outcom
 	img, err := asm.Assemble(asmText)
 	if err != nil {
 		return outcome{err: fmt.Errorf("assemble: %w", err)}
+	}
+	img, err = core.LowerImage(img, isaName)
+	if err != nil {
+		return outcome{err: fmt.Errorf("lower: %w", err)}
 	}
 	res, err := vm.Run(img, vm.Options{
 		Args:          args,
@@ -110,12 +119,18 @@ func runInterp(src string, args []int32, maxInsts int64) outcome {
 // Programs on which every engine faults — e.g. a division by zero —
 // count as agreement; a fault in some engines but not others does not.
 func CheckProgram(src string, args []int32, maxInsts int64) string {
+	return CheckProgramISA(src, args, maxInsts, "")
+}
+
+// CheckProgramISA is CheckProgram with the compiled pipelines targeting
+// the named machine description.
+func CheckProgramISA(src string, args []int32, maxInsts int64, isaName string) string {
 	if maxInsts == 0 {
 		maxInsts = 20e6
 	}
 	ref := runInterp(src, args, maxInsts)
-	o0 := runCompiled(src, false, args, maxInsts)
-	o1 := runCompiled(src, true, args, maxInsts)
+	o0 := runCompiled(src, false, args, maxInsts, isaName)
+	o1 := runCompiled(src, true, args, maxInsts, isaName)
 
 	errs := 0
 	for _, o := range []outcome{ref, o0, o1} {
@@ -173,7 +188,7 @@ func RunCtx(ctx context.Context, opts Options) (*Summary, error) {
 		}
 		seed := opts.Seed + int64(k)
 		src := gen.Program(seed)
-		if reason := CheckProgram(src, argsFor(seed), opts.MaxInsts); reason != "" {
+		if reason := CheckProgramISA(src, argsFor(seed), opts.MaxInsts, opts.ISA); reason != "" {
 			sum.Failures = append(sum.Failures, Failure{Seed: seed, Reason: reason, Src: src})
 		}
 		sum.Programs++

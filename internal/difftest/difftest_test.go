@@ -56,6 +56,38 @@ func TestThreeWayAgreement(t *testing.T) {
 	}
 }
 
+// TestThreeWayAgreementARM runs the same oracle with the compiled
+// pipelines lowered to the ARM machine description: the interpreter,
+// the -O0 ARM binary, and the -O ARM binary must still agree on every
+// program. The acceptance run pushes this to 1000 programs per ISA via
+// `delinq difftest -isa arm` in scripts/check.sh.
+func TestThreeWayAgreementARM(t *testing.T) {
+	n := 150
+	if testing.Short() {
+		n = 30
+	}
+	sum := Run(Options{N: n, Seed: 1, ISA: "arm"})
+	if sum.Programs != n {
+		t.Fatalf("ran %d programs, want %d", sum.Programs, n)
+	}
+	for i, f := range sum.Failures {
+		if i >= 3 {
+			t.Errorf("...and %d more failures", len(sum.Failures)-i)
+			break
+		}
+		t.Errorf("seed %d: %s\n--- source ---\n%s", f.Seed, f.Reason, f.Src)
+	}
+}
+
+// TestRunUnknownISA: an unknown machine description must surface as a
+// per-program failure naming the lowering, not silently fall back.
+func TestRunUnknownISA(t *testing.T) {
+	reason := CheckProgramISA("int main() { return 0; }", nil, 0, "sparc")
+	if !strings.Contains(reason, "disagree on failure") {
+		t.Errorf("unknown ISA not reported: %q", reason)
+	}
+}
+
 // TestCheckProgramAgreement spot-checks agreement on a handwritten
 // program touching chars, floats, pointers, and the heap.
 func TestCheckProgramAgreement(t *testing.T) {

@@ -11,6 +11,10 @@ import (
 
 	"delinq/internal/isa"
 	"delinq/internal/obj"
+
+	// Both backends register themselves so any image decodes.
+	_ "delinq/internal/isa/arm"
+	_ "delinq/internal/isa/mips"
 )
 
 // Func is one disassembled function.
@@ -43,6 +47,10 @@ type Program struct {
 // Instructions not covered by any function symbol are gathered into a
 // synthetic ".orphan" function so no load escapes analysis.
 func Disassemble(img *obj.Image) (*Program, error) {
+	m, err := isa.ByName(img.ISAName())
+	if err != nil {
+		return nil, fmt.Errorf("disasm: %w", err)
+	}
 	p := &Program{Image: img}
 	syms := img.Funcs()
 	covered := make([]bool, len(img.Text))
@@ -51,7 +59,7 @@ func Disassemble(img *obj.Image) (*Program, error) {
 		n := int(sym.Size / 4)
 		start := int((sym.Addr - obj.TextBase) / 4)
 		for i := 0; i < n && start+i < len(img.Text); i++ {
-			in, err := isa.Decode(img.Text[start+i])
+			in, err := m.Decode(img.Text[start+i])
 			if err != nil {
 				return nil, fmt.Errorf("disasm: %s+%#x: %w", sym.Name, i*4, err)
 			}
@@ -72,7 +80,7 @@ func Disassemble(img *obj.Image) (*Program, error) {
 			Entry: obj.TextBase + uint32(start)*4,
 		}
 		for i < len(covered) && !covered[i] {
-			in, err := isa.Decode(img.Text[i])
+			in, err := m.Decode(img.Text[i])
 			if err != nil {
 				return nil, fmt.Errorf("disasm: orphan %#x: %w", obj.TextBase+uint32(i)*4, err)
 			}
@@ -134,12 +142,13 @@ func (p *Program) Print(w io.Writer) error {
 			switch {
 			case in.IsBranch():
 				suffix = fmt.Sprintf("  # -> %#x", in.BranchTarget(pc))
-			case in.Op == isa.J || in.Op == isa.JAL:
-				t := in.JumpTarget(pc)
-				if tf := p.FuncAt(t); tf != nil && tf.Entry == t {
-					suffix = fmt.Sprintf("  # %s", tf.Name)
-				} else {
-					suffix = fmt.Sprintf("  # -> %#x", t)
+			default:
+				if t, ok := in.DirectJumpTarget(pc); ok {
+					if tf := p.FuncAt(t); tf != nil && tf.Entry == t {
+						suffix = fmt.Sprintf("  # %s", tf.Name)
+					} else {
+						suffix = fmt.Sprintf("  # -> %#x", t)
+					}
 				}
 			}
 			word, _ := p.Image.Word(pc)

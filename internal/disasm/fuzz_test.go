@@ -4,21 +4,27 @@ import (
 	"testing"
 
 	"delinq/internal/asm"
-	"delinq/internal/isa"
+	"delinq/internal/isa/arm"
+	"delinq/internal/isa/mips"
 )
+
+// fuzzSeeds are assembler programs exercising loads, stores, globals,
+// calls, floating point, and branches — shared by the MIPS round-trip
+// fuzzer and the ARM lowering round-trip fuzzer.
+var fuzzSeeds = []string{
+	".text\nmain:\nli $t0, 5\nsw $t0, 0($sp)\nlw $t1, 0($sp)\njr $ra\n",
+	".data\ng: .word 42\n.text\nmain:\nlw $t0, g\naddiu $t0, $t0, 1\njr $ra\n",
+	".text\n.func f\nf:\nmul $v0, $a0, $a0\njr $ra\n.endfunc\nmain:\njal f\nnop\njr $ra\n",
+	".text\nmain:\nl.s $f0, 0($sp)\nadd.s $f0, $f0, $f0\ns.s $f0, 0($sp)\njr $ra\n",
+	".text\nmain:\nbeq $zero, $zero, done\nnop\ndone:\nsyscall\n",
+}
 
 // FuzzAsmRoundTrip checks the assembler/disassembler contract on
 // arbitrary source text: any program the assembler accepts must
 // disassemble cleanly, and re-encoding every decoded instruction must
 // reproduce the exact text words the assembler emitted.
 func FuzzAsmRoundTrip(f *testing.F) {
-	for _, s := range []string{
-		".text\nmain:\nli $t0, 5\nsw $t0, 0($sp)\nlw $t1, 0($sp)\njr $ra\n",
-		".data\ng: .word 42\n.text\nmain:\nlw $t0, g\naddiu $t0, $t0, 1\njr $ra\n",
-		".text\n.func f\nf:\nmul $v0, $a0, $a0\njr $ra\n.endfunc\nmain:\njal f\nnop\njr $ra\n",
-		".text\nmain:\nl.s $f0, 0($sp)\nadd.s $f0, $f0, $f0\ns.s $f0, 0($sp)\njr $ra\n",
-		".text\nmain:\nbeq $zero, $zero, done\nnop\ndone:\nsyscall\n",
-	} {
+	for _, s := range fuzzSeeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
@@ -35,11 +41,56 @@ func FuzzAsmRoundTrip(f *testing.F) {
 		}
 		for _, fn := range prog.Funcs {
 			for i, in := range fn.Insts {
-				word, err := isa.Encode(in)
+				word, err := mips.Encode(in)
 				if err != nil {
 					t.Fatalf("%s+%#x: decoded %v does not re-encode: %v", fn.Name, i*4, in, err)
 				}
 				orig, ok := img.Word(fn.PC(i))
+				if !ok {
+					t.Fatalf("%s+%#x: PC outside text", fn.Name, i*4)
+				}
+				if word != orig {
+					t.Fatalf("%s+%#x: re-encode %#08x != original %#08x (%v)",
+						fn.Name, i*4, word, orig, in)
+				}
+			}
+		}
+	})
+}
+
+// FuzzArmLowerRoundTrip extends the round-trip contract across the ARM
+// backend: any MIPS program the assembler accepts must lower to an ARM
+// image that disassembles cleanly, and re-encoding every decoded ARM
+// instruction must reproduce the lowered image's text words exactly.
+// Together with FuzzAsmRoundTrip this pins encoder/decoder agreement
+// for both machine descriptions from the same seed corpus.
+func FuzzArmLowerRoundTrip(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		img, err := asm.Assemble(src)
+		if err != nil {
+			return
+		}
+		lowered, err := arm.LowerImage(img)
+		if err != nil {
+			t.Fatalf("assembled image fails to lower: %v\n--- source ---\n%s", err, src)
+		}
+		prog, err := Disassemble(lowered)
+		if err != nil {
+			t.Fatalf("lowered image fails to disassemble: %v\n--- source ---\n%s", err, src)
+		}
+		for _, fn := range prog.Funcs {
+			for i, in := range fn.Insts {
+				word, err := arm.Encode(in)
+				if err != nil {
+					t.Fatalf("%s+%#x: decoded %v does not re-encode: %v", fn.Name, i*4, in, err)
+				}
+				orig, ok := lowered.Word(fn.PC(i))
 				if !ok {
 					t.Fatalf("%s+%#x: PC outside text", fn.Name, i*4)
 				}

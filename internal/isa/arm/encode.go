@@ -1,0 +1,236 @@
+package arm
+
+import (
+	"fmt"
+
+	"delinq/internal/isa"
+)
+
+// The ARM backend uses a flat 8-bit opcode in the word's top byte —
+// no format/funct subfields — with five operand layouts below it:
+//
+//	mem:   op(8) rt(5) rs(5) imm14        (loads/stores, signed offset)
+//	r+i16: op(8) reg(5) pad(3) imm16      (immediate ALU, movw/movt, cmp)
+//	2reg:  op(8) r1(5) pad(3) r2(5) pad(11)
+//	imm24: op(8) imm24                    (branches and calls, word offset)
+//	3fp:   op(8) fd(5) pad(3) fs(5) pad(3) ft(5) pad(3)
+//
+// The word 0 is NOP, as on MIPS, so zero-filled text stays inert.
+
+// opcodeOrder fixes the opcode byte assignment: index+1 in this slice
+// is the op's top byte (0 is reserved for NOP). Appending to the end
+// is the only compatible way to extend the encoding.
+var opcodeOrder = []isa.Op{
+	isa.AMOV, isa.AMVN, isa.AADD, isa.ASUB, isa.ARSB, isa.AMUL,
+	isa.AAND, isa.AORR, isa.AEOR, isa.ALSL, isa.ALSR, isa.AASR,
+	isa.AADDI, isa.AANDI, isa.AORRI, isa.AEORI,
+	isa.ALSLI, isa.ALSRI, isa.AASRI,
+	isa.AMOVI, isa.AMOVW, isa.AMOVT,
+	isa.ACMP, isa.ACMPI, isa.ASETLT, isa.ASETLO,
+	isa.ABEQ, isa.ABNE, isa.ABLT, isa.ABGE, isa.ABGT, isa.ABLE,
+	isa.AB, isa.ABL, isa.ABX, isa.ABLX, isa.ASVC,
+	isa.ALDR, isa.ALDRH, isa.ALDRSH, isa.ALDRB, isa.ALDRSB,
+	isa.ASTR, isa.ASTRH, isa.ASTRB,
+	isa.ALDRPRE, isa.ALDRPOST, isa.ASTRPRE, isa.ASTRPOST,
+	isa.AVLDR, isa.AVSTR,
+	// Shared ops the lowering keeps: the hi/lo multiply unit and the
+	// COP1-equivalent FP file re-encode under ARM opcodes.
+	isa.MULT, isa.DIV, isa.DIVU, isa.MFHI, isa.MFLO,
+	isa.MFC1, isa.MTC1,
+	isa.ADDS, isa.SUBS, isa.MULS, isa.DIVS, isa.MOVS, isa.NEGS,
+	isa.CVTSW, isa.CVTWS, isa.CEQS, isa.CLTS, isa.CLES,
+	isa.BC1T, isa.BC1F,
+}
+
+var opToByte = func() map[isa.Op]uint32 {
+	m := make(map[isa.Op]uint32, len(opcodeOrder))
+	for i, op := range opcodeOrder {
+		m[op] = uint32(i + 1)
+	}
+	return m
+}()
+
+var byteToOp = func() map[uint32]isa.Op {
+	m := make(map[uint32]isa.Op, len(opcodeOrder))
+	for i, op := range opcodeOrder {
+		m[uint32(i+1)] = op
+	}
+	return m
+}()
+
+// Immediate ranges per layout.
+const (
+	imm14Min = -(1 << 13)
+	imm14Max = 1<<13 - 1
+	imm24Min = -(1 << 23)
+	imm24Max = 1<<23 - 1
+)
+
+func checkReg(r isa.Reg) error {
+	if r > 31 {
+		return fmt.Errorf("arm: register %d out of range", r)
+	}
+	return nil
+}
+
+// signedImm16 ops sign-extend their immediate on decode; the rest of
+// the r+i16 layout zero-extends.
+func signedImm16(op isa.Op) bool {
+	switch op {
+	case isa.AADDI, isa.AMOVI, isa.ACMPI:
+		return true
+	}
+	return false
+}
+
+// Encode converts an instruction to its 32-bit ARM machine word.
+func Encode(i isa.Inst) (uint32, error) {
+	for _, r := range []isa.Reg{i.Rd, i.Rs, i.Rt} {
+		if err := checkReg(r); err != nil {
+			return 0, err
+		}
+	}
+	opb, ok := opToByte[i.Op]
+	if i.Op == isa.NOP {
+		return 0, nil
+	}
+	if !ok {
+		return 0, fmt.Errorf("arm: cannot encode %v", i.Op)
+	}
+	w := opb << 24
+	switch i.Op {
+	case isa.ALDR, isa.ALDRH, isa.ALDRSH, isa.ALDRB, isa.ALDRSB,
+		isa.ASTR, isa.ASTRH, isa.ASTRB,
+		isa.ALDRPRE, isa.ALDRPOST, isa.ASTRPRE, isa.ASTRPOST,
+		isa.AVLDR, isa.AVSTR:
+		if i.Imm < imm14Min || i.Imm > imm14Max {
+			return 0, fmt.Errorf("arm: %v offset %d outside imm14", i.Op, i.Imm)
+		}
+		return w | uint32(i.Rt)<<19 | uint32(i.Rs)<<14 | uint32(i.Imm)&0x3fff, nil
+
+	case isa.AADDI, isa.AANDI, isa.AORRI, isa.AEORI,
+		isa.ALSLI, isa.ALSRI, isa.AASRI,
+		isa.AMOVI, isa.AMOVW, isa.AMOVT, isa.ACMPI:
+		reg := i.Rd
+		if i.Op == isa.ACMPI {
+			reg = i.Rs
+		}
+		switch {
+		case i.Op == isa.ALSLI || i.Op == isa.ALSRI || i.Op == isa.AASRI:
+			if i.Imm < 0 || i.Imm > 31 {
+				return 0, fmt.Errorf("arm: %v shift %d outside [0,31]", i.Op, i.Imm)
+			}
+		case signedImm16(i.Op):
+			if i.Imm < -32768 || i.Imm > 32767 {
+				return 0, fmt.Errorf("arm: %v immediate %d outside int16", i.Op, i.Imm)
+			}
+		default:
+			if i.Imm < 0 || i.Imm > 0xffff {
+				return 0, fmt.Errorf("arm: %v immediate %d outside uint16", i.Op, i.Imm)
+			}
+		}
+		return w | uint32(reg)<<16 | uint32(i.Imm)&0xffff, nil
+
+	case isa.AMOV, isa.AMVN, isa.ABLX:
+		return w | uint32(i.Rd)<<16 | uint32(i.Rs)<<8, nil
+	case isa.AADD, isa.ASUB, isa.ARSB, isa.AMUL,
+		isa.AAND, isa.AORR, isa.AEOR, isa.ALSL, isa.ALSR, isa.AASR:
+		return w | uint32(i.Rd)<<16 | uint32(i.Rt)<<8, nil
+	case isa.ACMP, isa.MULT, isa.DIV, isa.DIVU:
+		return w | uint32(i.Rs)<<16 | uint32(i.Rt)<<8, nil
+	case isa.ABX:
+		return w | uint32(i.Rs)<<16, nil
+	case isa.ASETLT, isa.ASETLO, isa.MFHI, isa.MFLO:
+		return w | uint32(i.Rd)<<16, nil
+	case isa.MFC1, isa.MTC1:
+		return w | uint32(i.Rt)<<16 | uint32(i.Rd)<<8, nil
+
+	case isa.AB, isa.ABL, isa.ABEQ, isa.ABNE, isa.ABLT, isa.ABGE,
+		isa.ABGT, isa.ABLE, isa.BC1T, isa.BC1F:
+		if i.Imm < imm24Min || i.Imm > imm24Max {
+			return 0, fmt.Errorf("arm: %v offset %d outside imm24", i.Op, i.Imm)
+		}
+		return w | uint32(i.Imm)&0xffffff, nil
+
+	case isa.ASVC:
+		return w, nil
+
+	case isa.ADDS, isa.SUBS, isa.MULS, isa.DIVS, isa.MOVS, isa.NEGS,
+		isa.CVTSW, isa.CVTWS, isa.CEQS, isa.CLTS, isa.CLES:
+		return w | uint32(i.Rd)<<16 | uint32(i.Rs)<<8 | uint32(i.Rt), nil
+	}
+	return 0, fmt.Errorf("arm: cannot encode %v", i.Op)
+}
+
+func signExt14(v uint32) int32 { return int32(v<<18) >> 18 }
+func signExt24(v uint32) int32 { return int32(v<<8) >> 8 }
+
+// Decode converts a 32-bit ARM machine word back to an instruction.
+func Decode(word uint32) (isa.Inst, error) {
+	if word == 0 {
+		return isa.Inst{Op: isa.NOP}, nil
+	}
+	op, ok := byteToOp[word>>24]
+	if !ok {
+		return isa.Inst{}, fmt.Errorf("arm: unknown opcode %#x in word %#08x", word>>24, word)
+	}
+	switch op {
+	case isa.ALDR, isa.ALDRH, isa.ALDRSH, isa.ALDRB, isa.ALDRSB,
+		isa.ASTR, isa.ASTRH, isa.ASTRB,
+		isa.ALDRPRE, isa.ALDRPOST, isa.ASTRPRE, isa.ASTRPOST,
+		isa.AVLDR, isa.AVSTR:
+		return isa.Inst{
+			Op:  op,
+			Rt:  isa.Reg(word >> 19 & 0x1f),
+			Rs:  isa.Reg(word >> 14 & 0x1f),
+			Imm: signExt14(word & 0x3fff),
+		}, nil
+
+	case isa.AADDI, isa.AANDI, isa.AORRI, isa.AEORI,
+		isa.ALSLI, isa.ALSRI, isa.AASRI,
+		isa.AMOVI, isa.AMOVW, isa.AMOVT, isa.ACMPI:
+		reg := isa.Reg(word >> 16 & 0x1f)
+		imm := int32(word & 0xffff)
+		switch {
+		case op == isa.ALSLI || op == isa.ALSRI || op == isa.AASRI:
+			imm &= 0x1f
+		case signedImm16(op):
+			imm = int32(int16(imm))
+		}
+		if op == isa.ACMPI {
+			return isa.Inst{Op: op, Rs: reg, Imm: imm}, nil
+		}
+		return isa.Inst{Op: op, Rd: reg, Imm: imm}, nil
+
+	case isa.AMOV, isa.AMVN, isa.ABLX:
+		return isa.Inst{Op: op, Rd: isa.Reg(word >> 16 & 0x1f), Rs: isa.Reg(word >> 8 & 0x1f)}, nil
+	case isa.AADD, isa.ASUB, isa.ARSB, isa.AMUL,
+		isa.AAND, isa.AORR, isa.AEOR, isa.ALSL, isa.ALSR, isa.AASR:
+		return isa.Inst{Op: op, Rd: isa.Reg(word >> 16 & 0x1f), Rt: isa.Reg(word >> 8 & 0x1f)}, nil
+	case isa.ACMP, isa.MULT, isa.DIV, isa.DIVU:
+		return isa.Inst{Op: op, Rs: isa.Reg(word >> 16 & 0x1f), Rt: isa.Reg(word >> 8 & 0x1f)}, nil
+	case isa.ABX:
+		return isa.Inst{Op: op, Rs: isa.Reg(word >> 16 & 0x1f)}, nil
+	case isa.ASETLT, isa.ASETLO, isa.MFHI, isa.MFLO:
+		return isa.Inst{Op: op, Rd: isa.Reg(word >> 16 & 0x1f)}, nil
+	case isa.MFC1, isa.MTC1:
+		return isa.Inst{Op: op, Rt: isa.Reg(word >> 16 & 0x1f), Rd: isa.Reg(word >> 8 & 0x1f)}, nil
+
+	case isa.AB, isa.ABL, isa.ABEQ, isa.ABNE, isa.ABLT, isa.ABGE,
+		isa.ABGT, isa.ABLE, isa.BC1T, isa.BC1F:
+		return isa.Inst{Op: op, Imm: signExt24(word & 0xffffff)}, nil
+
+	case isa.ASVC:
+		return isa.Inst{Op: op}, nil
+
+	case isa.ADDS, isa.SUBS, isa.MULS, isa.DIVS, isa.MOVS, isa.NEGS,
+		isa.CVTSW, isa.CVTWS, isa.CEQS, isa.CLTS, isa.CLES:
+		return isa.Inst{
+			Op: op,
+			Rd: isa.Reg(word >> 16 & 0x1f),
+			Rs: isa.Reg(word >> 8 & 0x1f),
+			Rt: isa.Reg(word & 0x1f),
+		}, nil
+	}
+	return isa.Inst{}, fmt.Errorf("arm: unknown opcode %#x in word %#08x", word>>24, word)
+}

@@ -1,0 +1,219 @@
+package arm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	. "delinq/internal/isa"
+)
+
+// sampleInsts returns a representative instruction of every encodable
+// ARM layout: mem (with pre/post-indexed writeback), r+i16 signed and
+// unsigned, 2reg, imm24, and the shared hi/lo and FP forms.
+func sampleInsts() []Inst {
+	return []Inst{
+		{Op: NOP},
+		{Op: AMOV, Rd: 1, Rs: 2},
+		{Op: AMVN, Rd: 3, Rs: 4},
+		{Op: AADD, Rd: 1, Rt: 2},
+		{Op: ASUB, Rd: 5, Rt: 6},
+		{Op: ARSB, Rd: 7, Rt: 8},
+		{Op: AMUL, Rd: 9, Rt: 10},
+		{Op: AAND, Rd: 11, Rt: 12},
+		{Op: AORR, Rd: 13, Rt: 14},
+		{Op: AEOR, Rd: 15, Rt: 16},
+		{Op: ALSL, Rd: 17, Rt: 18},
+		{Op: ALSR, Rd: 19, Rt: 20},
+		{Op: AASR, Rd: 21, Rt: 22},
+		{Op: AADDI, Rd: 1, Imm: -32768},
+		{Op: AANDI, Rd: 2, Imm: 0xffff},
+		{Op: AORRI, Rd: 3, Imm: 0x1234},
+		{Op: AEORI, Rd: 4, Imm: 0xabc},
+		{Op: ALSLI, Rd: 5, Imm: 31},
+		{Op: ALSRI, Rd: 6, Imm: 1},
+		{Op: AASRI, Rd: 7, Imm: 16},
+		{Op: AMOVI, Rd: 8, Imm: -1},
+		{Op: AMOVW, Rd: 9, Imm: 0xffff},
+		{Op: AMOVT, Rd: 10, Imm: 0x1000},
+		{Op: ACMP, Rs: 1, Rt: 2},
+		{Op: ACMPI, Rs: 3, Imm: -100},
+		{Op: ASETLT, Rd: 4},
+		{Op: ASETLO, Rd: 5},
+		{Op: ABEQ, Imm: -4},
+		{Op: ABNE, Imm: 12},
+		{Op: ABLT, Imm: 3},
+		{Op: ABGE, Imm: -1},
+		{Op: ABGT, Imm: 7},
+		{Op: ABLE, Imm: -7},
+		{Op: AB, Imm: 0x100},
+		{Op: ABL, Imm: -0x200},
+		{Op: ABX, Rs: 31},
+		{Op: ABLX, Rd: 31, Rs: 12},
+		{Op: ASVC},
+		{Op: ALDR, Rt: 1, Rs: 29, Imm: -16},
+		{Op: ALDRH, Rt: 2, Rs: 29, Imm: 8},
+		{Op: ALDRSH, Rt: 3, Rs: 29, Imm: 6},
+		{Op: ALDRB, Rt: 4, Rs: 29, Imm: 2},
+		{Op: ALDRSB, Rt: 5, Rs: 29, Imm: 1},
+		{Op: ASTR, Rt: 31, Rs: 29, Imm: 0},
+		{Op: ASTRH, Rt: 6, Rs: 29, Imm: 2},
+		{Op: ASTRB, Rt: 7, Rs: 29, Imm: 1},
+		{Op: ALDRPRE, Rt: 8, Rs: 9, Imm: 4},
+		{Op: ALDRPOST, Rt: 10, Rs: 11, Imm: 8},
+		{Op: ASTRPRE, Rt: 12, Rs: 13, Imm: -4},
+		{Op: ASTRPOST, Rt: 14, Rs: 15, Imm: 4},
+		{Op: AVLDR, Rt: 4, Rs: 29, Imm: 20},
+		{Op: AVSTR, Rt: 4, Rs: 29, Imm: 24},
+		{Op: MULT, Rs: 1, Rt: 2},
+		{Op: DIV, Rs: 3, Rt: 4},
+		{Op: DIVU, Rs: 5, Rt: 6},
+		{Op: MFHI, Rd: 7},
+		{Op: MFLO, Rd: 8},
+		{Op: MFC1, Rt: 9, Rd: 2},
+		{Op: MTC1, Rt: 10, Rd: 2},
+		{Op: ADDS, Rd: 0, Rs: 2, Rt: 4},
+		{Op: SUBS, Rd: 6, Rs: 8, Rt: 10},
+		{Op: MULS, Rd: 1, Rs: 3, Rt: 5},
+		{Op: DIVS, Rd: 7, Rs: 9, Rt: 11},
+		{Op: MOVS, Rd: 12, Rs: 13},
+		{Op: NEGS, Rd: 14, Rs: 15},
+		{Op: CVTSW, Rd: 0, Rs: 1},
+		{Op: CVTWS, Rd: 2, Rs: 3},
+		{Op: CEQS, Rs: 0, Rt: 2},
+		{Op: CLTS, Rs: 4, Rt: 6},
+		{Op: CLES, Rs: 8, Rt: 10},
+		{Op: BC1T, Imm: 5},
+		{Op: BC1F, Imm: -5},
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	for _, in := range sampleInsts() {
+		word, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		out, err := Decode(word)
+		if err != nil {
+			t.Fatalf("Decode(%#08x) of %v: %v", word, in, err)
+		}
+		if out != in {
+			t.Errorf("round trip of %v gave %v (word %#08x)", in, out, word)
+		}
+	}
+}
+
+// TestSampleCoversEveryOpcode: the sample set exercises the full opcode
+// table, so a new op added to opcodeOrder without a round-trip sample
+// fails here instead of going untested.
+func TestSampleCoversEveryOpcode(t *testing.T) {
+	seen := map[Op]bool{}
+	for _, in := range sampleInsts() {
+		seen[in.Op] = true
+	}
+	for _, op := range opcodeOrder {
+		if !seen[op] {
+			t.Errorf("opcode %v has no round-trip sample", op)
+		}
+	}
+}
+
+func TestDecodeUnknown(t *testing.T) {
+	last := uint32(len(opcodeOrder)) // opcodes run 1..len; above is invalid
+	bad := []uint32{
+		(last + 1) << 24,
+		0xff000000,
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) succeeded; want error", w)
+		}
+	}
+}
+
+// TestEncodeRejectsOutOfRange pins the immediate range checks per
+// layout.
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	bad := []Inst{
+		{Op: ALDR, Rt: 1, Rs: 2, Imm: 1 << 13},
+		{Op: ASTR, Rt: 1, Rs: 2, Imm: -(1<<13 + 1)},
+		{Op: AADDI, Rd: 1, Imm: 40000},
+		{Op: AMOVW, Rd: 1, Imm: -1},
+		{Op: ALSLI, Rd: 1, Imm: 32},
+		{Op: AB, Imm: 1 << 23},
+		{Op: LW, Rt: 1, Rs: 2}, // a MIPS-only op has no ARM encoding
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v) succeeded; want error", in)
+		}
+	}
+}
+
+// TestQuickALURoundtrip exercises random register/immediate
+// combinations of the common two-operand ALU and memory forms.
+func TestQuickALURoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(op8 uint8, rd, rs, rt uint8, imm int16) bool {
+		ops := []Op{AADD, ASUB, ARSB, AMUL, AAND, AORR, AEOR,
+			AADDI, AMOVI, ACMPI, ALDR, ASTR, ALDRB, ASTRB,
+			ALDRPRE, ALDRPOST, ASTRPRE, ASTRPOST}
+		in := Inst{
+			Op: ops[int(op8)%len(ops)],
+			Rd: Reg(rd % 32), Rs: Reg(rs % 32), Rt: Reg(rt % 32),
+			Imm: int32(imm),
+		}
+		switch in.Op {
+		case AADD, ASUB, ARSB, AMUL, AAND, AORR, AEOR:
+			in.Rs, in.Imm = 0, 0
+		case AADDI, AMOVI:
+			in.Rs, in.Rt = 0, 0
+		case ACMPI:
+			in.Rd, in.Rt = 0, 0
+		default: // memory: rt/rs + signed imm14
+			in.Rd = 0
+			in.Imm = int32(imm) % 8192
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w)
+		return err == nil && out == in
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeEncodeIdempotent: any word that decodes must
+// re-encode to a word that decodes to the same instruction (the
+// canonical encoding may clear don't-care bits).
+func TestQuickDecodeEncodeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for i := 0; i < 200000; i++ {
+		w := rng.Uint32()
+		in, err := Decode(w)
+		if err != nil {
+			continue
+		}
+		checked++
+		w2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("decoded %v (from %#08x) does not encode: %v", in, w, err)
+		}
+		in2, err := Decode(w2)
+		if err != nil {
+			t.Fatalf("canonical word %#08x does not decode: %v", w2, err)
+		}
+		if in2 != in {
+			t.Fatalf("%#08x -> %v -> %#08x -> %v", w, in, w2, in2)
+		}
+	}
+	if checked < 1000 {
+		t.Errorf("only %d random words decoded; generator too narrow", checked)
+	}
+}

@@ -1,0 +1,451 @@
+package arm
+
+import (
+	"fmt"
+
+	"delinq/internal/isa"
+	"delinq/internal/isa/mips"
+	"delinq/internal/obj"
+)
+
+// LowerImage rewrites an assembled MIPS image into the ARM backend's
+// instruction set, producing a new image with ISA "arm". The rewrite
+// is image-level: every MIPS instruction becomes one or more ARM
+// instructions, branch and call targets are re-linked through an index
+// map, and function symbols are rescaled to their new extents.
+//
+// The interesting transformations, in the order the issue cares about
+// them:
+//
+//   - two-operand expansion: MIPS rd = rs OP rt becomes mov/OP pairs,
+//     with reverse-subtract covering the rd==rt case of subtraction
+//     and the ip scratch register covering shift-amount aliasing;
+//   - compare/branch splitting: register comparisons move into an
+//     explicit compare state (cmp; b<cond>, cmp; set<cond>);
+//   - no globals register: $gp-relative accesses materialise the
+//     absolute address (movw/movt), so what the pattern analysis saw
+//     as GP leaves on MIPS become constant-address dereferences here;
+//   - pre/post-index peephole: an address increment adjacent to a
+//     word load or store of the same base fuses into one writeback
+//     instruction, the addressing mode the pattern lattice must
+//     recognise as a recurrence without a separate add.
+func LowerImage(src *obj.Image) (*obj.Image, error) {
+	if src.ISAName() != "mips" {
+		return nil, fmt.Errorf("arm: cannot lower %q image", src.ISAName())
+	}
+	insts := make([]isa.Inst, len(src.Text))
+	for i, w := range src.Text {
+		in, err := mips.Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("arm: lower pc %#x: %w", obj.TextBase+uint32(i)*4, err)
+		}
+		insts[i] = in
+	}
+
+	l := &lowerer{src: src, insts: insts, newIdx: make([]int, len(insts))}
+	l.findLeaders()
+	if err := l.lowerAll(); err != nil {
+		return nil, err
+	}
+	if err := l.patchFixups(); err != nil {
+		return nil, err
+	}
+	return l.buildImage()
+}
+
+type fixup struct {
+	outIdx int // instruction in l.out whose Imm is a branch offset
+	tgtIdx int // MIPS instruction index it must reach
+}
+
+type lowerer struct {
+	src    *obj.Image
+	insts  []isa.Inst
+	leader map[int]bool
+	out    []isa.Inst
+	fixups []fixup
+	newIdx []int
+}
+
+// findLeaders collects every MIPS instruction index that control can
+// enter other than by fallthrough: the entry point, function starts,
+// and all branch and direct-jump targets. The peephole never fuses
+// across a leader — the fused pair must be reachable only as a unit.
+func (l *lowerer) findLeaders() {
+	l.leader = map[int]bool{}
+	mark := func(addr uint32) {
+		if addr >= obj.TextBase && addr < l.src.TextEnd() {
+			l.leader[int((addr-obj.TextBase)/4)] = true
+		}
+	}
+	mark(l.src.Entry)
+	for i := range l.src.Syms {
+		if l.src.Syms[i].Kind == obj.SymFunc {
+			mark(l.src.Syms[i].Addr)
+		}
+	}
+	for i, in := range l.insts {
+		pc := obj.TextBase + uint32(i)*4
+		if in.IsBranch() {
+			mark(in.BranchTarget(pc))
+		} else if t, ok := in.DirectJumpTarget(pc); ok {
+			mark(t)
+		}
+	}
+}
+
+func (l *lowerer) emit(in isa.Inst) { l.out = append(l.out, in) }
+
+// emitBranch emits a control transfer whose offset is patched once the
+// whole text is lowered.
+func (l *lowerer) emitBranch(op isa.Op, tgtIdx int) {
+	l.fixups = append(l.fixups, fixup{outIdx: len(l.out), tgtIdx: tgtIdx})
+	l.emit(isa.Inst{Op: op})
+}
+
+// matConst materialises a 32-bit constant into reg (movw low, movt high).
+func (l *lowerer) matConst(reg isa.Reg, v uint32) {
+	l.emit(isa.Inst{Op: isa.AMOVW, Rd: reg, Imm: int32(v & 0xffff)})
+	l.emit(isa.Inst{Op: isa.AMOVT, Rd: reg, Imm: int32(v >> 16)})
+}
+
+func (l *lowerer) lowerAll() error {
+	for i := 0; i < len(l.insts); i++ {
+		l.newIdx[i] = len(l.out)
+		if i+1 < len(l.insts) && !l.leader[i+1] {
+			if merged, ok := fusePair(l.insts[i], l.insts[i+1]); ok {
+				l.newIdx[i+1] = len(l.out)
+				l.emit(merged)
+				i++
+				continue
+			}
+		}
+		if err := l.lower(i, l.insts[i]); err != nil {
+			return fmt.Errorf("arm: lower pc %#x (%v): %w",
+				obj.TextBase+uint32(i)*4, l.insts[i], err)
+		}
+	}
+	return nil
+}
+
+// fusePair recognises the two pre/post-index shapes: an address
+// increment adjacent to a word load/store of the same base register.
+// The base must be a plain pointer register (not zero or $gp, whose
+// accesses lower through absolute addresses), the memory offset must
+// be zero, and the data register must differ from the base so the
+// writeback is unambiguous.
+func fusePair(a, b isa.Inst) (isa.Inst, bool) {
+	incr := func(in isa.Inst) (isa.Reg, int32, bool) {
+		if in.Op == isa.ADDIU && in.Rt == in.Rs && in.Imm != 0 &&
+			in.Rs != isa.Zero && in.Rs != isa.GP &&
+			in.Imm >= imm14Min && in.Imm <= imm14Max {
+			return in.Rs, in.Imm, true
+		}
+		return 0, 0, false
+	}
+	mem := func(in isa.Inst) (op isa.Op, ok bool) {
+		switch in.Op {
+		case isa.LW:
+			op = isa.ALDR
+		case isa.SW:
+			op = isa.ASTR
+		default:
+			return 0, false
+		}
+		if in.Imm != 0 || in.Rs == isa.Zero || in.Rs == isa.GP || in.Rt == in.Rs {
+			return 0, false
+		}
+		return op, true
+	}
+	// Pre-index: addiu base, base, imm ; lw/sw rt, 0(base).
+	if base, imm, ok := incr(a); ok {
+		if op, ok := mem(b); ok && b.Rs == base {
+			pre := isa.ALDRPRE
+			if op == isa.ASTR {
+				pre = isa.ASTRPRE
+			}
+			return isa.Inst{Op: pre, Rt: b.Rt, Rs: base, Imm: imm}, true
+		}
+	}
+	// Post-index: lw/sw rt, 0(base) ; addiu base, base, imm.
+	if op, ok := mem(a); ok {
+		if base, imm, ok := incr(b); ok && a.Rs == base {
+			post := isa.ALDRPOST
+			if op == isa.ASTR {
+				post = isa.ASTRPOST
+			}
+			return isa.Inst{Op: post, Rt: a.Rt, Rs: base, Imm: imm}, true
+		}
+	}
+	return isa.Inst{}, false
+}
+
+// binop lowers a three-operand rd = rs OP rt to the two-operand form.
+func (l *lowerer) binop(op isa.Op, commutative bool, rd, rs, rt isa.Reg) {
+	switch {
+	case rd == rs:
+		l.emit(isa.Inst{Op: op, Rd: rd, Rt: rt})
+	case rd == rt && commutative:
+		l.emit(isa.Inst{Op: op, Rd: rd, Rt: rs})
+	case rd == rt && op == isa.ASUB:
+		// rd = rs - rd is exactly reverse-subtract.
+		l.emit(isa.Inst{Op: isa.ARSB, Rd: rd, Rt: rs})
+	default:
+		l.emit(isa.Inst{Op: isa.AMOV, Rd: rd, Rs: rs})
+		l.emit(isa.Inst{Op: op, Rd: rd, Rt: rt})
+	}
+}
+
+// memOps maps MIPS memory operations to their ARM offset-form ops.
+var memOps = map[isa.Op]isa.Op{
+	isa.LB: isa.ALDRSB, isa.LBU: isa.ALDRB,
+	isa.LH: isa.ALDRSH, isa.LHU: isa.ALDRH,
+	isa.LW: isa.ALDR, isa.SB: isa.ASTRB, isa.SH: isa.ASTRH, isa.SW: isa.ASTR,
+	isa.LWC1: isa.AVLDR, isa.SWC1: isa.AVSTR,
+}
+
+func regsContain(rs []isa.Reg, r isa.Reg) bool {
+	for _, x := range rs {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *lowerer) lower(idx int, in isa.Inst) error {
+	pc := obj.TextBase + uint32(idx)*4
+	tgtOf := func(addr uint32) int { return int((addr - obj.TextBase) / 4) }
+
+	// Nothing may redefine the globals register: it does not exist on
+	// this backend, only its value does.
+	if regsContain(in.Defs(), isa.GP) {
+		return fmt.Errorf("instruction writes $gp")
+	}
+
+	// Generic $gp fallback: ops without a dedicated $gp lowering read
+	// it as a plain register, so materialise its constant value into
+	// the same index (ip) first.
+	switch in.Op {
+	case isa.ADDI, isa.ADDIU, isa.LB, isa.LH, isa.LW, isa.LBU, isa.LHU,
+		isa.SB, isa.SH, isa.SW, isa.LWC1, isa.SWC1:
+		// Handled with dedicated address materialisation below.
+	default:
+		if regsContain(in.Uses(), isa.GP) {
+			l.matConst(ip, l.src.GPValue)
+		}
+	}
+
+	switch in.Op {
+	case isa.NOP:
+		l.emit(isa.Inst{Op: isa.NOP})
+
+	case isa.SLL, isa.SRL, isa.SRA:
+		op := map[isa.Op]isa.Op{isa.SLL: isa.ALSLI, isa.SRL: isa.ALSRI, isa.SRA: isa.AASRI}[in.Op]
+		if in.Rd != in.Rt {
+			l.emit(isa.Inst{Op: isa.AMOV, Rd: in.Rd, Rs: in.Rt})
+		}
+		l.emit(isa.Inst{Op: op, Rd: in.Rd, Imm: in.Imm})
+
+	case isa.SLLV, isa.SRLV, isa.SRAV:
+		op := map[isa.Op]isa.Op{isa.SLLV: isa.ALSL, isa.SRLV: isa.ALSR, isa.SRAV: isa.AASR}[in.Op]
+		amount := in.Rs
+		if in.Rs == in.Rd {
+			l.emit(isa.Inst{Op: isa.AMOV, Rd: ip, Rs: in.Rs})
+			amount = ip
+		}
+		if in.Rd != in.Rt {
+			l.emit(isa.Inst{Op: isa.AMOV, Rd: in.Rd, Rs: in.Rt})
+		}
+		l.emit(isa.Inst{Op: op, Rd: in.Rd, Rt: amount})
+
+	case isa.ADD, isa.ADDU:
+		switch {
+		case in.Rt == isa.Zero:
+			l.emit(isa.Inst{Op: isa.AMOV, Rd: in.Rd, Rs: in.Rs})
+		case in.Rs == isa.Zero:
+			l.emit(isa.Inst{Op: isa.AMOV, Rd: in.Rd, Rs: in.Rt})
+		default:
+			l.binop(isa.AADD, true, in.Rd, in.Rs, in.Rt)
+		}
+	case isa.SUB, isa.SUBU:
+		if in.Rt == isa.Zero {
+			l.emit(isa.Inst{Op: isa.AMOV, Rd: in.Rd, Rs: in.Rs})
+		} else {
+			l.binop(isa.ASUB, false, in.Rd, in.Rs, in.Rt)
+		}
+	case isa.MUL:
+		l.binop(isa.AMUL, true, in.Rd, in.Rs, in.Rt)
+	case isa.AND:
+		l.binop(isa.AAND, true, in.Rd, in.Rs, in.Rt)
+	case isa.OR:
+		l.binop(isa.AORR, true, in.Rd, in.Rs, in.Rt)
+	case isa.XOR:
+		l.binop(isa.AEOR, true, in.Rd, in.Rs, in.Rt)
+	case isa.NOR:
+		l.binop(isa.AORR, true, in.Rd, in.Rs, in.Rt)
+		l.emit(isa.Inst{Op: isa.AMVN, Rd: in.Rd, Rs: in.Rd})
+
+	case isa.SLT:
+		l.emit(isa.Inst{Op: isa.ACMP, Rs: in.Rs, Rt: in.Rt})
+		l.emit(isa.Inst{Op: isa.ASETLT, Rd: in.Rd})
+	case isa.SLTU:
+		l.emit(isa.Inst{Op: isa.ACMP, Rs: in.Rs, Rt: in.Rt})
+		l.emit(isa.Inst{Op: isa.ASETLO, Rd: in.Rd})
+	case isa.SLTI:
+		l.emit(isa.Inst{Op: isa.ACMPI, Rs: in.Rs, Imm: in.Imm})
+		l.emit(isa.Inst{Op: isa.ASETLT, Rd: in.Rt})
+	case isa.SLTIU:
+		l.emit(isa.Inst{Op: isa.ACMPI, Rs: in.Rs, Imm: in.Imm})
+		l.emit(isa.Inst{Op: isa.ASETLO, Rd: in.Rt})
+
+	case isa.MULT, isa.DIV, isa.DIVU, isa.MFHI, isa.MFLO:
+		l.emit(in)
+
+	case isa.JR:
+		l.emit(isa.Inst{Op: isa.ABX, Rs: in.Rs})
+	case isa.JALR:
+		l.emit(isa.Inst{Op: isa.ABLX, Rd: in.Rd, Rs: in.Rs})
+	case isa.J:
+		l.emitBranch(isa.AB, tgtOf(in.JumpTarget(pc)))
+	case isa.JAL:
+		l.emitBranch(isa.ABL, tgtOf(in.JumpTarget(pc)))
+
+	case isa.BEQ:
+		l.emit(isa.Inst{Op: isa.ACMP, Rs: in.Rs, Rt: in.Rt})
+		l.emitBranch(isa.ABEQ, tgtOf(in.BranchTarget(pc)))
+	case isa.BNE:
+		l.emit(isa.Inst{Op: isa.ACMP, Rs: in.Rs, Rt: in.Rt})
+		l.emitBranch(isa.ABNE, tgtOf(in.BranchTarget(pc)))
+	case isa.BLEZ, isa.BGTZ, isa.BLTZ, isa.BGEZ:
+		op := map[isa.Op]isa.Op{
+			isa.BLEZ: isa.ABLE, isa.BGTZ: isa.ABGT,
+			isa.BLTZ: isa.ABLT, isa.BGEZ: isa.ABGE,
+		}[in.Op]
+		l.emit(isa.Inst{Op: isa.ACMPI, Rs: in.Rs, Imm: 0})
+		l.emitBranch(op, tgtOf(in.BranchTarget(pc)))
+	case isa.BC1T, isa.BC1F:
+		l.emitBranch(in.Op, tgtOf(in.BranchTarget(pc)))
+
+	case isa.SYSCALL:
+		l.emit(isa.Inst{Op: isa.ASVC})
+
+	case isa.ADDI, isa.ADDIU:
+		switch {
+		case in.Rs == isa.GP:
+			l.matConst(in.Rt, l.src.GPValue+uint32(in.Imm))
+		case in.Rs == isa.Zero:
+			l.emit(isa.Inst{Op: isa.AMOVI, Rd: in.Rt, Imm: in.Imm})
+		case in.Rt == in.Rs:
+			l.emit(isa.Inst{Op: isa.AADDI, Rd: in.Rt, Imm: in.Imm})
+		default:
+			l.emit(isa.Inst{Op: isa.AMOV, Rd: in.Rt, Rs: in.Rs})
+			if in.Imm != 0 {
+				l.emit(isa.Inst{Op: isa.AADDI, Rd: in.Rt, Imm: in.Imm})
+			}
+		}
+
+	case isa.ANDI, isa.ORI, isa.XORI:
+		op := map[isa.Op]isa.Op{isa.ANDI: isa.AANDI, isa.ORI: isa.AORRI, isa.XORI: isa.AEORI}[in.Op]
+		if in.Op == isa.ORI && in.Rs == isa.Zero {
+			l.emit(isa.Inst{Op: isa.AMOVW, Rd: in.Rt, Imm: in.Imm})
+			break
+		}
+		if in.Rt != in.Rs {
+			l.emit(isa.Inst{Op: isa.AMOV, Rd: in.Rt, Rs: in.Rs})
+		}
+		l.emit(isa.Inst{Op: op, Rd: in.Rt, Imm: in.Imm})
+
+	case isa.LUI:
+		l.emit(isa.Inst{Op: isa.AMOVW, Rd: in.Rt, Imm: 0})
+		l.emit(isa.Inst{Op: isa.AMOVT, Rd: in.Rt, Imm: in.Imm & 0xffff})
+
+	case isa.LB, isa.LH, isa.LW, isa.LBU, isa.LHU,
+		isa.SB, isa.SH, isa.SW, isa.LWC1, isa.SWC1:
+		op := memOps[in.Op]
+		switch {
+		case in.Rs == isa.GP:
+			// Absolute small-data access: the address is a link-time
+			// constant, so materialise it and use a zero offset. The
+			// pattern analysis sees Deref(Const) — no GP leaf exists.
+			l.matConst(ip, l.src.GPValue+uint32(in.Imm))
+			l.emit(isa.Inst{Op: op, Rt: in.Rt, Rs: ip})
+		case in.Imm >= imm14Min && in.Imm <= imm14Max:
+			l.emit(isa.Inst{Op: op, Rt: in.Rt, Rs: in.Rs, Imm: in.Imm})
+		default:
+			l.emit(isa.Inst{Op: isa.AMOV, Rd: ip, Rs: in.Rs})
+			l.emit(isa.Inst{Op: isa.AADDI, Rd: ip, Imm: in.Imm})
+			l.emit(isa.Inst{Op: op, Rt: in.Rt, Rs: ip})
+		}
+
+	case isa.MFC1, isa.MTC1, isa.ADDS, isa.SUBS, isa.MULS, isa.DIVS,
+		isa.MOVS, isa.NEGS, isa.CVTSW, isa.CVTWS, isa.CEQS, isa.CLTS, isa.CLES:
+		l.emit(in)
+
+	default:
+		return fmt.Errorf("no lowering")
+	}
+	return nil
+}
+
+// patchFixups resolves branch offsets now that every MIPS index has an
+// ARM index.
+func (l *lowerer) patchFixups() error {
+	end := len(l.out)
+	for _, f := range l.fixups {
+		if f.tgtIdx < 0 || f.tgtIdx > len(l.insts) {
+			return fmt.Errorf("arm: branch target index %d outside text", f.tgtIdx)
+		}
+		tgt := end
+		if f.tgtIdx < len(l.insts) {
+			tgt = l.newIdx[f.tgtIdx]
+		}
+		l.out[f.outIdx].Imm = int32(tgt - (f.outIdx + 1))
+	}
+	return nil
+}
+
+// buildImage encodes the lowered text and rescales the symbol table.
+func (l *lowerer) buildImage() (*obj.Image, error) {
+	dst := &obj.Image{
+		ISA:     "arm",
+		Data:    l.src.Data,
+		BSS:     l.src.BSS,
+		GPValue: l.src.GPValue,
+		Structs: l.src.Structs,
+	}
+	mapAddr := func(addr uint32) uint32 {
+		idx := int((addr - obj.TextBase) / 4)
+		if idx >= len(l.insts) {
+			return obj.TextBase + uint32(len(l.out))*4
+		}
+		return obj.TextBase + uint32(l.newIdx[idx])*4
+	}
+	dst.Entry = mapAddr(l.src.Entry)
+	dst.Text = make([]uint32, len(l.out))
+	for i, in := range l.out {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("arm: encode %v: %w", in, err)
+		}
+		dst.Text[i] = w
+	}
+	for _, s := range l.src.Syms {
+		if s.Kind == obj.SymFunc {
+			start := mapAddr(s.Addr)
+			s.Size = mapAddr(s.Addr+s.Size) - start
+			s.Addr = start
+		}
+		dst.Syms = append(dst.Syms, s)
+	}
+	if l.src.SrcNames != nil {
+		dst.SrcNames = make(map[uint32]string, len(l.src.SrcNames))
+		for addr, name := range l.src.SrcNames {
+			if addr >= obj.TextBase && addr < l.src.TextEnd() {
+				addr = mapAddr(addr)
+			}
+			dst.SrcNames[addr] = name
+		}
+	}
+	return dst, nil
+}

@@ -168,6 +168,71 @@ const (
 	BC1T  // branch if cc set
 	BC1F  // branch if cc clear
 
+	// ARM-like backend operations. The ARM backend is two-operand: the
+	// destination of a binary ALU op is also its left operand, compares
+	// go through an explicit compare state rather than result registers,
+	// and word loads/stores come in pre/post-indexed forms that write
+	// the updated address back to the base register. Shared indices:
+	// Rd is the destination (and left source) of ALU ops, Rt the right
+	// source; memory ops keep the MIPS field convention (Rt data,
+	// Rs base, Imm offset).
+
+	AMOV  // rd = rs
+	AMVN  // rd = ^rs
+	AADD  // rd = rd + rt
+	ASUB  // rd = rd - rt
+	ARSB  // rd = rt - rd (reverse subtract)
+	AMUL  // rd = rd * rt
+	AAND  // rd = rd & rt
+	AORR  // rd = rd | rt
+	AEOR  // rd = rd ^ rt
+	ALSL  // rd = rd << (rt & 31)
+	ALSR  // rd = rd >> (rt & 31) (logical)
+	AASR  // rd = rd >> (rt & 31) (arithmetic)
+	AADDI // rd = rd + imm (sign-extended)
+	AANDI // rd = rd & uimm16
+	AORRI // rd = rd | uimm16
+	AEORI // rd = rd ^ uimm16
+	ALSLI // rd = rd << imm
+	ALSRI // rd = rd >> imm (logical)
+	AASRI // rd = rd >> imm (arithmetic)
+	AMOVI // rd = imm (sign-extended)
+	AMOVW // rd = uimm16 (zero-extended)
+	AMOVT // rd = imm<<16 | rd&0xffff
+	ACMP  // compare state = (rs, rt)
+	ACMPI // compare state = (rs, imm)
+
+	ASETLT // rd = 1 if last compare was signed-less, else 0
+	ASETLO // rd = 1 if last compare was unsigned-less, else 0
+
+	ABEQ // branch if last compare was equal
+	ABNE // branch if last compare was not equal
+	ABLT // branch if signed-less
+	ABGE // branch if signed-greater-or-equal
+	ABGT // branch if signed-greater
+	ABLE // branch if signed-less-or-equal
+	AB   // pc-relative unconditional branch
+	ABL  // call: lr = pc+4, pc-relative branch
+	ABX  // pc = rs (return when rs is lr)
+	ABLX // rd = pc+4; pc = rs (indirect call)
+	ASVC // system call; service number in r2
+
+	// ARM memory access. Rt is the data register, Rs the base.
+	ALDR     // load word
+	ALDRH    // load half, zero-extend
+	ALDRSH   // load half, sign-extend
+	ALDRB    // load byte, zero-extend
+	ALDRSB   // load byte, sign-extend
+	ASTR     // store word
+	ASTRH    // store half
+	ASTRB    // store byte
+	ALDRPRE  // rs += imm; rt = mem32[rs] (pre-indexed, writeback)
+	ALDRPOST // rt = mem32[rs]; rs += imm (post-indexed, writeback)
+	ASTRPRE  // rs += imm; mem32[rs] = rt
+	ASTRPOST // mem32[rs] = rt; rs += imm
+	AVLDR    // load word to FP reg; Rt = FP dest, Rs = integer base
+	AVSTR    // store word from FP reg
+
 	numOps // sentinel
 )
 
@@ -187,7 +252,49 @@ var opNames = [numOps]string{
 	ADDS: "add.s", SUBS: "sub.s", MULS: "mul.s", DIVS: "div.s",
 	MOVS: "mov.s", NEGS: "neg.s", CVTSW: "cvt.s.w", CVTWS: "cvt.w.s",
 	CEQS: "c.eq.s", CLTS: "c.lt.s", CLES: "c.le.s", BC1T: "bc1t", BC1F: "bc1f",
+
+	// ARM ops are namespaced "arm." in the mnemonic table so OpByName
+	// stays unambiguous where the two ISAs share a spelling (add, sub,
+	// mul, beq, ...). String() strips the prefix when rendering.
+	AMOV: "arm.mov", AMVN: "arm.mvn",
+	AADD: "arm.add", ASUB: "arm.sub", ARSB: "arm.rsb", AMUL: "arm.mul",
+	AAND: "arm.and", AORR: "arm.orr", AEOR: "arm.eor",
+	ALSL: "arm.lsl", ALSR: "arm.lsr", AASR: "arm.asr",
+	AADDI: "arm.addi", AANDI: "arm.andi", AORRI: "arm.orri", AEORI: "arm.eori",
+	ALSLI: "arm.lsli", ALSRI: "arm.lsri", AASRI: "arm.asri",
+	AMOVI: "arm.movi", AMOVW: "arm.movw", AMOVT: "arm.movt",
+	ACMP: "arm.cmp", ACMPI: "arm.cmpi", ASETLT: "arm.setlt", ASETLO: "arm.setlo",
+	ABEQ: "arm.beq", ABNE: "arm.bne", ABLT: "arm.blt", ABGE: "arm.bge",
+	ABGT: "arm.bgt", ABLE: "arm.ble",
+	AB: "arm.b", ABL: "arm.bl", ABX: "arm.bx", ABLX: "arm.blx", ASVC: "arm.svc",
+	ALDR: "arm.ldr", ALDRH: "arm.ldrh", ALDRSH: "arm.ldrsh",
+	ALDRB: "arm.ldrb", ALDRSB: "arm.ldrsb",
+	ASTR: "arm.str", ASTRH: "arm.strh", ASTRB: "arm.strb",
+	ALDRPRE: "arm.ldr.pre", ALDRPOST: "arm.ldr.post",
+	ASTRPRE: "arm.str.pre", ASTRPOST: "arm.str.post",
+	AVLDR: "arm.vldr", AVSTR: "arm.vstr",
 }
+
+// armRegNames spells the ARM backend's integer registers: plain rN for
+// the allocatable file, with role names for the hardwired zero, the
+// scratch/intra-procedure register, and the stack/frame/link trio.
+var armRegNames = [32]string{
+	"zr", "r1", "r2", "r3", "r4", "r5", "r6", "r7",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+	"r16", "r17", "r18", "r19", "r20", "r21", "r22", "r23",
+	"r24", "r25", "r26", "r27", "ip", "sp", "fp", "lr",
+}
+
+// ARMRegName returns the ARM backend's spelling of an integer register.
+func ARMRegName(r Reg) string {
+	if int(r) < len(armRegNames) {
+		return armRegNames[r]
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// ARMFRegName returns the ARM backend's spelling of an FP register.
+func ARMFRegName(r Reg) string { return fmt.Sprintf("s%d", r) }
 
 // Name returns the assembly mnemonic of op.
 func (op Op) Name() string {
@@ -230,7 +337,8 @@ type Inst struct {
 // IsLoad reports whether the instruction reads data memory.
 func (i Inst) IsLoad() bool {
 	switch i.Op {
-	case LB, LH, LW, LBU, LHU, LWC1:
+	case LB, LH, LW, LBU, LHU, LWC1,
+		ALDR, ALDRH, ALDRSH, ALDRB, ALDRSB, ALDRPRE, ALDRPOST, AVLDR:
 		return true
 	}
 	return false
@@ -239,7 +347,7 @@ func (i Inst) IsLoad() bool {
 // IsStore reports whether the instruction writes data memory.
 func (i Inst) IsStore() bool {
 	switch i.Op {
-	case SB, SH, SW, SWC1:
+	case SB, SH, SW, SWC1, ASTR, ASTRH, ASTRB, ASTRPRE, ASTRPOST, AVSTR:
 		return true
 	}
 	return false
@@ -248,44 +356,87 @@ func (i Inst) IsStore() bool {
 // MemBytes returns the access width of a load or store, or 0.
 func (i Inst) MemBytes() int {
 	switch i.Op {
-	case LB, LBU, SB:
+	case LB, LBU, SB, ALDRB, ALDRSB, ASTRB:
 		return 1
-	case LH, LHU, SH:
+	case LH, LHU, SH, ALDRH, ALDRSH, ASTRH:
 		return 2
-	case LW, SW, LWC1, SWC1:
+	case LW, SW, LWC1, SWC1,
+		ALDR, ASTR, ALDRPRE, ALDRPOST, ASTRPRE, ASTRPOST, AVLDR, AVSTR:
 		return 4
 	}
 	return 0
 }
 
+// IsFPMem reports whether a load or store moves an FP register
+// (the data register names the FP file, not the integer file).
+func (i Inst) IsFPMem() bool {
+	switch i.Op {
+	case LWC1, SWC1, AVLDR, AVSTR:
+		return true
+	}
+	return false
+}
+
+// MemOffset returns the offset the effective address of a load or
+// store adds to its base register: Imm for offset and pre-indexed
+// addressing, 0 for post-indexed (the base is used unmodified and the
+// increment happens after the access).
+func (i Inst) MemOffset() int32 {
+	switch i.Op {
+	case ALDRPOST, ASTRPOST:
+		return 0
+	}
+	return i.Imm
+}
+
+// WritesBack reports whether a load or store writes the updated
+// effective address back to its base register.
+func (i Inst) WritesBack() bool {
+	switch i.Op {
+	case ALDRPRE, ALDRPOST, ASTRPRE, ASTRPOST:
+		return true
+	}
+	return false
+}
+
 // IsBranch reports whether the instruction is a conditional branch.
 func (i Inst) IsBranch() bool {
 	switch i.Op {
-	case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ, BC1T, BC1F:
+	case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ, BC1T, BC1F,
+		ABEQ, ABNE, ABLT, ABGE, ABGT, ABLE:
 		return true
 	}
 	return false
 }
 
 // IsJump reports whether the instruction is an unconditional control
-// transfer (J, JR, JAL, JALR).
+// transfer (J, JR, JAL, JALR and the ARM B/BL/BX/BLX family).
 func (i Inst) IsJump() bool {
 	switch i.Op {
-	case J, JR, JAL, JALR:
+	case J, JR, JAL, JALR, AB, ABL, ABX, ABLX:
 		return true
 	}
 	return false
 }
 
 // IsCall reports whether the instruction is a function call.
-func (i Inst) IsCall() bool { return i.Op == JAL || i.Op == JALR }
+func (i Inst) IsCall() bool {
+	switch i.Op {
+	case JAL, JALR, ABL, ABLX:
+		return true
+	}
+	return false
+}
 
 // IsReturn reports whether the instruction is the conventional function
-// return (jr $ra).
-func (i Inst) IsReturn() bool { return i.Op == JR && i.Rs == RA }
+// return (jr $ra on MIPS, bx lr on ARM; both use register 31).
+func (i Inst) IsReturn() bool { return (i.Op == JR || i.Op == ABX) && i.Rs == RA }
+
+// IsSyscall reports whether the instruction traps to a system service.
+func (i Inst) IsSyscall() bool { return i.Op == SYSCALL || i.Op == ASVC }
 
 // EndsBlock reports whether the instruction terminates a basic block.
-func (i Inst) EndsBlock() bool { return i.IsBranch() || i.IsJump() || i.Op == SYSCALL }
+func (i Inst) EndsBlock() bool { return i.IsBranch() || i.IsJump() || i.IsSyscall() }
 
 // BranchTarget returns the target address of a branch at address pc.
 func (i Inst) BranchTarget(pc uint32) uint32 {
@@ -295,6 +446,20 @@ func (i Inst) BranchTarget(pc uint32) uint32 {
 // JumpTarget returns the absolute target of a J or JAL at address pc.
 func (i Inst) JumpTarget(pc uint32) uint32 {
 	return (pc+4)&0xF0000000 | uint32(i.Imm)<<2
+}
+
+// DirectJumpTarget returns the statically-known target of a direct
+// unconditional transfer at address pc: J/JAL use the absolute 26-bit
+// index encoding, AB/ABL the pc-relative branch encoding. The second
+// result is false for indirect jumps and non-jumps.
+func (i Inst) DirectJumpTarget(pc uint32) (uint32, bool) {
+	switch i.Op {
+	case J, JAL:
+		return i.JumpTarget(pc), true
+	case AB, ABL:
+		return i.BranchTarget(pc), true
+	}
+	return 0, false
 }
 
 // Defs returns the integer registers written by the instruction.
@@ -313,6 +478,20 @@ func (i Inst) Defs() []Reg {
 	case JAL:
 		return []Reg{RA}
 	case JALR:
+		return []Reg{i.Rd}
+	case AMOV, AMVN, AADD, ASUB, ARSB, AMUL, AAND, AORR, AEOR,
+		ALSL, ALSR, AASR, AADDI, AANDI, AORRI, AEORI, ALSLI, ALSRI, AASRI,
+		AMOVI, AMOVW, AMOVT, ASETLT, ASETLO:
+		return []Reg{i.Rd}
+	case ALDR, ALDRH, ALDRSH, ALDRB, ALDRSB:
+		return []Reg{i.Rt}
+	case ALDRPRE, ALDRPOST:
+		return []Reg{i.Rt, i.Rs}
+	case ASTRPRE, ASTRPOST:
+		return []Reg{i.Rs}
+	case ABL:
+		return []Reg{RA}
+	case ABLX:
 		return []Reg{i.Rd}
 	}
 	return nil
@@ -342,6 +521,24 @@ func (i Inst) Uses() []Reg {
 		return []Reg{i.Rs}
 	case MTC1:
 		return []Reg{i.Rt}
+	case AMOV, AMVN:
+		return []Reg{i.Rs}
+	case AADD, ASUB, ARSB, AMUL, AAND, AORR, AEOR, ALSL, ALSR, AASR:
+		return []Reg{i.Rd, i.Rt}
+	case AADDI, AANDI, AORRI, AEORI, ALSLI, ALSRI, AASRI, AMOVT:
+		return []Reg{i.Rd}
+	case ACMP:
+		return []Reg{i.Rs, i.Rt}
+	case ACMPI:
+		return []Reg{i.Rs}
+	case ALDR, ALDRH, ALDRSH, ALDRB, ALDRSB, ALDRPRE, ALDRPOST, AVLDR:
+		return []Reg{i.Rs}
+	case ASTR, ASTRH, ASTRB, ASTRPRE, ASTRPOST:
+		return []Reg{i.Rs, i.Rt}
+	case AVSTR:
+		return []Reg{i.Rs}
+	case ABX, ABLX:
+		return []Reg{i.Rs}
 	}
 	return nil
 }
@@ -391,6 +588,42 @@ func (i Inst) String() string {
 		return fmt.Sprintf("%s %s, %s", i.Op.Name(), FRegName(i.Rd), FRegName(i.Rs))
 	case CEQS, CLTS, CLES:
 		return fmt.Sprintf("%s %s, %s", i.Op.Name(), FRegName(i.Rs), FRegName(i.Rt))
+	case AMOV, AMVN:
+		return fmt.Sprintf("%s %s, %s", armMnemonic(i.Op), ARMRegName(i.Rd), ARMRegName(i.Rs))
+	case AADD, ASUB, ARSB, AMUL, AAND, AORR, AEOR, ALSL, ALSR, AASR:
+		return fmt.Sprintf("%s %s, %s", armMnemonic(i.Op), ARMRegName(i.Rd), ARMRegName(i.Rt))
+	case AADDI, AANDI, AORRI, AEORI, ALSLI, ALSRI, AASRI:
+		// Immediate forms render under the base mnemonic, ARM-style.
+		return fmt.Sprintf("%s %s, #%d", armMnemonic(i.Op)[:3], ARMRegName(i.Rd), i.Imm)
+	case AMOVI, AMOVW, AMOVT:
+		return fmt.Sprintf("%s %s, #%d", armMnemonic(i.Op), ARMRegName(i.Rd), i.Imm)
+	case ACMP:
+		return fmt.Sprintf("cmp %s, %s", ARMRegName(i.Rs), ARMRegName(i.Rt))
+	case ACMPI:
+		return fmt.Sprintf("cmp %s, #%d", ARMRegName(i.Rs), i.Imm)
+	case ASETLT, ASETLO:
+		return fmt.Sprintf("%s %s", armMnemonic(i.Op), ARMRegName(i.Rd))
+	case ABEQ, ABNE, ABLT, ABGE, ABGT, ABLE, AB:
+		return fmt.Sprintf("%s %d", armMnemonic(i.Op), i.Imm)
+	case ABL:
+		return fmt.Sprintf("bl %d", i.Imm)
+	case ABX:
+		return fmt.Sprintf("bx %s", ARMRegName(i.Rs))
+	case ABLX:
+		return fmt.Sprintf("blx %s, %s", ARMRegName(i.Rd), ARMRegName(i.Rs))
+	case ASVC:
+		return "svc"
+	case ALDR, ALDRH, ALDRSH, ALDRB, ALDRSB, ASTR, ASTRH, ASTRB:
+		return fmt.Sprintf("%s %s, [%s, #%d]", armMnemonic(i.Op), ARMRegName(i.Rt), ARMRegName(i.Rs), i.Imm)
+	case ALDRPRE, ASTRPRE:
+		return fmt.Sprintf("%s %s, [%s, #%d]!", armMnemonic(i.Op)[:3], ARMRegName(i.Rt), ARMRegName(i.Rs), i.Imm)
+	case ALDRPOST, ASTRPOST:
+		return fmt.Sprintf("%s %s, [%s], #%d", armMnemonic(i.Op)[:3], ARMRegName(i.Rt), ARMRegName(i.Rs), i.Imm)
+	case AVLDR, AVSTR:
+		return fmt.Sprintf("%s %s, [%s, #%d]", armMnemonic(i.Op), ARMFRegName(i.Rt), ARMRegName(i.Rs), i.Imm)
 	}
 	return i.Op.Name()
 }
+
+// armMnemonic strips the "arm." namespace off an ARM op's table name.
+func armMnemonic(op Op) string { return opNames[op][len("arm."):] }

@@ -1,0 +1,294 @@
+package mips
+
+import (
+	"fmt"
+
+	"delinq/internal/isa"
+)
+
+// Binary instruction formats follow MIPS I conventions:
+//
+//	R-type:  op(6) rs(5) rt(5) rd(5) shamt(5) funct(6)
+//	I-type:  op(6) rs(5) rt(5) imm(16)
+//	isa.J-type:  op(6) index(26)
+//	COP1:    op=0x11, sub-format in the rs field or fmt field
+//
+// isa.MUL uses the MIPS32 SPECIAL2 encoding (op=0x1c funct=0x02).
+
+const (
+	opSpecial  = 0x00
+	opRegimm   = 0x01
+	opJ        = 0x02
+	opJal      = 0x03
+	opBeq      = 0x04
+	opBne      = 0x05
+	opBlez     = 0x06
+	opBgtz     = 0x07
+	opAddi     = 0x08
+	opAddiu    = 0x09
+	opSlti     = 0x0a
+	opSltiu    = 0x0b
+	opAndi     = 0x0c
+	opOri      = 0x0d
+	opXori     = 0x0e
+	opLui      = 0x0f
+	opCop1     = 0x11
+	opSpecial2 = 0x1c
+	opLb       = 0x20
+	opLh       = 0x21
+	opLw       = 0x23
+	opLbu      = 0x24
+	opLhu      = 0x25
+	opSb       = 0x28
+	opSh       = 0x29
+	opSw       = 0x2b
+	opLwc1     = 0x31
+	opSwc1     = 0x39
+)
+
+const (
+	fnSll     = 0x00
+	fnSrl     = 0x02
+	fnSra     = 0x03
+	fnSllv    = 0x04
+	fnSrlv    = 0x06
+	fnSrav    = 0x07
+	fnJr      = 0x08
+	fnJalr    = 0x09
+	fnSyscall = 0x0c
+	fnMfhi    = 0x10
+	fnMflo    = 0x12
+	fnMult    = 0x18
+	fnDiv     = 0x1a
+	fnDivu    = 0x1b
+	fnAdd     = 0x20
+	fnAddu    = 0x21
+	fnSub     = 0x22
+	fnSubu    = 0x23
+	fnAnd     = 0x24
+	fnOr      = 0x25
+	fnXor     = 0x26
+	fnNor     = 0x27
+	fnSlt     = 0x2a
+	fnSltu    = 0x2b
+)
+
+// COP1 fmt and function codes.
+const (
+	c1Mfc1 = 0x00
+	c1Mtc1 = 0x04
+	c1Bc   = 0x08
+	c1FmtS = 0x10
+	c1FmtW = 0x14
+
+	fpAdd   = 0x00
+	fpSub   = 0x01
+	fpMul   = 0x02
+	fpDiv   = 0x03
+	fpMov   = 0x06
+	fpNeg   = 0x07
+	fpCvtS  = 0x20 // cvt.s.w under fmt W
+	fpCvtW  = 0x24 // cvt.w.s under fmt S
+	fpCmpEq = 0x32
+	fpCmpLt = 0x3c
+	fpCmpLe = 0x3e
+)
+
+var rFunct = map[isa.Op]uint32{
+	isa.SLL: fnSll, isa.SRL: fnSrl, isa.SRA: fnSra, isa.SLLV: fnSllv, isa.SRLV: fnSrlv, isa.SRAV: fnSrav,
+	isa.JR: fnJr, isa.JALR: fnJalr, isa.SYSCALL: fnSyscall,
+	isa.MFHI: fnMfhi, isa.MFLO: fnMflo, isa.MULT: fnMult, isa.DIV: fnDiv, isa.DIVU: fnDivu,
+	isa.ADD: fnAdd, isa.ADDU: fnAddu, isa.SUB: fnSub, isa.SUBU: fnSubu,
+	isa.AND: fnAnd, isa.OR: fnOr, isa.XOR: fnXor, isa.NOR: fnNor, isa.SLT: fnSlt, isa.SLTU: fnSltu,
+}
+
+var functR = func() map[uint32]isa.Op {
+	m := make(map[uint32]isa.Op, len(rFunct))
+	for op, fn := range rFunct {
+		m[fn] = op
+	}
+	return m
+}()
+
+var iOpcode = map[isa.Op]uint32{
+	isa.BEQ: opBeq, isa.BNE: opBne, isa.BLEZ: opBlez, isa.BGTZ: opBgtz,
+	isa.ADDI: opAddi, isa.ADDIU: opAddiu, isa.SLTI: opSlti, isa.SLTIU: opSltiu,
+	isa.ANDI: opAndi, isa.ORI: opOri, isa.XORI: opXori, isa.LUI: opLui,
+	isa.LB: opLb, isa.LH: opLh, isa.LW: opLw, isa.LBU: opLbu, isa.LHU: opLhu,
+	isa.SB: opSb, isa.SH: opSh, isa.SW: opSw, isa.LWC1: opLwc1, isa.SWC1: opSwc1,
+}
+
+var opcodeI = func() map[uint32]isa.Op {
+	m := make(map[uint32]isa.Op, len(iOpcode))
+	for op, code := range iOpcode {
+		m[code] = op
+	}
+	return m
+}()
+
+var fpFunct = map[isa.Op]uint32{
+	isa.ADDS: fpAdd, isa.SUBS: fpSub, isa.MULS: fpMul, isa.DIVS: fpDiv,
+	isa.MOVS: fpMov, isa.NEGS: fpNeg, isa.CVTWS: fpCvtW,
+	isa.CEQS: fpCmpEq, isa.CLTS: fpCmpLt, isa.CLES: fpCmpLe,
+}
+
+var functFP = func() map[uint32]isa.Op {
+	m := make(map[uint32]isa.Op, len(fpFunct))
+	for op, fn := range fpFunct {
+		m[fn] = op
+	}
+	return m
+}()
+
+func imm16(v int32) uint32 { return uint32(v) & 0xffff }
+
+// Encode converts an instruction to its 32-bit machine word.
+func Encode(i isa.Inst) (uint32, error) {
+	rd, rs, rt := uint32(i.Rd), uint32(i.Rs), uint32(i.Rt)
+	switch i.Op {
+	case isa.NOP:
+		return 0, nil
+	case isa.SLL, isa.SRL, isa.SRA:
+		return rt<<16 | rd<<11 | (uint32(i.Imm)&0x1f)<<6 | rFunct[i.Op], nil
+	case isa.SLLV, isa.SRLV, isa.SRAV, isa.ADD, isa.ADDU, isa.SUB, isa.SUBU, isa.AND, isa.OR, isa.XOR, isa.NOR, isa.SLT, isa.SLTU:
+		return rs<<21 | rt<<16 | rd<<11 | rFunct[i.Op], nil
+	case isa.MULT, isa.DIV, isa.DIVU:
+		return rs<<21 | rt<<16 | rFunct[i.Op], nil
+	case isa.MFHI, isa.MFLO:
+		return rd<<11 | rFunct[i.Op], nil
+	case isa.JR:
+		return rs<<21 | fnJr, nil
+	case isa.JALR:
+		return rs<<21 | rd<<11 | fnJalr, nil
+	case isa.SYSCALL:
+		return fnSyscall, nil
+	case isa.MUL:
+		return uint32(opSpecial2)<<26 | rs<<21 | rt<<16 | rd<<11 | 0x02, nil
+	case isa.J, isa.JAL:
+		code := uint32(opJ)
+		if i.Op == isa.JAL {
+			code = opJal
+		}
+		return code<<26 | uint32(i.Imm)&0x03ffffff, nil
+	case isa.BEQ, isa.BNE:
+		return iOpcode[i.Op]<<26 | rs<<21 | rt<<16 | imm16(i.Imm), nil
+	case isa.BLEZ, isa.BGTZ:
+		return iOpcode[i.Op]<<26 | rs<<21 | imm16(i.Imm), nil
+	case isa.BLTZ:
+		return uint32(opRegimm)<<26 | rs<<21 | 0<<16 | imm16(i.Imm), nil
+	case isa.BGEZ:
+		return uint32(opRegimm)<<26 | rs<<21 | 1<<16 | imm16(i.Imm), nil
+	case isa.ADDI, isa.ADDIU, isa.SLTI, isa.SLTIU, isa.ANDI, isa.ORI, isa.XORI,
+		isa.LB, isa.LH, isa.LW, isa.LBU, isa.LHU, isa.SB, isa.SH, isa.SW, isa.LWC1, isa.SWC1:
+		return iOpcode[i.Op]<<26 | rs<<21 | rt<<16 | imm16(i.Imm), nil
+	case isa.LUI:
+		return uint32(opLui)<<26 | rt<<16 | imm16(i.Imm), nil
+	case isa.MFC1:
+		return uint32(opCop1)<<26 | uint32(c1Mfc1)<<21 | rt<<16 | rd<<11, nil
+	case isa.MTC1:
+		return uint32(opCop1)<<26 | uint32(c1Mtc1)<<21 | rt<<16 | rd<<11, nil
+	case isa.BC1F:
+		return uint32(opCop1)<<26 | uint32(c1Bc)<<21 | 0<<16 | imm16(i.Imm), nil
+	case isa.BC1T:
+		return uint32(opCop1)<<26 | uint32(c1Bc)<<21 | 1<<16 | imm16(i.Imm), nil
+	case isa.ADDS, isa.SUBS, isa.MULS, isa.DIVS, isa.MOVS, isa.NEGS, isa.CVTWS, isa.CEQS, isa.CLTS, isa.CLES:
+		return uint32(opCop1)<<26 | uint32(c1FmtS)<<21 | rt<<16 | rs<<11 | rd<<6 | fpFunct[i.Op], nil
+	case isa.CVTSW:
+		return uint32(opCop1)<<26 | uint32(c1FmtW)<<21 | rs<<11 | rd<<6 | fpCvtS, nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode %v", i.Op)
+}
+
+func signExt16(v uint32) int32 { return int32(int16(v)) }
+
+// Decode converts a 32-bit machine word back to an instruction.
+func Decode(word uint32) (isa.Inst, error) {
+	if word == 0 {
+		return isa.Inst{Op: isa.NOP}, nil
+	}
+	op := word >> 26
+	rs := isa.Reg(word >> 21 & 0x1f)
+	rt := isa.Reg(word >> 16 & 0x1f)
+	rd := isa.Reg(word >> 11 & 0x1f)
+	shamt := int32(word >> 6 & 0x1f)
+	funct := word & 0x3f
+	imm := word & 0xffff
+
+	switch op {
+	case opSpecial:
+		rop, ok := functR[funct]
+		if !ok {
+			return isa.Inst{}, fmt.Errorf("isa: unknown SPECIAL funct %#x in word %#08x", funct, word)
+		}
+		switch rop {
+		case isa.SLL, isa.SRL, isa.SRA:
+			return isa.Inst{Op: rop, Rd: rd, Rt: rt, Imm: shamt}, nil
+		case isa.JR:
+			return isa.Inst{Op: isa.JR, Rs: rs}, nil
+		case isa.JALR:
+			return isa.Inst{Op: isa.JALR, Rd: rd, Rs: rs}, nil
+		case isa.SYSCALL:
+			return isa.Inst{Op: isa.SYSCALL}, nil
+		case isa.MFHI, isa.MFLO:
+			return isa.Inst{Op: rop, Rd: rd}, nil
+		case isa.MULT, isa.DIV, isa.DIVU:
+			return isa.Inst{Op: rop, Rs: rs, Rt: rt}, nil
+		default:
+			return isa.Inst{Op: rop, Rd: rd, Rs: rs, Rt: rt}, nil
+		}
+	case opSpecial2:
+		if funct == 0x02 {
+			return isa.Inst{Op: isa.MUL, Rd: rd, Rs: rs, Rt: rt}, nil
+		}
+		return isa.Inst{}, fmt.Errorf("isa: unknown SPECIAL2 funct %#x", funct)
+	case opRegimm:
+		switch rt {
+		case 0:
+			return isa.Inst{Op: isa.BLTZ, Rs: rs, Imm: signExt16(imm)}, nil
+		case 1:
+			return isa.Inst{Op: isa.BGEZ, Rs: rs, Imm: signExt16(imm)}, nil
+		}
+		return isa.Inst{}, fmt.Errorf("isa: unknown REGIMM rt %d", rt)
+	case opJ:
+		return isa.Inst{Op: isa.J, Imm: int32(word & 0x03ffffff)}, nil
+	case opJal:
+		return isa.Inst{Op: isa.JAL, Imm: int32(word & 0x03ffffff)}, nil
+	case opCop1:
+		switch uint32(rs) {
+		case c1Mfc1:
+			return isa.Inst{Op: isa.MFC1, Rt: rt, Rd: rd}, nil
+		case c1Mtc1:
+			return isa.Inst{Op: isa.MTC1, Rt: rt, Rd: rd}, nil
+		case c1Bc:
+			o := isa.BC1F
+			if rt&1 == 1 {
+				o = isa.BC1T
+			}
+			return isa.Inst{Op: o, Imm: signExt16(imm)}, nil
+		case c1FmtS:
+			fop, ok := functFP[funct]
+			if !ok {
+				return isa.Inst{}, fmt.Errorf("isa: unknown COP1.S funct %#x", funct)
+			}
+			fd := isa.Reg(word >> 6 & 0x1f)
+			return isa.Inst{Op: fop, Rd: fd, Rs: rd, Rt: rt}, nil
+		case c1FmtW:
+			if funct == fpCvtS {
+				fd := isa.Reg(word >> 6 & 0x1f)
+				return isa.Inst{Op: isa.CVTSW, Rd: fd, Rs: rd}, nil
+			}
+			return isa.Inst{}, fmt.Errorf("isa: unknown COP1.W funct %#x", funct)
+		}
+		return isa.Inst{}, fmt.Errorf("isa: unknown COP1 sub-op %d", rs)
+	case opLui:
+		return isa.Inst{Op: isa.LUI, Rt: rt, Imm: int32(imm)}, nil
+	case opAndi, opOri, opXori:
+		return isa.Inst{Op: opcodeI[op], Rt: rt, Rs: rs, Imm: int32(imm)}, nil
+	case opBlez, opBgtz:
+		return isa.Inst{Op: opcodeI[op], Rs: rs, Imm: signExt16(imm)}, nil
+	}
+	if iop, ok := opcodeI[op]; ok {
+		return isa.Inst{Op: iop, Rt: rt, Rs: rs, Imm: signExt16(imm)}, nil
+	}
+	return isa.Inst{}, fmt.Errorf("isa: unknown opcode %#x in word %#08x", op, word)
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"delinq/internal/isa"
+	"delinq/internal/isa/mips"
 	"delinq/internal/obj"
 )
 
@@ -34,10 +35,21 @@ func Compile(src string, opts Options) (string, error) {
 	return g.sb.String(), nil
 }
 
-// Temp register pools.
-var intTemps = []isa.Reg{isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5, isa.T6, isa.T7, isa.T8, isa.T9}
+// mach is the machine description the compiler targets. minic always
+// emits MIPS assembly text; other backends (arm) lower the assembled
+// MIPS image rather than providing their own code generator.
+var mach = mips.M
+
+// regName and fregName spell registers in the target's syntax.
+func regName(r isa.Reg) string  { return mach.RegName(r) }
+func fregName(r isa.Reg) string { return isa.FRegName(r) }
+
+// Temp register pools. The integer pools come from the machine
+// description; the FP odd/even pairing is a COP1 detail the Machine
+// interface does not model.
+var intTemps = mach.TempRegs()
 var fltTemps = []isa.Reg{4, 6, 8, 10, 14, 16, 18, 20}
-var sRegs = []isa.Reg{isa.S0, isa.S1, isa.S2, isa.S3, isa.S4, isa.S5, isa.S6, isa.S7}
+var sRegs = mach.SavedRegs()
 
 // value is an expression result: a register of one of the two classes.
 type value struct {
@@ -147,17 +159,17 @@ func (g *gen) saveLiveTemps(line int) (func(), error) {
 	}
 	for _, s := range saved {
 		if s.v.isFlt {
-			g.emit("\ts.s %s, %d($sp)", isa.FRegName(s.v.reg), s.off)
+			g.emit("\ts.s %s, %d($sp)", fregName(s.v.reg), s.off)
 		} else {
-			g.emit("\tsw %s, %d($sp)", isa.RegName(s.v.reg), s.off)
+			g.emit("\tsw %s, %d($sp)", regName(s.v.reg), s.off)
 		}
 	}
 	return func() {
 		for _, s := range saved {
 			if s.v.isFlt {
-				g.emit("\tl.s %s, %d($sp)", isa.FRegName(s.v.reg), s.off)
+				g.emit("\tl.s %s, %d($sp)", fregName(s.v.reg), s.off)
 			} else {
-				g.emit("\tlw %s, %d($sp)", isa.RegName(s.v.reg), s.off)
+				g.emit("\tlw %s, %d($sp)", regName(s.v.reg), s.off)
 			}
 		}
 	}, nil
@@ -316,17 +328,17 @@ func (g *gen) genFunc(fn *FuncDecl) error {
 	g.emit("\taddiu $sp, $sp, -%d", g.frameSize)
 	g.emit("\tsw $ra, %d($sp)", raOff)
 	for i, r := range g.usedS {
-		g.emit("\tsw %s, %d($sp)", isa.RegName(r), savedBase+int32(i)*4)
+		g.emit("\tsw %s, %d($sp)", regName(r), savedBase+int32(i)*4)
 	}
 	// Home the parameters.
 	for _, sym := range fn.Syms {
 		if !sym.IsParam {
 			continue
 		}
-		areg := isa.RegName(isa.A0 + isa.Reg(sym.ParamIx))
+		areg := regName(isa.A0 + isa.Reg(sym.ParamIx))
 		switch {
 		case sym.Reg >= 0:
-			g.emit("\tmove %s, %s", isa.RegName(isa.Reg(sym.Reg)), areg)
+			g.emit("\tmove %s, %s", regName(isa.Reg(sym.Reg)), areg)
 		case sym.Ty.Kind == obj.KindFloat:
 			g.emit("\tsw %s, %d($sp)", areg, sym.Offset)
 		case sym.Ty.Kind == obj.KindChar:
@@ -345,7 +357,7 @@ func (g *gen) genFunc(fn *FuncDecl) error {
 	g.emit("%s:", epi)
 	g.emit("\tlw $ra, %d($sp)", raOff)
 	for i, r := range g.usedS {
-		g.emit("\tlw %s, %d($sp)", isa.RegName(r), savedBase+int32(i)*4)
+		g.emit("\tlw %s, %d($sp)", regName(r), savedBase+int32(i)*4)
 	}
 	g.emit("\taddiu $sp, $sp, %d", g.frameSize)
 	g.emit("\tjr $ra")
@@ -483,9 +495,9 @@ func (g *gen) genStmt(s Stmt, ctx genCtx) error {
 				return err
 			}
 			if v.isFlt {
-				g.emit("\tmov.s $f0, %s", isa.FRegName(v.reg))
+				g.emit("\tmov.s $f0, %s", fregName(v.reg))
 			} else {
-				g.emit("\tmove $v0, %s", isa.RegName(v.reg))
+				g.emit("\tmove $v0, %s", regName(v.reg))
 			}
 			g.free(v)
 		}
@@ -521,14 +533,14 @@ func (g *gen) genCondBranchFalse(cond Expr, label string) error {
 		if err != nil {
 			return err
 		}
-		g.emit("\tmtc1 $zero, %s", isa.FRegName(tmp))
-		g.emit("\tc.eq.s %s, %s", isa.FRegName(v.reg), isa.FRegName(tmp))
+		g.emit("\tmtc1 $zero, %s", fregName(tmp))
+		g.emit("\tc.eq.s %s, %s", fregName(v.reg), fregName(tmp))
 		delete(g.fltBusy, tmp)
 		g.free(v)
 		g.emit("\tbc1t %s", label)
 		return nil
 	}
-	g.emit("\tbeqz %s, %s", isa.RegName(v.reg), label)
+	g.emit("\tbeqz %s, %s", regName(v.reg), label)
 	g.free(v)
 	return nil
 }

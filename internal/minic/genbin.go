@@ -35,7 +35,7 @@ func (g *gen) genBinary(x *Binary) (value, error) {
 		return g.genFloatBinary(x, lv, rv)
 	}
 
-	a, b := isa.RegName(lv.reg), isa.RegName(rv.reg)
+	a, b := regName(lv.reg), regName(rv.reg)
 	switch x.Op {
 	case Plus, Minus:
 		op := "add"
@@ -109,17 +109,17 @@ func (g *gen) scaleIndex(reg isa.Reg, size, line int) {
 	switch {
 	case size == 1:
 	case size&(size-1) == 0:
-		g.emit("\tsll %s, %s, %d", isa.RegName(reg), isa.RegName(reg), log2i(size))
+		g.emit("\tsll %s, %s, %d", regName(reg), regName(reg), log2i(size))
 	default:
 		g.emit("\tli $at, %d", size)
-		g.emit("\tmul %s, %s, $at", isa.RegName(reg), isa.RegName(reg))
+		g.emit("\tmul %s, %s, $at", regName(reg), regName(reg))
 	}
 }
 
 // genFloatBinary handles float arithmetic and comparisons; both operands
 // are float registers.
 func (g *gen) genFloatBinary(x *Binary, lv, rv value) (value, error) {
-	a, b := isa.FRegName(lv.reg), isa.FRegName(rv.reg)
+	a, b := fregName(lv.reg), fregName(rv.reg)
 	switch x.Op {
 	case Plus:
 		g.emit("\tadd.s %s, %s, %s", a, a, b)
@@ -147,12 +147,12 @@ func (g *gen) genFloatBinary(x *Binary, lv, rv value) (value, error) {
 		case Ge:
 			g.emit("\tc.le.s %s, %s", b, a)
 		}
-		g.emit("\tli %s, 1", isa.RegName(r))
+		g.emit("\tli %s, 1", regName(r))
 		g.emit("\tbc1t %s", set)
-		g.emit("\tli %s, 0", isa.RegName(r))
+		g.emit("\tli %s, 0", regName(r))
 		g.emit("%s:", set)
 		if x.Op == Ne {
-			g.emit("\txori %s, %s, 1", isa.RegName(r), isa.RegName(r))
+			g.emit("\txori %s, %s, 1", regName(r), regName(r))
 		}
 		g.free(lv)
 		g.free(rv)
@@ -180,12 +180,12 @@ func (g *gen) genLogical(x *Binary) (value, error) {
 			return value{}, err
 		}
 	}
-	g.emit("\tsltu %s, $zero, %s", isa.RegName(out), isa.RegName(lv.reg))
+	g.emit("\tsltu %s, $zero, %s", regName(out), regName(lv.reg))
 	g.free(lv)
 	if x.Op == AndAnd {
-		g.emit("\tbeqz %s, %s", isa.RegName(out), end)
+		g.emit("\tbeqz %s, %s", regName(out), end)
 	} else {
-		g.emit("\tbnez %s, %s", isa.RegName(out), end)
+		g.emit("\tbnez %s, %s", regName(out), end)
 	}
 	rv, err := g.genExpr(x.Y)
 	if err != nil {
@@ -196,7 +196,7 @@ func (g *gen) genLogical(x *Binary) (value, error) {
 			return value{}, err
 		}
 	}
-	g.emit("\tsltu %s, $zero, %s", isa.RegName(out), isa.RegName(rv.reg))
+	g.emit("\tsltu %s, $zero, %s", regName(out), regName(rv.reg))
 	g.free(rv)
 	g.emit("%s:", end)
 	return value{reg: out}, nil
@@ -221,7 +221,7 @@ func (g *gen) genCall(x *Call) (value, error) {
 			if err != nil {
 				return value{}, err
 			}
-			g.emit("\tmfc1 %s, %s", isa.RegName(r), isa.FRegName(v.reg))
+			g.emit("\tmfc1 %s, %s", regName(r), fregName(v.reg))
 			g.free(v)
 			v = value{reg: r}
 		}
@@ -230,7 +230,7 @@ func (g *gen) genCall(x *Call) (value, error) {
 	// Move into $a0-$a3 and release the temporaries so they are not
 	// pointlessly saved across the call.
 	for i, v := range vals {
-		g.emit("\tmove %s, %s", isa.RegName(isa.A0+isa.Reg(i)), isa.RegName(v.reg))
+		g.emit("\tmove %s, %s", regName(isa.A0+isa.Reg(i)), regName(v.reg))
 		g.free(v)
 	}
 	restore, err := g.saveLiveTemps(x.Ln)
@@ -251,7 +251,7 @@ func (g *gen) genCall(x *Call) (value, error) {
 		if err != nil {
 			return value{}, err
 		}
-		g.emit("\tmove %s, $zero", isa.RegName(r))
+		g.emit("\tmove %s, $zero", regName(r))
 		return value{reg: r}, nil
 	}
 	if x.Type().Kind == obj.KindFloat {
@@ -259,13 +259,13 @@ func (g *gen) genCall(x *Call) (value, error) {
 		if err != nil {
 			return value{}, err
 		}
-		g.emit("\tmov.s %s, $f0", isa.FRegName(fr))
+		g.emit("\tmov.s %s, $f0", fregName(fr))
 		return value{reg: fr, isFlt: true}, nil
 	}
 	r, err := g.allocInt(x.Ln)
 	if err != nil {
 		return value{}, err
 	}
-	g.emit("\tmove %s, $v0", isa.RegName(r))
+	g.emit("\tmove %s, $v0", regName(r))
 	return value{reg: r}, nil
 }

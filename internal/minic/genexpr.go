@@ -43,8 +43,8 @@ func (g *gen) convert(v value, from, to *obj.Type, line int) (value, error) {
 		if err != nil {
 			return v, err
 		}
-		g.emit("\tmtc1 %s, %s", isa.RegName(v.reg), isa.FRegName(fr))
-		g.emit("\tcvt.s.w %s, %s", isa.FRegName(fr), isa.FRegName(fr))
+		g.emit("\tmtc1 %s, %s", regName(v.reg), fregName(fr))
+		g.emit("\tcvt.s.w %s, %s", fregName(fr), fregName(fr))
 		g.free(v)
 		return value{reg: fr, isFlt: true}, nil
 	default:
@@ -52,8 +52,8 @@ func (g *gen) convert(v value, from, to *obj.Type, line int) (value, error) {
 		if err != nil {
 			return v, err
 		}
-		g.emit("\tcvt.w.s %s, %s", isa.FRegName(v.reg), isa.FRegName(v.reg))
-		g.emit("\tmfc1 %s, %s", isa.RegName(ir), isa.FRegName(v.reg))
+		g.emit("\tcvt.w.s %s, %s", fregName(v.reg), fregName(v.reg))
+		g.emit("\tmfc1 %s, %s", regName(ir), fregName(v.reg))
 		g.free(v)
 		return value{reg: ir}, nil
 	}
@@ -73,9 +73,9 @@ func (g *gen) genAddr(e Expr) (value, error) {
 			return value{}, err
 		}
 		if sym.Global {
-			g.emit("\tla %s, %s", isa.RegName(r), sym.Label)
+			g.emit("\tla %s, %s", regName(r), sym.Label)
 		} else {
-			g.emit("\taddiu %s, $sp, %d", isa.RegName(r), sym.Offset)
+			g.emit("\taddiu %s, $sp, %d", regName(r), sym.Offset)
 		}
 		return value{reg: r}, nil
 
@@ -100,17 +100,17 @@ func (g *gen) genAddr(e Expr) (value, error) {
 		case size == 1:
 			// no scaling
 		case size&(size-1) == 0:
-			g.emit("\tsll %s, %s, %d", isa.RegName(idx.reg), isa.RegName(idx.reg), log2i(size))
+			g.emit("\tsll %s, %s, %d", regName(idx.reg), regName(idx.reg), log2i(size))
 		default:
 			tmp, err := g.allocInt(x.Ln)
 			if err != nil {
 				return value{}, err
 			}
-			g.emit("\tli %s, %d", isa.RegName(tmp), size)
-			g.emit("\tmul %s, %s, %s", isa.RegName(idx.reg), isa.RegName(idx.reg), isa.RegName(tmp))
+			g.emit("\tli %s, %d", regName(tmp), size)
+			g.emit("\tmul %s, %s, %s", regName(idx.reg), regName(idx.reg), regName(tmp))
 			delete(g.intBusy, tmp)
 		}
-		g.emit("\tadd %s, %s, %s", isa.RegName(base.reg), isa.RegName(base.reg), isa.RegName(idx.reg))
+		g.emit("\tadd %s, %s, %s", regName(base.reg), regName(base.reg), regName(idx.reg))
 		g.free(idx)
 		return base, nil
 
@@ -126,7 +126,7 @@ func (g *gen) genAddr(e Expr) (value, error) {
 			return value{}, err
 		}
 		if x.Field.Offset != 0 {
-			g.emit("\taddiu %s, %s, %d", isa.RegName(base.reg), isa.RegName(base.reg), x.Field.Offset)
+			g.emit("\taddiu %s, %s, %d", regName(base.reg), regName(base.reg), x.Field.Offset)
 		}
 		return base, nil
 	}
@@ -150,7 +150,7 @@ func (g *gen) loadVar(sym *VarSym, line int) (value, error) {
 		if err != nil {
 			return value{}, err
 		}
-		g.emit("\tmove %s, %s", isa.RegName(r), isa.RegName(isa.Reg(sym.Reg)))
+		g.emit("\tmove %s, %s", regName(r), regName(isa.Reg(sym.Reg)))
 		return value{reg: r}, nil
 	}
 	// Aggregates decay to their address.
@@ -160,9 +160,9 @@ func (g *gen) loadVar(sym *VarSym, line int) (value, error) {
 			return value{}, err
 		}
 		if sym.Global {
-			g.emit("\tla %s, %s", isa.RegName(r), sym.Label)
+			g.emit("\tla %s, %s", regName(r), sym.Label)
 		} else {
-			g.emit("\taddiu %s, $sp, %d", isa.RegName(r), sym.Offset)
+			g.emit("\taddiu %s, $sp, %d", regName(r), sym.Offset)
 		}
 		return value{reg: r}, nil
 	}
@@ -172,9 +172,9 @@ func (g *gen) loadVar(sym *VarSym, line int) (value, error) {
 			return value{}, err
 		}
 		if sym.Global {
-			g.emit("\tl.s %s, %s", isa.FRegName(r), sym.Label)
+			g.emit("\tl.s %s, %s", fregName(r), sym.Label)
 		} else {
-			g.emit("\tl.s %s, %d($sp)", isa.FRegName(r), sym.Offset)
+			g.emit("\tl.s %s, %d($sp)", fregName(r), sym.Offset)
 		}
 		return value{reg: r, isFlt: true}, nil
 	}
@@ -183,9 +183,9 @@ func (g *gen) loadVar(sym *VarSym, line int) (value, error) {
 		return value{}, err
 	}
 	if sym.Global {
-		g.emit("\t%s %s, %s", loadOp(t), isa.RegName(r), sym.Label)
+		g.emit("\t%s %s, %s", loadOp(t), regName(r), sym.Label)
 	} else {
-		g.emit("\t%s %s, %d($sp)", loadOp(t), isa.RegName(r), sym.Offset)
+		g.emit("\t%s %s, %d($sp)", loadOp(t), regName(r), sym.Offset)
 	}
 	return value{reg: r}, nil
 }
@@ -197,12 +197,12 @@ func (g *gen) storeVar(sym *VarSym, v value, line int) error {
 		if v.isFlt {
 			return g.errf(line, "internal: float store to register variable")
 		}
-		g.emit("\tmove %s, %s", isa.RegName(isa.Reg(sym.Reg)), isa.RegName(v.reg))
+		g.emit("\tmove %s, %s", regName(isa.Reg(sym.Reg)), regName(v.reg))
 		return nil
 	}
-	name := isa.RegName(v.reg)
+	name := regName(v.reg)
 	if v.isFlt {
-		name = isa.FRegName(v.reg)
+		name = fregName(v.reg)
 	}
 	if sym.Global {
 		g.emit("\t%s %s, %s", storeOp(t), name, sym.Label)
@@ -224,11 +224,11 @@ func (g *gen) loadThrough(addr value, t *obj.Type, line int) (value, error) {
 		if err != nil {
 			return value{}, err
 		}
-		g.emit("\tl.s %s, 0(%s)", isa.FRegName(fr), isa.RegName(addr.reg))
+		g.emit("\tl.s %s, 0(%s)", fregName(fr), regName(addr.reg))
 		g.free(addr)
 		return value{reg: fr, isFlt: true}, nil
 	}
-	g.emit("\t%s %s, 0(%s)", loadOp(t), isa.RegName(addr.reg), isa.RegName(addr.reg))
+	g.emit("\t%s %s, 0(%s)", loadOp(t), regName(addr.reg), regName(addr.reg))
 	return addr, nil
 }
 
@@ -240,7 +240,7 @@ func (g *gen) genExpr(e Expr) (value, error) {
 		if err != nil {
 			return value{}, err
 		}
-		g.emit("\tli %s, %d", isa.RegName(r), int32(x.Val))
+		g.emit("\tli %s, %d", regName(r), int32(x.Val))
 		return value{reg: r}, nil
 
 	case *FloatLit:
@@ -248,7 +248,7 @@ func (g *gen) genExpr(e Expr) (value, error) {
 		if err != nil {
 			return value{}, err
 		}
-		g.emit("\tli.s %s, %g", isa.FRegName(r), x.Val)
+		g.emit("\tli.s %s, %g", fregName(r), x.Val)
 		return value{reg: r, isFlt: true}, nil
 
 	case *StrLit:
@@ -256,7 +256,7 @@ func (g *gen) genExpr(e Expr) (value, error) {
 		if err != nil {
 			return value{}, err
 		}
-		g.emit("\tla %s, %s", isa.RegName(r), x.Label)
+		g.emit("\tla %s, %s", regName(r), x.Label)
 		return value{reg: r}, nil
 
 	case *SizeofExpr:
@@ -264,7 +264,7 @@ func (g *gen) genExpr(e Expr) (value, error) {
 		if err != nil {
 			return value{}, err
 		}
-		g.emit("\tli %s, %d", isa.RegName(r), x.Of.Size())
+		g.emit("\tli %s, %d", regName(r), x.Of.Size())
 		return value{reg: r}, nil
 
 	case *Ident:
@@ -310,9 +310,9 @@ func (g *gen) genUnary(x *Unary) (value, error) {
 			return value{}, err
 		}
 		if v.isFlt {
-			g.emit("\tneg.s %s, %s", isa.FRegName(v.reg), isa.FRegName(v.reg))
+			g.emit("\tneg.s %s, %s", fregName(v.reg), fregName(v.reg))
 		} else {
-			g.emit("\tneg %s, %s", isa.RegName(v.reg), isa.RegName(v.reg))
+			g.emit("\tneg %s, %s", regName(v.reg), regName(v.reg))
 		}
 		return v, nil
 
@@ -328,7 +328,7 @@ func (g *gen) genUnary(x *Unary) (value, error) {
 			}
 			v = v2
 		}
-		g.emit("\tsltiu %s, %s, 1", isa.RegName(v.reg), isa.RegName(v.reg))
+		g.emit("\tsltiu %s, %s, 1", regName(v.reg), regName(v.reg))
 		return v, nil
 
 	case Tilde:
@@ -336,7 +336,7 @@ func (g *gen) genUnary(x *Unary) (value, error) {
 		if err != nil {
 			return value{}, err
 		}
-		g.emit("\tnot %s, %s", isa.RegName(v.reg), isa.RegName(v.reg))
+		g.emit("\tnot %s, %s", regName(v.reg), regName(v.reg))
 		return v, nil
 
 	case Inc, Dec:
@@ -360,17 +360,17 @@ func (g *gen) genIncDec(x *Unary) (value, error) {
 	}
 	// Register-promoted scalar: operate directly.
 	if id, ok := x.X.(*Ident); ok && id.Sym.Reg >= 0 {
-		sreg := isa.RegName(isa.Reg(id.Sym.Reg))
+		sreg := regName(isa.Reg(id.Sym.Reg))
 		r, err := g.allocInt(x.Ln)
 		if err != nil {
 			return value{}, err
 		}
 		if x.Postfix {
-			g.emit("\tmove %s, %s", isa.RegName(r), sreg)
+			g.emit("\tmove %s, %s", regName(r), sreg)
 			g.emit("\taddiu %s, %s, %d", sreg, sreg, delta)
 		} else {
 			g.emit("\taddiu %s, %s, %d", sreg, sreg, delta)
-			g.emit("\tmove %s, %s", isa.RegName(r), sreg)
+			g.emit("\tmove %s, %s", regName(r), sreg)
 		}
 		return value{reg: r}, nil
 	}
@@ -387,18 +387,18 @@ func (g *gen) genIncDec(x *Unary) (value, error) {
 	if err != nil {
 		return value{}, err
 	}
-	g.emit("\t%s %s, 0(%s)", loadOp(t), isa.RegName(val), isa.RegName(addr.reg))
+	g.emit("\t%s %s, 0(%s)", loadOp(t), regName(val), regName(addr.reg))
 	if x.Postfix {
 		tmp, err := g.allocInt(x.Ln)
 		if err != nil {
 			return value{}, err
 		}
-		g.emit("\taddiu %s, %s, %d", isa.RegName(tmp), isa.RegName(val), delta)
-		g.emit("\t%s %s, 0(%s)", storeOp(t), isa.RegName(tmp), isa.RegName(addr.reg))
+		g.emit("\taddiu %s, %s, %d", regName(tmp), regName(val), delta)
+		g.emit("\t%s %s, 0(%s)", storeOp(t), regName(tmp), regName(addr.reg))
 		delete(g.intBusy, tmp)
 	} else {
-		g.emit("\taddiu %s, %s, %d", isa.RegName(val), isa.RegName(val), delta)
-		g.emit("\t%s %s, 0(%s)", storeOp(t), isa.RegName(val), isa.RegName(addr.reg))
+		g.emit("\taddiu %s, %s, %d", regName(val), regName(val), delta)
+		g.emit("\t%s %s, 0(%s)", storeOp(t), regName(val), regName(addr.reg))
 	}
 	g.free(addr)
 	return value{reg: val}, nil
@@ -421,9 +421,9 @@ func (g *gen) genAssign(x *AssignExpr) (value, error) {
 		if err != nil {
 			return value{}, err
 		}
-		sreg := isa.RegName(isa.Reg(id.Sym.Reg))
+		sreg := regName(isa.Reg(id.Sym.Reg))
 		if x.Op == Assign {
-			g.emit("\tmove %s, %s", sreg, isa.RegName(rhs.reg))
+			g.emit("\tmove %s, %s", sreg, regName(rhs.reg))
 			return rhs, nil
 		}
 		op, err := g.compoundOp(x.Op, x.Ln)
@@ -434,7 +434,7 @@ func (g *gen) genAssign(x *AssignExpr) (value, error) {
 			x.LHS.Type(), x.RHS.Type(), x.Ln); err != nil {
 			return value{}, err
 		}
-		g.emit("\tmove %s, %s", isa.RegName(rhs.reg), sreg)
+		g.emit("\tmove %s, %s", regName(rhs.reg), sreg)
 		return rhs, nil
 	}
 
@@ -463,9 +463,9 @@ func (g *gen) genAssign(x *AssignExpr) (value, error) {
 			if err != nil {
 				return value{}, err
 			}
-			g.emit("\tl.s %s, 0(%s)", isa.FRegName(cur), isa.RegName(addr.reg))
-			g.emit("\t%s.s %s, %s, %s", op, isa.FRegName(cur), isa.FRegName(cur), isa.FRegName(rhs.reg))
-			g.emit("\ts.s %s, 0(%s)", isa.FRegName(cur), isa.RegName(addr.reg))
+			g.emit("\tl.s %s, 0(%s)", fregName(cur), regName(addr.reg))
+			g.emit("\t%s.s %s, %s, %s", op, fregName(cur), fregName(cur), fregName(rhs.reg))
+			g.emit("\ts.s %s, 0(%s)", fregName(cur), regName(addr.reg))
 			g.free(rhs)
 			g.free(addr)
 			return value{reg: cur, isFlt: true}, nil
@@ -474,21 +474,21 @@ func (g *gen) genAssign(x *AssignExpr) (value, error) {
 		if err != nil {
 			return value{}, err
 		}
-		g.emit("\t%s %s, 0(%s)", loadOp(lt), isa.RegName(cur), isa.RegName(addr.reg))
+		g.emit("\t%s %s, 0(%s)", loadOp(lt), regName(cur), regName(addr.reg))
 		if err := g.applyIntOp(op, cur, cur, rhs.reg, lt, x.RHS.Type(), x.Ln); err != nil {
 			return value{}, err
 		}
-		g.emit("\t%s %s, 0(%s)", storeOp(lt), isa.RegName(cur), isa.RegName(addr.reg))
+		g.emit("\t%s %s, 0(%s)", storeOp(lt), regName(cur), regName(addr.reg))
 		g.free(rhs)
 		g.free(addr)
 		return value{reg: cur}, nil
 	}
 
-	name := isa.RegName(rhs.reg)
+	name := regName(rhs.reg)
 	if rhs.isFlt {
-		name = isa.FRegName(rhs.reg)
+		name = fregName(rhs.reg)
 	}
-	g.emit("\t%s %s, 0(%s)", storeOp(lt), name, isa.RegName(addr.reg))
+	g.emit("\t%s %s, 0(%s)", storeOp(lt), name, regName(addr.reg))
 	g.free(addr)
 	return rhs, nil
 }
@@ -514,23 +514,23 @@ func (g *gen) applyIntOp(op string, rd, ra, rb isa.Reg, lt, rt *obj.Type, line i
 		sz := lt.Elem.Size()
 		if sz != 1 {
 			if sz&(sz-1) == 0 {
-				g.emit("\tsll %s, %s, %d", isa.RegName(rb), isa.RegName(rb), log2i(sz))
+				g.emit("\tsll %s, %s, %d", regName(rb), regName(rb), log2i(sz))
 			} else {
 				tmp, err := g.allocInt(line)
 				if err != nil {
 					return err
 				}
-				g.emit("\tli %s, %d", isa.RegName(tmp), sz)
-				g.emit("\tmul %s, %s, %s", isa.RegName(rb), isa.RegName(rb), isa.RegName(tmp))
+				g.emit("\tli %s, %d", regName(tmp), sz)
+				g.emit("\tmul %s, %s, %s", regName(rb), regName(rb), regName(tmp))
 				delete(g.intBusy, tmp)
 			}
 		}
 	}
 	if op == "div" {
-		g.emit("\tdiv %s, %s", isa.RegName(ra), isa.RegName(rb))
-		g.emit("\tmflo %s", isa.RegName(rd))
+		g.emit("\tdiv %s, %s", regName(ra), regName(rb))
+		g.emit("\tmflo %s", regName(rd))
 		return nil
 	}
-	g.emit("\t%s %s, %s, %s", op, isa.RegName(rd), isa.RegName(ra), isa.RegName(rb))
+	g.emit("\t%s %s, %s, %s", op, regName(rd), regName(ra), regName(rb))
 	return nil
 }

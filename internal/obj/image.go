@@ -52,12 +52,23 @@ type Sym struct {
 type Image struct {
 	Entry    uint32
 	Text     []uint32 // machine words, based at TextBase
+	ISA      string   // machine description name; "" means "mips"
 	Data     []byte   // initialised data, based at DataBase
 	BSS      uint32   // zero-initialised bytes following Data
-	GPValue  uint32   // runtime value of $gp
+	GPValue  uint32   // runtime value of $gp (small-data anchor on gp-less ISAs)
 	Syms     []Sym
 	Structs  map[string]*Type // struct tag -> definition
 	SrcNames map[uint32]string
+}
+
+// ISAName returns the image's machine description name, mapping the
+// empty string (images from before machine descriptions existed) to
+// "mips".
+func (im *Image) ISAName() string {
+	if im.ISA == "" {
+		return "mips"
+	}
+	return im.ISA
 }
 
 // New returns an empty image with the default layout.
@@ -174,6 +185,7 @@ type wireField struct {
 type wireImage struct {
 	Entry    uint32
 	Text     []uint32
+	ISA      string
 	Data     []byte
 	BSS      uint32
 	GPValue  uint32
@@ -192,7 +204,7 @@ func typeString(t *Type) string {
 // Encode serialises the image.
 func (im *Image) Encode() ([]byte, error) {
 	w := wireImage{
-		Entry: im.Entry, Text: im.Text, Data: im.Data, BSS: im.BSS,
+		Entry: im.Entry, Text: im.Text, ISA: im.ISA, Data: im.Data, BSS: im.BSS,
 		GPValue: im.GPValue, SrcNames: im.SrcNames,
 		Structs: map[string][]wireField{},
 	}
@@ -234,7 +246,7 @@ func DecodeImage(b []byte) (*Image, error) {
 		return nil, fmt.Errorf("obj: decode: %w", err)
 	}
 	im := &Image{
-		Entry: w.Entry, Text: w.Text, Data: w.Data, BSS: w.BSS,
+		Entry: w.Entry, Text: w.Text, ISA: w.ISA, Data: w.Data, BSS: w.BSS,
 		GPValue: w.GPValue, SrcNames: w.SrcNames,
 		Structs: map[string]*Type{},
 	}

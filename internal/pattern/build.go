@@ -7,6 +7,7 @@ import (
 	"delinq/internal/dataflow"
 	"delinq/internal/disasm"
 	"delinq/internal/isa"
+	"delinq/internal/isa/mips"
 )
 
 // Config bounds pattern expansion, keeping the analysis "largely local"
@@ -72,6 +73,10 @@ func AnalyzeProgram(p *disasm.Program, conf Config) []*Load {
 // phases), so a deadline stops a pathological analysis at the next
 // function boundary rather than after the whole program.
 func AnalyzeProgramCtx(ctx context.Context, p *disasm.Program, conf Config) ([]*Load, error) {
+	m, err := isa.ByName(p.Image.ISAName())
+	if err != nil {
+		return nil, err
+	}
 	if conf.Interprocedural {
 		conf = conf.withDefaults()
 		if err := ctx.Err(); err != nil {
@@ -88,7 +93,7 @@ func AnalyzeProgramCtx(ctx context.Context, p *disasm.Program, conf Config) ([]*
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		out = append(out, AnalyzeFunc(fn, conf)...)
+		out = append(out, analyzeFuncMachine(fn, conf, m)...)
 	}
 	return out, nil
 }
@@ -116,22 +121,40 @@ func UnknownLoads(p *disasm.Program) []*Load {
 }
 
 // AnalyzeFunc builds address patterns for every load in one function,
-// intraprocedurally (call boundaries stay opaque Param/Ret leaves).
+// intraprocedurally (call boundaries stay opaque Param/Ret leaves),
+// under the MIPS machine description.
 func AnalyzeFunc(fn *disasm.Func, conf Config) []*Load {
+	return analyzeFuncMachine(fn, conf, mips.M)
+}
+
+func analyzeFuncMachine(fn *disasm.Func, conf Config, m isa.Machine) []*Load {
 	conf = conf.withDefaults()
-	b := newBuilder(fn, conf)
+	b := newBuilder(fn, conf, m)
 	return b.analyzeLoads()
 }
 
-// newBuilder constructs a pattern builder over fn's dataflow facts.
-func newBuilder(fn *disasm.Func, conf Config) *builder {
+// newBuilder constructs a pattern builder over fn's dataflow facts,
+// with register roles and the calling convention taken from m.
+func newBuilder(fn *disasm.Func, conf Config, m isa.Machine) *builder {
 	g := cfg.Build(fn)
-	return &builder{
+	b := &builder{
 		fn:    fn,
 		conf:  conf,
-		df:    dataflow.Analyze(g),
+		m:     m,
+		df:    dataflow.AnalyzeMachine(g, m),
 		slots: map[int32]int8{},
+		zero:  m.Zero(),
+		sp:    m.SP(),
+		fp:    m.FP(),
 	}
+	b.gp, b.hasGP = m.GP()
+	for _, r := range m.ArgRegs() {
+		b.argRegs |= 1 << r
+	}
+	for _, r := range m.RetRegs() {
+		b.retRegs |= 1 << r
+	}
+	return b
 }
 
 // analyzeLoads builds the address patterns of every load in the
@@ -147,7 +170,7 @@ func (b *builder) analyzeLoads() []*Load {
 		bases := b.expandReg(in.Rs, i, 0, map[int]bool{})
 		seen := map[string]bool{}
 		for _, base := range bases {
-			p := binary(Add, base, NewConst(in.Imm))
+			p := binary(Add, base, NewConst(in.MemOffset()))
 			if k := p.Key(); !seen[k] {
 				seen[k] = true
 				ld.Patterns = append(ld.Patterns, p)
@@ -162,8 +185,15 @@ func (b *builder) analyzeLoads() []*Load {
 type builder struct {
 	fn        *disasm.Func
 	conf      Config
+	m         isa.Machine
 	df        *dataflow.Result
 	truncated bool
+	// Register roles, resolved once from the machine description. gp is
+	// meaningful only when hasGP is set; argRegs/retRegs are bitmasks
+	// over the 32 shared register indices.
+	zero, sp, fp, gp isa.Reg
+	hasGP            bool
+	argRegs, retRegs uint32
 	// ipc, when non-nil, enables interprocedural resolution of Ret and
 	// Param leaves through the program's function summaries.
 	ipc *Summaries
@@ -193,16 +223,17 @@ func (b *builder) ensureStoreSlots() {
 	saved := b.truncated
 	defer func() { b.truncated = saved }()
 	for i, in := range b.fn.Insts {
-		if in.Op != isa.SW && in.Op != isa.SH && in.Op != isa.SB {
+		if !in.IsStore() || in.IsFPMem() {
 			continue
 		}
-		if in.Rs == isa.SP || in.Rs == isa.FP {
-			b.storeSlots[in.Imm] = append(b.storeSlots[in.Imm], i)
+		off := in.MemOffset()
+		if in.Rs == b.sp || in.Rs == b.fp {
+			b.storeSlots[off] = append(b.storeSlots[off], i)
 			continue
 		}
 		for _, e := range b.expandReg(in.Rs, i, b.conf.MaxDepth/2, map[int]bool{}) {
-			if off, ok := spSlot(binary(Add, e, NewConst(in.Imm))); ok {
-				b.storeSlots[off] = append(b.storeSlots[off], i)
+			if o, ok := spSlot(binary(Add, e, NewConst(off))); ok {
+				b.storeSlots[o] = append(b.storeSlots[o], i)
 				break
 			}
 		}
@@ -221,12 +252,12 @@ func (b *builder) cap(list []*Expr) []*Expr {
 // before instruction `at` executes. visiting carries the definition IDs
 // on the current substitution path for register-recurrence detection.
 func (b *builder) expandReg(reg isa.Reg, at, depth int, visiting map[int]bool) []*Expr {
-	switch reg {
-	case isa.Zero:
+	switch {
+	case reg == b.zero:
 		return []*Expr{zeroConst}
-	case isa.GP:
+	case b.hasGP && reg == b.gp:
 		return []*Expr{gpLeaf}
-	case isa.SP, isa.FP:
+	case reg == b.sp || reg == b.fp:
 		return []*Expr{spLeaf}
 	}
 	if depth >= b.conf.MaxDepth {
@@ -256,8 +287,7 @@ func (b *builder) expandReg(reg isa.Reg, at, depth int, visiting map[int]bool) [
 		}
 		switch d.Kind {
 		case dataflow.DefEntry:
-			switch reg {
-			case isa.A0, isa.A1, isa.A2, isa.A3:
+			if b.argRegs&(1<<reg) != 0 {
 				if alts := b.resolveParam(reg); alts != nil {
 					for _, e := range alts {
 						add(e)
@@ -265,12 +295,11 @@ func (b *builder) expandReg(reg isa.Reg, at, depth int, visiting map[int]bool) [
 				} else {
 					add(&Expr{Kind: Param, Reg: reg})
 				}
-			default:
+			} else {
 				add(unknownLeaf)
 			}
 		case dataflow.DefCall:
-			switch reg {
-			case isa.V0, isa.V1:
+			if b.retRegs&(1<<reg) != 0 {
 				if alts := b.resolveRet(d, reg, depth, visiting); alts != nil {
 					for _, e := range alts {
 						add(e)
@@ -278,7 +307,7 @@ func (b *builder) expandReg(reg isa.Reg, at, depth int, visiting map[int]bool) [
 				} else {
 					add(&Expr{Kind: Ret, Reg: reg})
 				}
-			default:
+			} else {
 				add(unknownLeaf)
 			}
 		case dataflow.DefInst:
@@ -287,7 +316,7 @@ func (b *builder) expandReg(reg isa.Reg, at, depth int, visiting map[int]bool) [
 				continue
 			}
 			visiting[d.ID] = true
-			for _, e := range b.expandInst(d.Inst, depth+1, visiting) {
+			for _, e := range b.expandInst(d.Inst, reg, depth+1, visiting) {
 				add(e)
 			}
 			delete(visiting, d.ID)
@@ -299,9 +328,11 @@ func (b *builder) expandReg(reg isa.Reg, at, depth int, visiting map[int]bool) [
 	return b.cap(out)
 }
 
-// expandInst returns the symbolic values produced by the defining
-// instruction at index i.
-func (b *builder) expandInst(i, depth int, visiting map[int]bool) []*Expr {
+// expandInst returns the symbolic values the defining instruction at
+// index i produces in register target. Only the pre/post-indexed ARM
+// memory ops define two registers; everywhere else target is implied
+// by the opcode.
+func (b *builder) expandInst(i int, target isa.Reg, depth int, visiting map[int]bool) []*Expr {
 	in := b.fn.Insts[i]
 	un := func(k Kind, opnd isa.Reg, rhs *Expr) []*Expr {
 		var out []*Expr
@@ -320,6 +351,12 @@ func (b *builder) expandInst(i, depth int, visiting map[int]bool) []*Expr {
 			}
 		}
 		return b.cap(out)
+	}
+
+	// Writeback half of a pre/post-indexed access: the base register
+	// advances by the immediate whichever indexing mode is in play.
+	if in.WritesBack() && target == in.Rs {
+		return un(Add, in.Rs, NewConst(in.Imm))
 	}
 
 	switch in.Op {
@@ -351,10 +388,12 @@ func (b *builder) expandInst(i, depth int, visiting map[int]bool) []*Expr {
 		return bin(Shl, in.Rt, in.Rs)
 	case isa.SRLV, isa.SRAV:
 		return bin(Shr, in.Rt, in.Rs)
-	case isa.LW, isa.LB, isa.LBU, isa.LH, isa.LHU:
+	case isa.LW, isa.LB, isa.LBU, isa.LH, isa.LHU,
+		isa.ALDR, isa.ALDRH, isa.ALDRSH, isa.ALDRB, isa.ALDRSB,
+		isa.ALDRPRE, isa.ALDRPOST:
 		var out []*Expr
 		for _, base := range b.expandReg(in.Rs, i, depth, visiting) {
-			addr := binary(Add, base, NewConst(in.Imm))
+			addr := binary(Add, base, NewConst(in.MemOffset()))
 			d := NewDeref(addr)
 			// A load from a stack slot that feeds itself through a
 			// store chain is an induction value: mark the recurrence.
@@ -367,6 +406,48 @@ func (b *builder) expandInst(i, depth int, visiting map[int]bool) []*Expr {
 			}
 		}
 		return b.cap(out)
+
+	// ARM two-operand forms: Rd is both destination and left operand,
+	// so its incoming value expands as the left subexpression.
+	case isa.AMOV:
+		return b.expandReg(in.Rs, i, depth, visiting)
+	case isa.AMOVI:
+		return []*Expr{NewConst(in.Imm)}
+	case isa.AMOVW:
+		return []*Expr{NewConst(in.Imm & 0xffff)}
+	case isa.AMOVT:
+		// movw/movt pairs materialise absolute addresses; fold the halves
+		// back into one constant so global accesses stay classifiable.
+		var out []*Expr
+		for _, l := range b.expandReg(in.Rd, i, depth, visiting) {
+			if l.Kind == Const {
+				out = append(out, NewConst(l.Val&0xffff|in.Imm<<16))
+			} else {
+				out = append(out, binary(Add, l, NewConst(in.Imm<<16)))
+			}
+		}
+		return b.cap(out)
+	case isa.AADDI:
+		return un(Add, in.Rd, NewConst(in.Imm))
+	case isa.AORRI:
+		// Like ori: constant synthesis or a bitmask; model additively.
+		return un(Add, in.Rd, NewConst(in.Imm))
+	case isa.AADD:
+		return bin(Add, in.Rd, in.Rt)
+	case isa.ASUB:
+		return bin(Sub, in.Rd, in.Rt)
+	case isa.ARSB:
+		return bin(Sub, in.Rt, in.Rd)
+	case isa.AMUL:
+		return bin(Mul, in.Rd, in.Rt)
+	case isa.ALSLI:
+		return un(Shl, in.Rd, NewConst(in.Imm))
+	case isa.ALSRI, isa.AASRI:
+		return un(Shr, in.Rd, NewConst(in.Imm))
+	case isa.ALSL:
+		return bin(Shl, in.Rd, in.Rt)
+	case isa.ALSR, isa.AASR:
+		return bin(Shr, in.Rd, in.Rt)
 	}
 	return []*Expr{unknownLeaf}
 }

@@ -21,6 +21,7 @@ import (
 	"delinq/internal/dataflow"
 	"delinq/internal/disasm"
 	"delinq/internal/isa"
+	"delinq/internal/isa/mips"
 	"delinq/internal/memo"
 )
 
@@ -46,6 +47,7 @@ type Summary struct {
 type Summaries struct {
 	cg   *callgraph.Graph
 	conf Config
+	m    isa.Machine
 
 	cache memo.Cache[*Summary]
 
@@ -64,7 +66,11 @@ type Summaries struct {
 // the in-flight computation.
 func ComputeSummaries(p *disasm.Program, conf Config) *Summaries {
 	conf = conf.withDefaults()
-	s := &Summaries{cg: callgraph.Build(p), conf: conf}
+	m, err := isa.ByName(p.Image.ISAName())
+	if err != nil {
+		m = mips.M
+	}
+	s := &Summaries{cg: callgraph.Build(p), conf: conf, m: m}
 	var wg sync.WaitGroup
 	for _, comp := range s.cg.SCCs() {
 		for _, n := range comp {
@@ -107,7 +113,7 @@ func (s *Summaries) compute(fn *disasm.Func) *Summary {
 	for _, m := range s.cg.SCCs()[node.SCC] {
 		mates[m.Fn] = true
 	}
-	b := newBuilder(fn, s.conf)
+	b := newBuilder(fn, s.conf, s.m)
 	b.ipc = s
 	b.sccMates = mates
 
@@ -117,7 +123,7 @@ func (s *Summaries) compute(fn *disasm.Func) *Summary {
 	seen := map[string]bool{}
 	informative := false
 	for i, in := range fn.Insts {
-		if in.Op != isa.JR || in.Rs != isa.RA {
+		if !in.IsReturn() {
 			continue
 		}
 		b.truncated = false
@@ -150,7 +156,7 @@ func (s *Summaries) compute(fn *disasm.Func) *Summary {
 		}
 		b.truncated = false
 		for _, base := range b.expandReg(in.Rs, i, 0, map[int]bool{}) {
-			p := binary(Add, base, NewConst(in.Imm))
+			p := binary(Add, base, NewConst(in.MemOffset()))
 			for k := 0; k < 4; k++ {
 				if d := derefOverParam(p, isa.A0+isa.Reg(k)); d >= 0 && d+1 > sum.ArgDeref[k] {
 					sum.ArgDeref[k] = d + 1
@@ -244,7 +250,7 @@ func (s *Summaries) analyzeProgram(p *disasm.Program) []*Load {
 			}
 		}
 		for _, n := range sccs[ci] {
-			b := newBuilder(n.Fn, s.conf)
+			b := newBuilder(n.Fn, s.conf, s.m)
 			b.ipc = s
 			byFn[n.Fn] = b.analyzeLoads()
 			if !propagate {
@@ -333,8 +339,11 @@ func (b *builder) resolveRet(d dataflow.Def, reg isa.Reg, depth int, visiting ma
 		return nil
 	}
 	in := b.fn.Insts[d.Inst]
-	if in.Op != isa.JAL {
-		return nil // syscall or jalr clobber: no static callee
+	if !in.IsCall() {
+		return nil // syscall clobber: no callee at all
+	}
+	if _, ok := in.DirectJumpTarget(b.fn.PC(d.Inst)); !ok {
+		return nil // indirect call (jalr/blx): no static callee
 	}
 	callee := b.ipc.cg.CalleeAt(b.fn, d.Inst)
 	if callee == nil {

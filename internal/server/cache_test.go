@@ -87,6 +87,49 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	}
 }
 
+// TestCacheISAIsolation: identical source under different machine
+// descriptions must never share a cache entry — an arm analysis served
+// from a mips fill would silently report the wrong backend's numbers.
+// The empty ISA and the explicit "mips" are the same request and do
+// share one.
+func TestCacheISAIsolation(t *testing.T) {
+	s, ts := newTestDaemon(t, Config{})
+	for _, ep := range []string{"/v1/analyze", "/v1/run"} {
+		mips := fmt.Sprintf(`{"source": %q}`, srcLoop)
+		mipsExplicit := fmt.Sprintf(`{"source": %q, "isa": "mips"}`, srcLoop)
+		arm := fmt.Sprintf(`{"source": %q, "isa": "arm"}`, srcLoop)
+
+		code, hdr, _ := postJSON(t, ts.URL+ep, mips)
+		if code != http.StatusOK {
+			t.Fatalf("%s mips request = %d", ep, code)
+		}
+		if got := hdr.Get("Delinq-Cache"); got != "miss" {
+			t.Errorf("%s first mips request Delinq-Cache = %q, want miss", ep, got)
+		}
+		// Same request with the default spelled out: a hit.
+		_, hdr, _ = postJSON(t, ts.URL+ep, mipsExplicit)
+		if got := hdr.Get("Delinq-Cache"); got != "hit" {
+			t.Errorf(`%s explicit "mips" Delinq-Cache = %q, want hit (canonical with "")`, ep, got)
+		}
+		// Same source on arm: never a cross-hit.
+		code, hdr, body := postJSON(t, ts.URL+ep, arm)
+		if code != http.StatusOK {
+			t.Fatalf("%s arm request = %d: %s", ep, code, body)
+		}
+		if got := hdr.Get("Delinq-Cache"); got != "miss" {
+			t.Errorf("%s arm request Delinq-Cache = %q, want miss (distinct key)", ep, got)
+		}
+		// And the arm entry is itself cached, separately.
+		_, hdr, _ = postJSON(t, ts.URL+ep, arm)
+		if got := hdr.Get("Delinq-Cache"); got != "hit" {
+			t.Errorf("%s repeat arm request Delinq-Cache = %q, want hit", ep, got)
+		}
+	}
+	if misses := cacheMetric(t, s, "delinq_cache_misses_total"); misses != 4 {
+		t.Errorf("delinq_cache_misses_total = %d, want 4 (mips + arm per endpoint)", misses)
+	}
+}
+
 // TestCacheOff: with the cache disabled every request recomputes and
 // answers Delinq-Cache: off, byte-identically.
 func TestCacheOff(t *testing.T) {

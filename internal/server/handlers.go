@@ -20,6 +20,7 @@ import (
 	"delinq/internal/classify"
 	"delinq/internal/core"
 	"delinq/internal/faultinject"
+	"delinq/internal/isa"
 	"delinq/internal/metrics"
 	"delinq/internal/tables"
 )
@@ -74,6 +75,9 @@ type analyzeRequest struct {
 	Inter     bool    `json:"inter"`
 	Input2    bool    `json:"input2"`
 	Args      []int32 `json:"args"`
+	// ISA names the machine description to build for ("mips", "arm");
+	// empty means mips. Unknown names are a 400.
+	ISA string `json:"isa"`
 }
 
 type setEval struct {
@@ -89,6 +93,7 @@ func evalJSON(ev metrics.SetEval) setEval {
 
 type analyzeResponse struct {
 	Benchmark  string   `json:"benchmark,omitempty"`
+	ISA        string   `json:"isa,omitempty"`
 	Optimize   bool     `json:"optimize"`
 	Inter      bool     `json:"inter"`
 	Heuristic  setEval  `json:"heuristic"`
@@ -102,7 +107,7 @@ func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *ht
 	if ae := decodeJSON(w, r, &req); ae != nil {
 		return ae
 	}
-	unit, ae := validateTarget(req.Source, req.Benchmark, req.Args)
+	unit, ae := validateTarget(req.Source, req.Benchmark, req.ISA, req.Args)
 	if ae != nil {
 		return ae
 	}
@@ -141,7 +146,10 @@ func (s *Server) analyzeFill(ctx context.Context, req analyzeRequest, unit strin
 
 // validateTarget checks the source/benchmark request shape shared by
 // analyze and run, returning the breaker unit guarding the work.
-func validateTarget(source, benchmark string, args []int32) (string, *apiError) {
+func validateTarget(source, benchmark, isaName string, args []int32) (string, *apiError) {
+	if _, err := isa.ByName(isaName); err != nil {
+		return "", errorf(http.StatusBadRequest, "%v", err)
+	}
 	switch {
 	case source == "" && benchmark == "":
 		return "", errorf(http.StatusBadRequest, "one of source or benchmark is required")
@@ -163,7 +171,7 @@ func validateTarget(source, benchmark string, args []int32) (string, *apiError) 
 // analyzeSource runs the ad-hoc pipeline: compile, simulate, identify.
 // Compile failures are the client's (400); later stages are ours (500).
 func (s *Server) analyzeSource(ctx context.Context, req analyzeRequest) (*analyzeResponse, *apiError) {
-	img, err := core.BuildSource(req.Source, req.Optimize)
+	img, err := core.BuildSourceISA(req.Source, req.Optimize, req.ISA)
 	if err != nil {
 		return nil, errorf(http.StatusBadRequest, "compile: %v", err)
 	}
@@ -178,6 +186,7 @@ func (s *Server) analyzeSource(ctx context.Context, req analyzeRequest) (*analyz
 	ev := res.Evaluate(sim, 0)
 	okn, bdh := res.Baselines(sim, 0)
 	resp := &analyzeResponse{
+		ISA:        req.ISA,
 		Optimize:   req.Optimize,
 		Inter:      req.Inter,
 		Heuristic:  evalJSON(ev),
@@ -193,7 +202,7 @@ func (s *Server) analyzeSource(ctx context.Context, req analyzeRequest) (*analyz
 // server-side: the corpus is ours, so nothing maps to 400.
 func (s *Server) analyzeBenchmark(ctx context.Context, req analyzeRequest) (*analyzeResponse, *apiError) {
 	b := bench.ByName(req.Benchmark)
-	bd, err := bench.CompileCtx(ctx, b, req.Optimize)
+	bd, err := bench.CompileISACtx(ctx, b, req.Optimize, req.ISA)
 	if err != nil {
 		return nil, pipelineError(err)
 	}
@@ -227,6 +236,7 @@ func (s *Server) analyzeBenchmark(ctx context.Context, req analyzeRequest) (*ana
 	}
 	resp := &analyzeResponse{
 		Benchmark:  b.Name,
+		ISA:        req.ISA,
 		Optimize:   req.Optimize,
 		Inter:      req.Inter,
 		Heuristic:  evalJSON(metrics.Evaluate(delta, stats)),
@@ -265,10 +275,14 @@ type runRequest struct {
 	Optimize  bool    `json:"optimize"`
 	Input2    bool    `json:"input2"`
 	Args      []int32 `json:"args"`
+	// ISA names the machine description to build for ("mips", "arm");
+	// empty means mips. Unknown names are a 400.
+	ISA string `json:"isa"`
 }
 
 type runResponse struct {
 	Benchmark string  `json:"benchmark,omitempty"`
+	ISA       string  `json:"isa,omitempty"`
 	Exit      int32   `json:"exit"`
 	Insts     int64   `json:"insts"`
 	Accesses  uint64  `json:"accesses"`
@@ -282,7 +296,7 @@ func (s *Server) handleRun(ctx context.Context, w http.ResponseWriter, r *http.R
 	if ae := decodeJSON(w, r, &req); ae != nil {
 		return ae
 	}
-	unit, ae := validateTarget(req.Source, req.Benchmark, req.Args)
+	unit, ae := validateTarget(req.Source, req.Benchmark, req.ISA, req.Args)
 	if ae != nil {
 		return ae
 	}
@@ -312,7 +326,7 @@ func (s *Server) handleRun(ctx context.Context, w http.ResponseWriter, r *http.R
 }
 
 func (s *Server) runSource(ctx context.Context, req runRequest) (*runResponse, *apiError) {
-	img, err := core.BuildSource(req.Source, req.Optimize)
+	img, err := core.BuildSourceISA(req.Source, req.Optimize, req.ISA)
 	if err != nil {
 		return nil, errorf(http.StatusBadRequest, "compile: %v", err)
 	}
@@ -322,6 +336,7 @@ func (s *Server) runSource(ctx context.Context, req runRequest) (*runResponse, *
 	}
 	st := sim.Caches[0].Stats()
 	return &runResponse{
+		ISA:      req.ISA,
 		Exit:     sim.Result.Exit,
 		Insts:    sim.Result.Insts,
 		Accesses: st.Accesses,
@@ -333,7 +348,7 @@ func (s *Server) runSource(ctx context.Context, req runRequest) (*runResponse, *
 
 func (s *Server) runBenchmark(ctx context.Context, req runRequest) (*runResponse, *apiError) {
 	b := bench.ByName(req.Benchmark)
-	bd, err := bench.CompileCtx(ctx, b, req.Optimize)
+	bd, err := bench.CompileISACtx(ctx, b, req.Optimize, req.ISA)
 	if err != nil {
 		return nil, pipelineError(err)
 	}
@@ -351,6 +366,7 @@ func (s *Server) runBenchmark(ctx context.Context, req runRequest) (*runResponse
 	st := run.Caches[tables.GeomBaseline].Stats()
 	return &runResponse{
 		Benchmark: b.Name,
+		ISA:       req.ISA,
 		Exit:      run.Result.Exit,
 		Insts:     run.Result.Insts,
 		Accesses:  st.Accesses,
@@ -466,7 +482,7 @@ func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, r *http
 // batchOne answers one batch item through the same validate → cache →
 // fill path a single analyze request takes.
 func (s *Server) batchOne(ctx context.Context, req analyzeRequest, acquire func() (func(), *apiError)) batchItem {
-	unit, ae := validateTarget(req.Source, req.Benchmark, req.Args)
+	unit, ae := validateTarget(req.Source, req.Benchmark, req.ISA, req.Args)
 	var outcome string
 	if ae == nil {
 		cr, o, err := s.doCached(ctx, analyzeCacheKey(req), s.analyzeFill(ctx, req, unit, acquire))

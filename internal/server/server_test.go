@@ -128,6 +128,7 @@ func TestAnalyzeValidation(t *testing.T) {
 		{"bad json", `{"source": `, "bad request body"},
 		{"unknown field", `{"source": "int main() { return 0; }", "optimise": true}`, "unknown field"},
 		{"compile error", `{"source": "int main() { return undeclared; }"}`, "compile:"},
+		{"unknown isa", `{"source": "int main() { return 0; }", "isa": "sparc"}`, "unknown machine"},
 	}
 	for _, tc := range cases {
 		code, _, body := postJSON(t, ts.URL+"/v1/analyze", tc.body)
@@ -137,6 +138,45 @@ func TestAnalyzeValidation(t *testing.T) {
 		if !strings.Contains(body, tc.want) {
 			t.Errorf("%s: body %q missing %q", tc.name, body, tc.want)
 		}
+	}
+	// The run endpoint validates the ISA through the same path.
+	code, _, body := postJSON(t, ts.URL+"/v1/run", `{"source": "int main() { return 0; }", "isa": "sparc"}`)
+	if code != http.StatusBadRequest || !strings.Contains(body, "unknown machine") {
+		t.Errorf("run with unknown isa: status %d body %q, want 400 naming the machine", code, body)
+	}
+}
+
+// TestAnalyzeARM drives the arm backend through the JSON API: the
+// request is accepted, the response echoes the ISA, and the analysis
+// reports the same load population shape as mips.
+func TestAnalyzeARM(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{})
+	body := fmt.Sprintf(`{"source": %q, "isa": "arm"}`, srcLoop)
+	code, _, got := postJSON(t, ts.URL+"/v1/analyze", body)
+	if code != http.StatusOK {
+		t.Fatalf("analyze isa=arm = %d: %s", code, got)
+	}
+	var resp analyzeResponse
+	if err := json.Unmarshal([]byte(got), &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, got)
+	}
+	if resp.ISA != "arm" {
+		t.Errorf("isa echoed as %q, want arm", resp.ISA)
+	}
+	if resp.Heuristic.Loads == 0 {
+		t.Error("arm analysis saw zero loads in a program full of them")
+	}
+	// The arm VM must produce the same program behaviour.
+	code, _, got = postJSON(t, ts.URL+"/v1/run", fmt.Sprintf(`{"source": %q, "isa": "arm"}`, srcLoop))
+	if code != http.StatusOK {
+		t.Fatalf("run isa=arm = %d: %s", code, got)
+	}
+	var rr runResponse
+	if err := json.Unmarshal([]byte(got), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Exit != 0 || rr.Output != "0" {
+		t.Errorf("arm run diverged: %+v", rr)
 	}
 }
 

@@ -203,6 +203,74 @@ func TableS4() (*Table, error) {
 	return t, nil
 }
 
+// TableS5 is the cross-ISA comparison: every benchmark compiled once,
+// then lowered to each machine description (the native mips encoding
+// and the two-operand arm backend), analysed and simulated per ISA, and
+// evaluated with weights retrained on that ISA's own training set. The
+// two backends expose the same address structure through different
+// instruction idioms (gp-relative vs movw/movt absolute globals,
+// post-indexed pointer walks), so the heuristic's π/ρ should land in
+// the same band on both — that stability is what the table
+// demonstrates. Rendered on demand (`delinq table S5`); not part of
+// the default sweep so the paper-table golden stays byte-identical.
+func TableS5() (*Table, error) {
+	isas := []string{"mips", "arm"}
+	t := &Table{
+		ID:    "S5",
+		Title: "Extension: heuristic stability across machine descriptions (pi/rho, %)",
+		Header: []string{"Benchmark", "mips |L|", "mips pi/rho",
+			"arm |L|", "arm pi/rho"},
+		Notes: "unoptimised binaries, Input 1, 8KB baseline cache; each ISA " +
+			"evaluated with weights retrained on its own lowered training set",
+	}
+	cfgs := make([]classify.Config, len(isas))
+	for k, isaName := range isas {
+		cfg, err := HeuristicConfigISA(true, isaName)
+		if err != nil {
+			return nil, err
+		}
+		cfgs[k] = cfg
+	}
+	pis := make([][]float64, len(isas))
+	rhos := make([][]float64, len(isas))
+	for _, b := range bench.All() {
+		row := []string{b.Name}
+		var deg *Degradation
+		for k, isaName := range isas {
+			var ctx *Ctx
+			ctx, deg = LoadSafeISA(b, false, false, isaName)
+			if deg != nil {
+				break
+			}
+			stats := ctx.Stats(GeomBaseline)
+			delta := map[uint32]bool{}
+			for _, s := range classify.Score(ctx.Build.Loads, ctx.Run, cfgs[k]) {
+				if s.Delinquent {
+					delta[s.Load.PC] = true
+				}
+			}
+			ev := metrics.Evaluate(delta, stats)
+			pis[k] = append(pis[k], ev.Pi)
+			rhos[k] = append(rhos[k], ev.Rho)
+			row = append(row,
+				fmt.Sprintf("%d", len(ctx.Build.Loads)),
+				fmt.Sprintf("%.1f / %.0f", ev.Pi*100, ev.Rho*100))
+		}
+		if deg != nil {
+			t.Rows = append(t.Rows, DegradedRow(deg, len(t.Header)))
+			continue
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avgRow := []string{"AVERAGE"}
+	for k := range isas {
+		avgRow = append(avgRow, "",
+			fmt.Sprintf("%.1f / %.0f", avg(pis[k])*100, avg(rhos[k])*100))
+	}
+	t.Rows = append(t.Rows, avgRow)
+	return t, nil
+}
+
 // blockGeoms are the geometries of the block-size stability sweep.
 var blockGeoms = []cache.Config{
 	{SizeBytes: 8 * 1024, Assoc: 4, BlockBytes: 16},

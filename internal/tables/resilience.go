@@ -127,10 +127,18 @@ func DegradedRow(d *Degradation, width int) []string {
 // and returned as a Degradation, and a healthy benchmark returns its
 // Ctx. Exactly one of the results is non-nil.
 func LoadSafe(b *bench.Benchmark, optimize, input2 bool) (*Ctx, *Degradation) {
+	return LoadSafeISA(b, optimize, input2, "")
+}
+
+// LoadSafeISA is LoadSafe with the build lowered to the named machine
+// description. A failure quarantines the benchmark as a whole (the
+// registry is keyed by name, not ISA), which keeps every table's view
+// of a sick benchmark consistent.
+func LoadSafeISA(b *bench.Benchmark, optimize, input2 bool, isaName string) (*Ctx, *Degradation) {
 	if d := degradationFor(b.Name); d != nil {
 		return nil, d
 	}
-	c, err := loadRecover(b, optimize, input2)
+	c, err := loadRecover(b, optimize, input2, isaName)
 	if err != nil {
 		return nil, record(b.Name, err)
 	}
@@ -142,7 +150,7 @@ func LoadSafe(b *bench.Benchmark, optimize, input2 bool) (*Ctx, *Degradation) {
 
 // loadRecover runs Load under the per-benchmark deadline, converting a
 // panic into a StageWorker error.
-func loadRecover(b *bench.Benchmark, optimize, input2 bool) (c *Ctx, err error) {
+func loadRecover(b *bench.Benchmark, optimize, input2 bool, isaName string) (c *Ctx, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			c, err = nil, core.WrapStage(b.Name, core.StageWorker, fmt.Errorf("panic: %v", r))
@@ -150,7 +158,7 @@ func loadRecover(b *bench.Benchmark, optimize, input2 bool) (c *Ctx, err error) 
 	}()
 	ctx, cancel := benchCtx(context.Background())
 	defer cancel()
-	return LoadCtx(ctx, b, optimize, input2)
+	return LoadISACtx(ctx, b, optimize, input2, isaName)
 }
 
 // loadGeomsSafe is LoadSafe for experiments on non-standard geometry
@@ -178,7 +186,7 @@ func loadGeomsRecover(b *bench.Benchmark, optimize bool, input []int32, geoms []
 	}()
 	ctx, cancel := benchCtx(context.Background())
 	defer cancel()
-	if bd, err = bench.CompileCtx(ctx, b, optimize); err != nil {
+	if bd, err = bench.CompileISACtx(ctx, b, optimize, isaOrDefault("")); err != nil {
 		return nil, nil, err
 	}
 	if run, err = bench.SimulateCtx(ctx, bd, input, geoms); err != nil {

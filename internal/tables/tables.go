@@ -119,7 +119,14 @@ func Load(b *bench.Benchmark, optimize, input2 bool) (*Ctx, error) {
 // LoadCtx is Load under a context: a deadline or cancellation stops the
 // compile and the simulation promptly.
 func LoadCtx(ctx context.Context, b *bench.Benchmark, optimize, input2 bool) (*Ctx, error) {
-	bd, err := bench.CompileCtx(ctx, b, optimize)
+	return LoadISACtx(ctx, b, optimize, input2, "")
+}
+
+// LoadISACtx is LoadCtx with the build lowered to the named machine
+// description before analysis and simulation; "" resolves through
+// SetISA (mips by default).
+func LoadISACtx(ctx context.Context, b *bench.Benchmark, optimize, input2 bool, isaName string) (*Ctx, error) {
+	bd, err := bench.CompileISACtx(ctx, b, optimize, isaOrDefault(isaName))
 	if err != nil {
 		return nil, err
 	}
@@ -140,12 +147,14 @@ func (c *Ctx) Stats(gi int) []metrics.LoadStat { return c.Run.LoadStats(gi) }
 // --- parallel experiment engine ----------------------------------------------------
 
 // Combo is one unit of experimental work: a (benchmark, optimize,
-// input, geometry bundle) combination to compile and simulate.
+// input, geometry bundle, ISA) combination to compile and simulate.
 type Combo struct {
 	Bench    *bench.Benchmark
 	Optimize bool
 	Input2   bool
 	Geoms    []cache.Config
+	// ISA names the machine description to lower to; empty means mips.
+	ISA string
 }
 
 // run compiles and simulates the combo (memoised end to end).
@@ -154,7 +163,7 @@ func (cb Combo) run() (*bench.Run, error) {
 }
 
 func (cb Combo) runCtx(ctx context.Context) (*bench.Run, error) {
-	bd, err := bench.CompileCtx(ctx, cb.Bench, cb.Optimize)
+	bd, err := bench.CompileISACtx(ctx, cb.Bench, cb.Optimize, isaOrDefault(cb.ISA))
 	if err != nil {
 		return nil, err
 	}
@@ -205,9 +214,15 @@ func AllCombos() []Combo {
 // unoptimised training benchmarks on Input 1 with the standard geometry
 // bundle.
 func TrainingCombos() []Combo {
+	return TrainingCombosISA("")
+}
+
+// TrainingCombosISA is TrainingCombos targeting the named machine
+// description.
+func TrainingCombosISA(isaName string) []Combo {
 	var out []Combo
 	for _, b := range bench.Training() {
-		out = append(out, Combo{Bench: b, Geoms: StdGeoms})
+		out = append(out, Combo{Bench: b, Geoms: StdGeoms, ISA: isaName})
 	}
 	return out
 }
@@ -310,40 +325,85 @@ func (c *Ctx) Scores(cfg classify.Config) map[uint32]float64 {
 
 // --- trained weights ----------------------------------------------------------
 
+// trainOutcome is one completed learning phase for one ISA.
+type trainOutcome struct {
+	report *train.Report
+	err    error
+}
+
 var (
-	trainMu     sync.Mutex
-	trained     bool
-	trainReport *train.Report
-	trainErr    error
+	trainMu   sync.Mutex
+	trainRuns = map[string]*trainOutcome{}
 )
+
+var (
+	isaMu      sync.RWMutex
+	defaultISA = "mips"
+)
+
+// SetISA selects the machine description the table engine targets when
+// no explicit ISA is given (the `delinq table -isa` flag); empty
+// restores the default mips. The memo layers underneath keep per-ISA
+// builds, simulations, and trained weights separate, so switching
+// mid-process is safe.
+func SetISA(name string) {
+	if name == "" {
+		name = "mips"
+	}
+	isaMu.Lock()
+	defaultISA = name
+	isaMu.Unlock()
+}
+
+// isaOrDefault resolves an empty machine-description name to the
+// configured default.
+func isaOrDefault(name string) string {
+	if name != "" {
+		return name
+	}
+	isaMu.RLock()
+	defer isaMu.RUnlock()
+	return defaultISA
+}
 
 // TrainedReport runs (once) the full training phase over the 11 training
 // benchmarks under the training cache geometry and returns the report.
 // Concurrent first callers block on the single training run.
 func TrainedReport() (*train.Report, error) {
-	trainMu.Lock()
-	defer trainMu.Unlock()
-	if !trained {
-		samples, err := TrainingSamples()
-		if err != nil {
-			trainErr = err
-		} else {
-			trainReport = train.Train(samples, train.DefaultConfig())
-		}
-		trained = true
-	}
-	return trainReport, trainErr
+	return TrainedReportISA("")
 }
 
-// ResetTraining drops the memoised training report so the learning
-// phase reruns (testing and benchmark hook; pair with bench.ResetCache
-// for a fully cold pipeline). Safe to call concurrently with
-// TrainedReport: a training run already in progress completes first
-// (the reset blocks on it), then the memo is cleared.
+// TrainedReportISA is TrainedReport for the named machine description:
+// the same learning phase, but over binaries lowered to that ISA, so
+// each backend gets weights fitted to its own pattern population. The
+// reports are memoised per ISA; "" resolves through SetISA (mips by
+// default).
+func TrainedReportISA(isaName string) (*train.Report, error) {
+	key := isaOrDefault(isaName)
+	trainMu.Lock()
+	defer trainMu.Unlock()
+	tr := trainRuns[key]
+	if tr == nil {
+		tr = &trainOutcome{}
+		samples, err := TrainingSamplesISA(isaName)
+		if err != nil {
+			tr.err = err
+		} else {
+			tr.report = train.Train(samples, train.DefaultConfig())
+		}
+		trainRuns[key] = tr
+	}
+	return tr.report, tr.err
+}
+
+// ResetTraining drops the memoised training reports (every ISA) so the
+// learning phase reruns (testing and benchmark hook; pair with
+// bench.ResetCache for a fully cold pipeline). Safe to call
+// concurrently with TrainedReport: a training run already in progress
+// completes first (the reset blocks on it), then the memo is cleared.
 func ResetTraining() {
 	trainMu.Lock()
-	trained = false
-	trainReport, trainErr = nil, nil
+	trainRuns = map[string]*trainOutcome{}
 	trainMu.Unlock()
 }
 
@@ -355,12 +415,18 @@ func ResetTraining() {
 // failing the whole learning phase: the weights train on the healthy
 // remainder.
 func TrainingSamples() ([]train.Sample, error) {
-	if err := Preload(context.Background(), 0, TrainingCombos()); err != nil {
+	return TrainingSamplesISA("")
+}
+
+// TrainingSamplesISA is TrainingSamples over binaries lowered to the
+// named machine description.
+func TrainingSamplesISA(isaName string) ([]train.Sample, error) {
+	if err := Preload(context.Background(), 0, TrainingCombosISA(isaName)); err != nil {
 		return nil, err
 	}
 	var samples []train.Sample
 	for _, b := range bench.Training() {
-		ctx, deg := LoadSafe(b, false, false)
+		ctx, deg := LoadSafeISA(b, false, false, isaName)
 		if deg != nil {
 			continue
 		}
@@ -401,7 +467,13 @@ func TrainingSamples() ([]train.Sample, error) {
 // HeuristicConfig returns the evaluation configuration: trained weights,
 // δ = 0.10, frequency classes per useFreq.
 func HeuristicConfig(useFreq bool) (classify.Config, error) {
-	rep, err := TrainedReport()
+	return HeuristicConfigISA(useFreq, "")
+}
+
+// HeuristicConfigISA is HeuristicConfig with weights retrained for the
+// named machine description.
+func HeuristicConfigISA(useFreq bool, isaName string) (classify.Config, error) {
+	rep, err := TrainedReportISA(isaName)
 	if err != nil {
 		return classify.Config{}, err
 	}
@@ -468,8 +540,10 @@ func ByID(id string) (*Table, error) {
 		return TableS3()
 	case "S4", "s4":
 		return TableS4()
+	case "S5", "s5":
+		return TableS5()
 	}
-	return nil, fmt.Errorf("tables: unknown table %q (valid: 1-14, S1-S4)", id)
+	return nil, fmt.Errorf("tables: unknown table %q (valid: 1-14, S1-S5)", id)
 }
 
 // IDs lists the regenerable tables.

@@ -16,6 +16,10 @@ import (
 	"delinq/internal/cache"
 	"delinq/internal/isa"
 	"delinq/internal/obj"
+
+	// Both backends register themselves so any image executes.
+	_ "delinq/internal/isa/arm"
+	_ "delinq/internal/isa/mips"
 )
 
 const pageSize = 1 << 12
@@ -98,8 +102,12 @@ type machine struct {
 	freg   [32]float32
 	hi, lo int32
 	cc     bool
-	pc     uint32
-	pages  map[uint32][]byte
+	// cmpA/cmpB hold the last ACMP/ACMPI operand pair; the ARM
+	// conditional branches and set instructions derive their outcome
+	// from them rather than from materialised condition flags.
+	cmpA, cmpB int32
+	pc         uint32
+	pages      map[uint32][]byte
 	// One-entry page translation cache: the vast majority of data
 	// accesses land on the page of the previous access, so this skips
 	// the map lookup on the hot path. Pages are never unmapped, so the
@@ -149,9 +157,13 @@ func RunContext(ctx context.Context, img *obj.Image, opts Options) (*Result, err
 			LoadAccesses: make([]int64, len(img.Text)),
 		},
 	}
+	mach, err := isa.ByName(img.ISAName())
+	if err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
+	}
 	m.code = make([]isa.Inst, len(img.Text))
 	for i, w := range img.Text {
-		in, err := isa.Decode(w)
+		in, err := mach.Decode(w)
 		if err != nil {
 			return nil, err
 		}
@@ -169,9 +181,11 @@ func RunContext(ctx context.Context, img *obj.Image, opts Options) (*Result, err
 	for i, b := range img.Data {
 		m.pageFor(obj.DataBase + uint32(i))[(obj.DataBase+uint32(i))%pageSize] = b
 	}
-	m.reg[isa.GP] = int32(img.GPValue)
-	m.reg[isa.SP] = int32(obj.StackTop)
-	m.reg[isa.RA] = 0 // returning from the entry halts
+	if gp, ok := mach.GP(); ok {
+		m.reg[gp] = int32(img.GPValue)
+	}
+	m.reg[mach.SP()] = int32(obj.StackTop)
+	m.reg[mach.RA()] = 0 // returning from the entry halts
 	m.pc = img.Entry
 	if ctx.Done() != nil {
 		m.ctx = ctx
@@ -390,7 +404,7 @@ func (m *machine) loop() error {
 				next = in.BranchTarget(m.pc)
 			}
 
-		case isa.SYSCALL:
+		case isa.SYSCALL, isa.ASVC:
 			halt, err := m.syscall()
 			if err != nil {
 				return err
@@ -503,6 +517,191 @@ func (m *machine) loop() error {
 			m.cc = m.freg[in.Rs] < m.freg[in.Rt]
 		case isa.CLES:
 			m.cc = m.freg[in.Rs] <= m.freg[in.Rt]
+
+		// ARM backend: two-operand ALU (Rd is both destination and left
+		// source), compare-state branches, and pre/post-indexed memory.
+		case isa.AMOV:
+			m.setReg(in.Rd, m.reg[in.Rs])
+		case isa.AMVN:
+			m.setReg(in.Rd, ^m.reg[in.Rs])
+		case isa.AADD:
+			m.setReg(in.Rd, m.reg[in.Rd]+m.reg[in.Rt])
+		case isa.ASUB:
+			m.setReg(in.Rd, m.reg[in.Rd]-m.reg[in.Rt])
+		case isa.ARSB:
+			m.setReg(in.Rd, m.reg[in.Rt]-m.reg[in.Rd])
+		case isa.AMUL:
+			m.setReg(in.Rd, m.reg[in.Rd]*m.reg[in.Rt])
+		case isa.AAND:
+			m.setReg(in.Rd, m.reg[in.Rd]&m.reg[in.Rt])
+		case isa.AORR:
+			m.setReg(in.Rd, m.reg[in.Rd]|m.reg[in.Rt])
+		case isa.AEOR:
+			m.setReg(in.Rd, m.reg[in.Rd]^m.reg[in.Rt])
+		case isa.ALSL:
+			m.setReg(in.Rd, m.reg[in.Rd]<<uint(m.reg[in.Rt]&31))
+		case isa.ALSR:
+			m.setReg(in.Rd, int32(uint32(m.reg[in.Rd])>>uint(m.reg[in.Rt]&31)))
+		case isa.AASR:
+			m.setReg(in.Rd, m.reg[in.Rd]>>uint(m.reg[in.Rt]&31))
+		case isa.AADDI:
+			m.setReg(in.Rd, m.reg[in.Rd]+in.Imm)
+		case isa.AANDI:
+			m.setReg(in.Rd, m.reg[in.Rd]&in.Imm)
+		case isa.AORRI:
+			m.setReg(in.Rd, m.reg[in.Rd]|in.Imm)
+		case isa.AEORI:
+			m.setReg(in.Rd, m.reg[in.Rd]^in.Imm)
+		case isa.ALSLI:
+			m.setReg(in.Rd, m.reg[in.Rd]<<uint(in.Imm))
+		case isa.ALSRI:
+			m.setReg(in.Rd, int32(uint32(m.reg[in.Rd])>>uint(in.Imm)))
+		case isa.AASRI:
+			m.setReg(in.Rd, m.reg[in.Rd]>>uint(in.Imm))
+		case isa.AMOVI:
+			m.setReg(in.Rd, in.Imm)
+		case isa.AMOVW:
+			m.setReg(in.Rd, in.Imm&0xffff)
+		case isa.AMOVT:
+			m.setReg(in.Rd, m.reg[in.Rd]&0xffff|in.Imm<<16)
+
+		case isa.ACMP:
+			m.cmpA, m.cmpB = m.reg[in.Rs], m.reg[in.Rt]
+		case isa.ACMPI:
+			m.cmpA, m.cmpB = m.reg[in.Rs], in.Imm
+		case isa.ASETLT:
+			m.setReg(in.Rd, b2i(m.cmpA < m.cmpB))
+		case isa.ASETLO:
+			m.setReg(in.Rd, b2i(uint32(m.cmpA) < uint32(m.cmpB)))
+		case isa.ABEQ:
+			if m.cmpA == m.cmpB {
+				next = in.BranchTarget(m.pc)
+			}
+		case isa.ABNE:
+			if m.cmpA != m.cmpB {
+				next = in.BranchTarget(m.pc)
+			}
+		case isa.ABLT:
+			if m.cmpA < m.cmpB {
+				next = in.BranchTarget(m.pc)
+			}
+		case isa.ABGE:
+			if m.cmpA >= m.cmpB {
+				next = in.BranchTarget(m.pc)
+			}
+		case isa.ABGT:
+			if m.cmpA > m.cmpB {
+				next = in.BranchTarget(m.pc)
+			}
+		case isa.ABLE:
+			if m.cmpA <= m.cmpB {
+				next = in.BranchTarget(m.pc)
+			}
+		case isa.AB:
+			next = in.BranchTarget(m.pc)
+		case isa.ABL:
+			m.reg[isa.RA] = int32(m.pc + 4)
+			next = in.BranchTarget(m.pc)
+		case isa.ABX:
+			next = uint32(m.reg[in.Rs])
+		case isa.ABLX:
+			m.setReg(in.Rd, int32(m.pc+4))
+			next = uint32(m.reg[in.Rs])
+
+		case isa.ALDR:
+			addr := uint32(m.reg[in.Rs] + in.Imm)
+			m.access(m.pc, addr, false)
+			v, err := m.loadWord(addr)
+			if err != nil {
+				return err
+			}
+			m.setReg(in.Rt, int32(v))
+		case isa.ALDRH:
+			addr := uint32(m.reg[in.Rs] + in.Imm)
+			m.access(m.pc, addr, false)
+			v, err := m.loadHalf(addr)
+			if err != nil {
+				return err
+			}
+			m.setReg(in.Rt, int32(v))
+		case isa.ALDRSH:
+			addr := uint32(m.reg[in.Rs] + in.Imm)
+			m.access(m.pc, addr, false)
+			v, err := m.loadHalf(addr)
+			if err != nil {
+				return err
+			}
+			m.setReg(in.Rt, int32(int16(v)))
+		case isa.ALDRB:
+			addr := uint32(m.reg[in.Rs] + in.Imm)
+			m.access(m.pc, addr, false)
+			m.setReg(in.Rt, int32(m.pageFor(addr)[addr%pageSize]))
+		case isa.ALDRSB:
+			addr := uint32(m.reg[in.Rs] + in.Imm)
+			m.access(m.pc, addr, false)
+			m.setReg(in.Rt, int32(int8(m.pageFor(addr)[addr%pageSize])))
+		case isa.ASTR:
+			addr := uint32(m.reg[in.Rs] + in.Imm)
+			m.access(m.pc, addr, true)
+			if err := m.storeWord(addr, uint32(m.reg[in.Rt])); err != nil {
+				return err
+			}
+		case isa.ASTRH:
+			addr := uint32(m.reg[in.Rs] + in.Imm)
+			m.access(m.pc, addr, true)
+			if err := m.storeHalf(addr, uint16(m.reg[in.Rt])); err != nil {
+				return err
+			}
+		case isa.ASTRB:
+			addr := uint32(m.reg[in.Rs] + in.Imm)
+			m.access(m.pc, addr, true)
+			m.pageFor(addr)[addr%pageSize] = byte(m.reg[in.Rt])
+		case isa.ALDRPRE:
+			addr := uint32(m.reg[in.Rs] + in.Imm)
+			m.access(m.pc, addr, false)
+			v, err := m.loadWord(addr)
+			if err != nil {
+				return err
+			}
+			m.setReg(in.Rs, int32(addr))
+			m.setReg(in.Rt, int32(v))
+		case isa.ALDRPOST:
+			addr := uint32(m.reg[in.Rs])
+			m.access(m.pc, addr, false)
+			v, err := m.loadWord(addr)
+			if err != nil {
+				return err
+			}
+			m.setReg(in.Rs, m.reg[in.Rs]+in.Imm)
+			m.setReg(in.Rt, int32(v))
+		case isa.ASTRPRE:
+			addr := uint32(m.reg[in.Rs] + in.Imm)
+			m.access(m.pc, addr, true)
+			if err := m.storeWord(addr, uint32(m.reg[in.Rt])); err != nil {
+				return err
+			}
+			m.setReg(in.Rs, int32(addr))
+		case isa.ASTRPOST:
+			addr := uint32(m.reg[in.Rs])
+			m.access(m.pc, addr, true)
+			if err := m.storeWord(addr, uint32(m.reg[in.Rt])); err != nil {
+				return err
+			}
+			m.setReg(in.Rs, m.reg[in.Rs]+in.Imm)
+		case isa.AVLDR:
+			addr := uint32(m.reg[in.Rs] + in.Imm)
+			m.access(m.pc, addr, false)
+			v, err := m.loadWord(addr)
+			if err != nil {
+				return err
+			}
+			m.freg[in.Rt] = math.Float32frombits(v)
+		case isa.AVSTR:
+			addr := uint32(m.reg[in.Rs] + in.Imm)
+			m.access(m.pc, addr, true)
+			if err := m.storeWord(addr, math.Float32bits(m.freg[in.Rt])); err != nil {
+				return err
+			}
 
 		default:
 			return m.fault("unimplemented op %v", in.Op)

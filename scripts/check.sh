@@ -55,7 +55,7 @@ go test -cover \
     ./internal/cfg ./internal/dataflow ./internal/callgraph \
     ./internal/faultinject ./internal/cache \
     ./internal/server ./internal/retry ./internal/metrics \
-    ./internal/rescache |
+    ./internal/rescache ./internal/isa/mips ./internal/isa/arm |
 awk '
 /coverage:/ {
     pct = $5; sub(/%.*/, "", pct)
@@ -77,6 +77,18 @@ echo "== difftest smoke"
 # fixed batch of generated programs. Any disagreement fails the gate.
 go run ./cmd/delinq difftest -n 200 -seed 1
 
+echo "== dual-ISA golden gate"
+# The full differential acceptance batch on both machine descriptions:
+# 1000 programs each, zero disagreements required. The interpreter leg
+# is machine-independent, so an ARM failure localises to the
+# lowering/encoder/decoder/evaluator. Then both committed table goldens
+# must re-render byte-identically.
+go run ./cmd/delinq difftest -n 1000 -seed 1
+go run ./cmd/delinq difftest -n 1000 -seed 1 -isa arm
+go run ./cmd/delinq table S5 > /tmp/delinq-tables-isa.txt
+cmp /tmp/delinq-tables-isa.txt tables_isa.txt
+rm -f /tmp/delinq-tables-isa.txt
+
 echo "== fuzz smoke"
 # Each native fuzz target gets a short time-boxed run (the Go fuzzer
 # accepts one -fuzz target per invocation). The committed corpora under
@@ -86,6 +98,7 @@ go test -fuzz '^FuzzParse$' -fuzztime 5s -run '^$' ./internal/minic
 go test -fuzz '^FuzzCompile$' -fuzztime 5s -run '^$' ./internal/minic
 go test -fuzz '^FuzzAssemble$' -fuzztime 5s -run '^$' ./internal/asm
 go test -fuzz '^FuzzAsmRoundTrip$' -fuzztime 5s -run '^$' ./internal/disasm
+go test -fuzz '^FuzzArmLowerRoundTrip$' -fuzztime 5s -run '^$' ./internal/disasm
 go test -fuzz '^FuzzDecodeImage$' -fuzztime 5s -run '^$' ./internal/obj
 
 echo "OK"
