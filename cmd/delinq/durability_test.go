@@ -1,0 +1,216 @@
+// End-to-end crash-safety tests for the durability layer: the daemon's
+// warm restart, the checkpointed table sweep's kill-anywhere resume,
+// and the per-flag usage contract of the new serve validation.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// TestCLIServeFlagValidation: every malformed tuning flag is a usage
+// error (exit 2), one case per flag so a regression names its flag.
+func TestCLIServeFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"req-timeout negative", []string{"serve", "-req-timeout", "-1s"}},
+		{"drain-timeout zero", []string{"serve", "-drain-timeout", "0"}},
+		{"drain-timeout negative", []string{"serve", "-drain-timeout", "-5s"}},
+		{"cache-entries negative", []string{"serve", "-cache-entries", "-1"}},
+		{"cache-bytes negative", []string{"serve", "-cache-bytes", "-1"}},
+		{"cache-ttl negative", []string{"serve", "-cache-ttl", "-1s"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, tc.args...).CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 2 {
+				t.Fatalf("%v: %v, want exit 2\n%s", tc.args, err, out)
+			}
+			if !strings.Contains(string(out), "usage") && !strings.Contains(string(out), "wants") {
+				t.Errorf("%v produced no usage diagnostic:\n%s", tc.args, out)
+			}
+		})
+	}
+}
+
+// TestCLIServeWarmRestart: a daemon restarted over the same -state-dir
+// serves the previous process's cached results byte-identically, with
+// the `warm` header verdict distinguishing them from in-process hits.
+func TestCLIServeWarmRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	body := fmt.Sprintf(`{"source": %q}`, cliProg)
+
+	post := func(base string) (string, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/analyze", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze = %d: %s", resp.StatusCode, b)
+		}
+		return resp.Header.Get("Delinq-Cache"), b
+	}
+
+	cmd, base, _ := startServe(t, bin, "-state-dir", dir)
+	verdict, cold := post(base)
+	if verdict != "miss" {
+		t.Fatalf("first request = %q, want miss", verdict)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+
+	cmd2, base2, _ := startServe(t, bin, "-state-dir", dir)
+	verdict2, warm := post(base2)
+	if verdict2 != "warm" {
+		t.Fatalf("post-restart request = %q, want warm", verdict2)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm body diverges from cold:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	cmd2.Process.Signal(syscall.SIGTERM)
+	cmd2.Wait()
+}
+
+// TestCLITableCheckpointKillResume is the sweep half of the recovery
+// matrix, end to end through the real binary: `table all -checkpoint`
+// is SIGKILLed mid-journal-write by the lethal fault seam, then rerun
+// clean — and the resumed output must reproduce the committed golden
+// file byte for byte.
+func TestCLITableCheckpointKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table sweep in short mode")
+	}
+	bin := buildCLI(t)
+	want, err := os.ReadFile(filepath.Join("..", "..", "tables_output.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "ckpt.wal")
+
+	// Fire the lethal seam on a mid-sweep journal append: the process
+	// dies half-way through writing a table record.
+	kill := exec.Command(bin, "table", "-checkpoint", ckpt, "all")
+	kill.Env = append(os.Environ(),
+		"DELINQ_FAULTS=wal:write=checkpoint#10",
+		"DELINQ_FAULT_LETHAL=1",
+	)
+	var killOut bytes.Buffer
+	kill.Stdout = &killOut
+	kill.Stderr = &killOut
+	err = kill.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ProcessState.ExitCode() != -1 {
+		t.Fatalf("lethal seam did not kill the sweep: %v\n%s", err, killOut.String())
+	}
+	if st, err := os.Stat(ckpt); err != nil || st.Size() == 0 {
+		t.Fatalf("killed sweep left no journal: %v", err)
+	}
+
+	// Resume without faults: the torn record is dropped, completed
+	// tables replay, the remainder recomputes.
+	resume := exec.Command(bin, "table", "-checkpoint", ckpt, "all")
+	var got bytes.Buffer
+	resume.Stdout = &got
+	var stderr bytes.Buffer
+	resume.Stderr = &stderr
+	if err := resume.Run(); err != nil {
+		t.Fatalf("resume failed: %v\n%s", err, stderr.String())
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		gl := bytes.Split(got.Bytes(), []byte("\n"))
+		wl := bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("resumed sweep diverges from tables_output.txt at line %d:\ngot:  %s\nwant: %s",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("resumed sweep length differs: got %d lines, want %d", len(gl), len(wl))
+	}
+}
+
+// TestCLITableCheckpointUsage: -checkpoint outside the 'all' sweep is
+// a usage error.
+func TestCLITableCheckpointUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	out, err := exec.Command(bin, "table", "-checkpoint", "x.wal", "S5").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("table -checkpoint S5: %v, want exit 2\n%s", err, out)
+	}
+}
+
+// TestCLILoadtestWarmBucket: a loadtest rerun over a populated
+// -state-dir reports warm hits in its own bucket, giving the
+// warm-vs-cold latency comparison a first-class home in the report.
+func TestCLILoadtestWarmBucket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	state := filepath.Join(dir, "state")
+	rep := filepath.Join(dir, "rep.json")
+
+	run := func() string {
+		t.Helper()
+		out, err := exec.Command(bin, "loadtest",
+			"-state-dir", state, "-workers", "2", "-duration", "1s",
+			"-keys", "2", "-o", rep).CombinedOutput()
+		if err != nil {
+			t.Fatalf("loadtest: %v\n%s", err, out)
+		}
+		blob, err := os.ReadFile(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+
+	run() // cold: populates the state dir
+	warm := run()
+	if !strings.Contains(warm, `"warm"`) {
+		t.Errorf("warm rerun reported no warm bucket:\n%s", warm)
+	}
+
+	// Incompatible flag pairings are usage errors.
+	for _, args := range [][]string{
+		{"loadtest", "-state-dir", state, "-addr", "http://127.0.0.1:1"},
+		{"loadtest", "-state-dir", state, "-no-cache"},
+	} {
+		err := exec.Command(bin, args...).Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("%v: %v, want exit 2", args, err)
+		}
+	}
+}

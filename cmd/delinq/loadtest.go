@@ -32,7 +32,7 @@ import (
 type ltSample struct {
 	latency time.Duration
 	status  int
-	outcome string // Delinq-Cache header: hit|miss|coalesced|off|""
+	outcome string // Delinq-Cache header: hit|warm|miss|coalesced|off|""
 }
 
 // ltSummary is the percentile digest for one latency bucket.
@@ -75,6 +75,7 @@ func cmdLoadtest(args []string) error {
 	seed := fs.Int64("seed", 1, "base RNG seed; worker w uses seed+w")
 	out := fs.String("o", "BENCH_serve.json", "write the JSON report here ('' = stdout only)")
 	noCache := fs.Bool("no-cache", false, "disable the in-process daemon's result cache (baseline)")
+	stateDir := fs.String("state-dir", "", "durable-state directory for the in-process daemon (measures warm restarts)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,12 +103,23 @@ func cmdLoadtest(args []string) error {
 	if *noCache && *addr != "" {
 		return usagef("loadtest -no-cache only applies to the in-process daemon")
 	}
+	if *stateDir != "" && *addr != "" {
+		return usagef("loadtest -state-dir only applies to the in-process daemon")
+	}
+	if *stateDir != "" && *noCache {
+		return usagef("loadtest -state-dir needs the cache enabled")
+	}
 
 	base := strings.TrimRight(*addr, "/")
 	if base == "" {
 		// Spin up a private daemon on a loopback port; the loadtest
 		// then measures the full HTTP stack, not a handler shortcut.
-		s := server.New(server.Config{Addr: "127.0.0.1:0", CacheOff: *noCache})
+		// With -state-dir pointing at a previous run's state, replayed
+		// entries answer as `warm` hits — the warm-vs-cold comparison.
+		s := server.New(server.Config{Addr: "127.0.0.1:0", CacheOff: *noCache, StateDir: *stateDir})
+		if err := s.OpenState(); err != nil {
+			return fmt.Errorf("loadtest: durable state: %w", err)
+		}
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -209,7 +221,7 @@ int main() {
 
 	fmt.Printf("loadtest: %d requests in %.2fs (%.1f req/s), hit ratio %.1f%%, shed %d, errors %d\n",
 		rep.Requests, rep.DurationSec, rep.ThroughputRPS, 100*rep.HitRatio, rep.Shed, rep.Errors)
-	for _, bucket := range []string{"overall", "hit", "miss", "coalesced"} {
+	for _, bucket := range []string{"overall", "hit", "warm", "miss", "coalesced"} {
 		if sum, ok := rep.Latency[bucket]; ok {
 			fmt.Printf("  %-9s n=%-6d p50=%.3fms p99=%.3fms mean=%.3fms\n",
 				bucket, sum.Count, sum.P50Ms, sum.P99Ms, sum.MeanMs)
@@ -255,10 +267,12 @@ func summarize(all []ltSample, elapsed time.Duration) *ltReport {
 		}
 		buckets["overall"] = append(buckets["overall"], s.latency)
 		switch s.outcome {
-		case "hit", "miss", "coalesced":
+		case "hit", "warm", "miss", "coalesced":
 			buckets[s.outcome] = append(buckets[s.outcome], s.latency)
 			classified++
-			if s.outcome == "hit" {
+			// A warm hit is a hit whose entry survived a restart; both
+			// count toward the ratio the cache is proving.
+			if s.outcome == "hit" || s.outcome == "warm" {
 				hits++
 			}
 		case "off":

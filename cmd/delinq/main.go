@@ -13,10 +13,10 @@
 //	delinq profile [-O] prog.c [args...]         hotspot blocks and their loads
 //	delinq trace [-o t.bin] prog.img [args...]   memory trace collection + replay
 //	delinq train                                 print the training report
-//	delinq table [-j N] [-v] <1-14|S1|all>       regenerate a paper table
+//	delinq table [-j N] [-v] [-checkpoint f] <1-14|S1|all>  regenerate a paper table
 //	delinq bench                                 list the benchmark suite
 //	delinq difftest [-n N] [-seed S] [-v]        three-way differential test
-//	delinq serve [-addr :8080]                   run the analysis daemon
+//	delinq serve [-addr :8080] [-state-dir d]    run the analysis daemon
 //	delinq loadtest [-workers N] [-duration d]   drive load at a daemon, report latency
 package main
 
@@ -80,6 +80,12 @@ func installFaults() error {
 	plan, err := faultinject.ParsePlan(spec, seed)
 	if err != nil {
 		return usageError{msg: err.Error()}
+	}
+	// DELINQ_FAULT_LETHAL=1 switches the disk seams (wal:*) from
+	// returning errors to killing the process mid-I/O — the crash-
+	// recovery matrix runs real subprocesses through this hook.
+	if os.Getenv("DELINQ_FAULT_LETHAL") == "1" {
+		plan.SetLethal(true)
 	}
 	faultinject.Install(plan)
 	return nil
@@ -489,6 +495,7 @@ func cmdTable(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-benchmark deadline (0 = none)")
 	strict := fs.Bool("strict", false, "exit nonzero if any benchmark degrades")
 	isaName := fs.String("isa", "", "machine description to evaluate on (mips, arm)")
+	checkpoint := fs.String("checkpoint", "", "journal completed tables here and resume interrupted 'all' sweeps")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -506,12 +513,22 @@ func cmdTable(args []string) error {
 	var err error
 	if id := fs.Arg(0); id == "all" {
 		// The full sweep preloads every simulation through the parallel
-		// experiment engine before rendering.
+		// experiment engine before rendering. With -checkpoint, every
+		// completed table is journaled so an interrupted sweep resumes
+		// where it died instead of starting over.
 		var rep *tables.Report
-		if rep, err = tables.RenderAll(context.Background(), os.Stdout, *workers); err == nil {
+		if *checkpoint != "" {
+			rep, err = tables.RenderAllCheckpoint(context.Background(), os.Stdout, *workers, *checkpoint)
+		} else {
+			rep, err = tables.RenderAll(context.Background(), os.Stdout, *workers)
+		}
+		if err == nil {
 			err = reportDegradations(rep.Degraded, *strict)
 		}
 	} else {
+		if *checkpoint != "" {
+			return usagef("table -checkpoint only applies to the 'all' sweep")
+		}
 		tables.ResetDegradations()
 		var t *tables.Table
 		if t, err = tables.ByID(id); err == nil {

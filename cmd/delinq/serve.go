@@ -28,6 +28,7 @@ func cmdServe(args []string) error {
 	cacheBytes := fs.Int64("cache-bytes", 0, "result-cache byte cap (0 = default)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "result-cache entry lifetime (0 = never expire)")
 	noCache := fs.Bool("no-cache", false, "disable the result cache entirely")
+	stateDir := fs.String("state-dir", "", "persist the result cache in this directory (crash-safe; empty = volatile)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,11 +41,22 @@ func cmdServe(args []string) error {
 	if *queue < 0 {
 		return usagef("serve -queue wants a non-negative count, got %d", *queue)
 	}
+	if *reqTimeout < 0 {
+		return usagef("serve -req-timeout wants a non-negative duration, got %v", *reqTimeout)
+	}
+	if *drainTimeout <= 0 {
+		// A zero grace period would abort every in-flight request the
+		// instant a drain starts — never what an operator means.
+		return usagef("serve -drain-timeout wants a positive duration, got %v", *drainTimeout)
+	}
 	if *cacheEntries < 0 {
 		return usagef("serve -cache-entries wants a non-negative count, got %d", *cacheEntries)
 	}
 	if *cacheBytes < 0 {
 		return usagef("serve -cache-bytes wants a non-negative size, got %d", *cacheBytes)
+	}
+	if *cacheTTL < 0 {
+		return usagef("serve -cache-ttl wants a non-negative duration, got %v", *cacheTTL)
 	}
 
 	cfgQueue := *queue
@@ -60,7 +72,11 @@ func cmdServe(args []string) error {
 		CacheBytes:   *cacheBytes,
 		CacheTTL:     *cacheTTL,
 		CacheOff:     *noCache,
+		StateDir:     *stateDir,
 	})
+	if err := s.OpenState(); err != nil {
+		return fmt.Errorf("serve: durable state: %w", err)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

@@ -167,20 +167,29 @@ func BuildSourceISA(src string, optimize bool, isaName string) (*obj.Image, erro
 }
 
 // LowerImage rewrites an assembled MIPS image for the named machine
-// description; empty or "mips" returns img unchanged.
+// description; empty or "mips" returns img unchanged. Any failure —
+// including a nil or corrupt-but-decodable image — comes back as a
+// StageError at the lower stage, never a panic.
 func LowerImage(img *obj.Image, isaName string) (*obj.Image, error) {
+	if img == nil {
+		return nil, WrapStage("", StageLower, fmt.Errorf("nil image"))
+	}
 	if isaName == "" || isaName == img.ISAName() {
 		return img, nil
 	}
 	switch isaName {
 	case "arm":
-		return arm.LowerImage(img)
+		out, err := arm.LowerImage(img)
+		if err != nil {
+			return nil, WrapStage("", StageLower, err)
+		}
+		return out, nil
 	default:
 		_, err := isa.ByName(isaName)
 		if err == nil {
 			err = fmt.Errorf("no lowering to ISA %q", isaName)
 		}
-		return nil, err
+		return nil, WrapStage("", StageLower, err)
 	}
 }
 

@@ -29,6 +29,8 @@ const (
 	StageImage Stage = "image"
 	// StageDisasm is image → disassembled program.
 	StageDisasm Stage = "disasm"
+	// StageLower is rewriting an image for another machine description.
+	StageLower Stage = "lower"
 	// StagePattern is address-pattern analysis.
 	StagePattern Stage = "pattern"
 	// StageSimulate is VM execution with attached cache models.

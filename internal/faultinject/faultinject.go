@@ -46,10 +46,30 @@ const (
 	// WorkerPanic panics inside the experiment worker's computation,
 	// exercising panic recovery in the memo layer and the worker pool.
 	WorkerPanic
+	// WALWrite fires inside a durable-state append, before the record
+	// bytes reach the file: error mode fails the append; lethal mode
+	// writes half the record and kills the process, leaving a torn tail.
+	WALWrite
+	// WALFsync fires between writing a record and syncing it: error mode
+	// fails the append after the bytes landed; lethal mode dies with the
+	// record unsynced.
+	WALFsync
+	// WALRename fires in compaction between writing the snapshot temp
+	// file and renaming it over the log: error mode fails the compaction
+	// (temp removed, old log intact); lethal mode dies with both files
+	// on disk, which recovery must resolve in favour of the old log.
+	WALRename
+	// WALReplay fires while replaying a log at open: error mode drops
+	// the unread remainder (those entries recompute); lethal mode dies
+	// mid-replay, before any state was handed to the consumer.
+	WALReplay
 	numPoints
 )
 
-var pointNames = [numPoints]string{"image", "pattern", "sim", "trace", "worker"}
+var pointNames = [numPoints]string{
+	"image", "pattern", "sim", "trace", "worker",
+	"wal:write", "wal:fsync", "wal:rename", "wal:replay",
+}
 
 // String returns the point's spec name ("image", "pattern", "sim",
 // "trace", "worker").
@@ -92,9 +112,10 @@ func Injected(err error) bool {
 // count semantics: Arm fires on every query, ArmN on the first n.
 // "*" as a target matches any queried target.
 type Plan struct {
-	seed int64
-	mu   sync.Mutex
-	arms map[string]int // point\x00target -> remaining fires (-1 = unlimited)
+	seed   int64
+	lethal atomic.Bool
+	mu     sync.Mutex
+	arms   map[string]int // point\x00target -> remaining fires (-1 = unlimited)
 }
 
 // NewPlan returns an empty plan with the given seed. The seed drives
@@ -106,6 +127,22 @@ func NewPlan(seed int64) *Plan {
 
 // Seed returns the plan's seed.
 func (p *Plan) Seed() int64 { return p.seed }
+
+// SetLethal switches the plan's disk seams (the wal:* points) between
+// error mode (the default: an armed seam reports an injected error) and
+// lethal mode, where an armed seam kills the process with SIGKILL in
+// the middle of the I/O operation. Lethal mode exists for the crash-
+// recovery matrix: a subprocess armed with a lethal plan really dies
+// mid-write, and the parent asserts the store recovers. The CLI arms it
+// via the DELINQ_FAULT_LETHAL=1 environment hook.
+func (p *Plan) SetLethal(v bool) { p.lethal.Store(v) }
+
+// Lethal reports whether the installed plan's disk seams kill the
+// process instead of returning errors. False when no plan is installed.
+func Lethal() bool {
+	p := active.Load()
+	return p != nil && p.lethal.Load()
+}
 
 func armKey(pt Point, target string) string { return pt.String() + "\x00" + target }
 

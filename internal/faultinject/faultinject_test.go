@@ -217,3 +217,48 @@ func TestParsePlan(t *testing.T) {
 		t.Errorf("empty spec: %v", err)
 	}
 }
+
+func TestWALPointsParse(t *testing.T) {
+	// The wal:* names contain a colon; ParsePlan must route the "="
+	// split correctly and the #n suffix must still work.
+	p, err := ParsePlan("wal:write=state.wal#1, wal:fsync=*, wal:rename=state.wal, wal:replay=checkpoint", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	install(t, p)
+	if !Fires(WALWrite, "state.wal") {
+		t.Error("wal:write arm did not fire")
+	}
+	if Fires(WALWrite, "state.wal") {
+		t.Error("wal:write#1 fired twice")
+	}
+	if !Fires(WALFsync, "anything") {
+		t.Error("wal:fsync wildcard did not fire")
+	}
+	if !Fires(WALRename, "state.wal") || Fires(WALRename, "other.wal") {
+		t.Error("wal:rename exact-target matching wrong")
+	}
+	if !Fires(WALReplay, "checkpoint") {
+		t.Error("wal:replay arm did not fire")
+	}
+}
+
+func TestLethal(t *testing.T) {
+	Clear()
+	if Lethal() {
+		t.Error("Lethal with no plan installed")
+	}
+	p := NewPlan(1)
+	install(t, p)
+	if Lethal() {
+		t.Error("Lethal defaults on")
+	}
+	p.SetLethal(true)
+	if !Lethal() {
+		t.Error("SetLethal(true) not observed")
+	}
+	p.SetLethal(false)
+	if Lethal() {
+		t.Error("SetLethal(false) not observed")
+	}
+}

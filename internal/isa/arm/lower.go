@@ -29,7 +29,17 @@ import (
 //     word load or store of the same base fuses into one writeback
 //     instruction, the addressing mode the pattern lattice must
 //     recognise as a recurrence without a separate add.
-func LowerImage(src *obj.Image) (*obj.Image, error) {
+func LowerImage(src *obj.Image) (dst *obj.Image, err error) {
+	if src == nil {
+		return nil, fmt.Errorf("arm: cannot lower nil image")
+	}
+	// The lowerer trusts a validated image; a hand-corrupted one (fuzzed
+	// bytes that happen to decode) must surface as an error, not a crash.
+	defer func() {
+		if r := recover(); r != nil {
+			dst, err = nil, fmt.Errorf("arm: lowering panic: %v", r)
+		}
+	}()
 	if src.ISAName() != "mips" {
 		return nil, fmt.Errorf("arm: cannot lower %q image", src.ISAName())
 	}

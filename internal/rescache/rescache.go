@@ -41,6 +41,9 @@ const (
 	OutcomeHit
 	// OutcomeCoalesced: joined another caller's in-flight fill.
 	OutcomeCoalesced
+	// OutcomeWarm: answered from an entry seeded by durable-state
+	// replay — a hit this process never paid a fill for.
+	OutcomeWarm
 )
 
 func (o Outcome) String() string {
@@ -49,6 +52,8 @@ func (o Outcome) String() string {
 		return "hit"
 	case OutcomeCoalesced:
 		return "coalesced"
+	case OutcomeWarm:
+		return "warm"
 	default:
 		return "miss"
 	}
@@ -75,7 +80,8 @@ type Config struct {
 // Coalesced, Errors, Uncacheable, EvictedSize and EvictedTTL are
 // monotonic; Entries and Bytes are the current retention.
 type Stats struct {
-	Hits        uint64 // answered from a retained entry
+	Hits        uint64 // answered from a retained entry (warm hits included)
+	WarmHits    uint64 // the subset of Hits answered from seeded (replayed) entries
 	Misses      uint64 // fills executed (exactly-once per key when keys are distinct)
 	Coalesced   uint64 // callers that joined an in-flight fill
 	Errors      uint64 // fills that finished with an error (not retained)
@@ -97,6 +103,7 @@ type Cache[V any] struct {
 	lru     *list.List // front = most recently used; element values are *entry[V]
 	bytes   int64
 	stats   Stats
+	onEvict func(key string, v V)
 }
 
 type entry[V any] struct {
@@ -104,10 +111,11 @@ type entry[V any] struct {
 	done chan struct{} // closed when the fill finishes
 	val  V
 	err  error
-	// complete, size, expires and elem are guarded by Cache.mu; val and
-	// err are written by the filling goroutine before done is closed, so
-	// both the hit path and joined waiters observe them.
+	// complete, size, expires, elem and warm are guarded by Cache.mu;
+	// val and err are written by the filling goroutine before done is
+	// closed, so both the hit path and joined waiters observe them.
 	complete bool
+	warm     bool // seeded from durable-state replay, not filled here
 	size     int
 	expires  time.Time     // zero = never
 	elem     *list.Element // nil while in flight or once dropped
@@ -172,9 +180,14 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fill func() (V, bool, err
 		if e.expires.IsZero() || c.cfg.Now().Before(e.expires) {
 			c.lru.MoveToFront(e.elem)
 			c.stats.Hits++
+			out := OutcomeHit
+			if e.warm {
+				c.stats.WarmHits++
+				out = OutcomeWarm
+			}
 			val := e.val
 			c.mu.Unlock()
-			return val, OutcomeHit, nil
+			return val, out, nil
 		}
 		c.stats.EvictedTTL++
 		c.dropLocked(e)
@@ -236,12 +249,15 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 }
 
 // dropLocked removes a retained entry from the map, the LRU and the
-// byte budget. Caller holds c.mu.
+// byte budget, notifying the eviction hook. Caller holds c.mu.
 func (c *Cache[V]) dropLocked(e *entry[V]) {
 	if e.elem != nil {
 		c.lru.Remove(e.elem)
 		e.elem = nil
 		c.bytes -= int64(e.size)
+		if c.onEvict != nil {
+			c.onEvict(e.key, e.val)
+		}
 	}
 	if c.entries[e.key] == e {
 		delete(c.entries, e.key)
@@ -290,7 +306,10 @@ func (c *Cache[V]) Stats() Stats {
 // Reset drops every retained entry and zeroes the counters. In-flight
 // fills are detached, exactly as in memo: they complete and answer
 // their waiters, but their results are not retained, and a Do issued
-// after the Reset starts a fresh fill even for the same key.
+// after the Reset starts a fresh fill even for the same key. The
+// eviction hook is NOT called: Reset is an administrative wipe, not an
+// eviction, and durable state keyed off the hook must not mistake it
+// for one.
 func (c *Cache[V]) Reset() {
 	c.mu.Lock()
 	c.entries = map[string]*entry[V]{}
@@ -298,4 +317,62 @@ func (c *Cache[V]) Reset() {
 	c.bytes = 0
 	c.stats = Stats{}
 	c.mu.Unlock()
+}
+
+// SetOnEvict installs a hook called once per entry evicted by the entry
+// cap, the byte cap, or TTL expiry (not by Reset). The hook runs with
+// the cache's mutex held: it must be fast and must not call back into
+// the cache. The durability layer uses it to count dead log records so
+// it knows when a compaction pays for itself.
+func (c *Cache[V]) SetOnEvict(fn func(key string, v V)) {
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
+}
+
+// Seed inserts a complete, retained entry without running a fill — the
+// warm-restart path, where values replayed from the durable log are
+// planted before the server accepts traffic. A seeded entry answers Do
+// with OutcomeWarm. Seeding an existing key is a no-op (false): a live
+// fill or a fresher entry always wins over replayed state. The caps are
+// enforced immediately, so seeding more than the configured bounds
+// evicts in seed order (oldest seed first) — eviction-during-replay is
+// ordinary eviction.
+func (c *Cache[V]) Seed(key string, v V) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	e := &entry[V]{key: key, done: make(chan struct{}), val: v, complete: true, warm: true}
+	close(e.done)
+	e.size = c.size(v)
+	if c.cfg.TTL > 0 {
+		e.expires = c.cfg.Now().Add(c.cfg.TTL)
+	}
+	c.entries[key] = e
+	e.elem = c.lru.PushFront(e)
+	c.bytes += int64(e.size)
+	c.evictLocked()
+	return true
+}
+
+// Item is one retained entry, as snapshotted by Items.
+type Item[V any] struct {
+	Key string
+	Val V
+}
+
+// Items snapshots the retained, complete entries from least- to
+// most-recently used — the order a compacted log should persist them
+// in, so that replay-then-Seed reconstructs the same LRU order.
+func (c *Cache[V]) Items() []Item[V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	items := make([]Item[V], 0, c.lru.Len())
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry[V])
+		items = append(items, Item[V]{Key: e.key, Val: e.val})
+	}
+	return items
 }

@@ -460,3 +460,137 @@ func waitUntil(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// --- durability-layer surface: Seed / warm hits / Items / OnEvict ---------
+
+func TestSeedAndWarmHit(t *testing.T) {
+	c := New[string](Config{}, func(s string) int { return len(s) })
+	ctx := context.Background()
+
+	if !c.Seed("k", "replayed") {
+		t.Fatal("Seed of a fresh key returned false")
+	}
+	if c.Seed("k", "other") {
+		t.Fatal("re-Seed of a live key succeeded")
+	}
+	v, o, err := c.Do(ctx, "k", func() (string, bool, error) {
+		t.Fatal("fill ran on a seeded key")
+		return "", false, nil
+	})
+	if v != "replayed" || o != OutcomeWarm || err != nil {
+		t.Fatalf("Do on seeded key = (%q, %v, %v), want (replayed, warm, nil)", v, o, err)
+	}
+	if o.String() != "warm" {
+		t.Fatalf("OutcomeWarm.String() = %q", o.String())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.WarmHits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want hits=1 warmhits=1 misses=0", st)
+	}
+	// A filled (non-seeded) entry never reports warm.
+	c.Do(ctx, "cold", fillOK("x"))
+	_, o, _ = c.Do(ctx, "cold", fillOK("x"))
+	if o != OutcomeHit {
+		t.Fatalf("cold hit outcome = %v", o)
+	}
+	if st := c.Stats(); st.WarmHits != 1 {
+		t.Fatalf("cold hit counted warm: %+v", st)
+	}
+}
+
+func TestSeedRespectsTTL(t *testing.T) {
+	clk := newFakeClock()
+	c := New[string](Config{TTL: time.Minute, Now: clk.Now}, nil)
+	c.Seed("k", "v")
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("seeded entry not visible")
+	}
+	clk.Advance(2 * time.Minute)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("seeded entry survived its TTL")
+	}
+}
+
+func TestEvictionDuringSeed(t *testing.T) {
+	// Replay of a durable log larger than the configured caps must
+	// behave exactly like ordinary eviction: oldest seeds fall off the
+	// tail, the hook sees each one, the caps hold.
+	var evicted []string
+	c := New[string](Config{MaxEntries: 3}, nil)
+	c.SetOnEvict(func(key string, v string) { evicted = append(evicted, key) })
+	for i := 0; i < 10; i++ {
+		if !c.Seed(fmt.Sprintf("k%d", i), "v") {
+			t.Fatalf("Seed k%d failed", i)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if len(evicted) != 7 || evicted[0] != "k0" || evicted[6] != "k6" {
+		t.Fatalf("evicted = %v, want k0..k6 in order", evicted)
+	}
+	// Survivors are the newest seeds, and they answer warm.
+	for i := 7; i < 10; i++ {
+		v, o, err := c.Do(context.Background(), fmt.Sprintf("k%d", i), fillOK("recomputed"))
+		if v != "v" || o != OutcomeWarm || err != nil {
+			t.Fatalf("k%d = (%q, %v, %v)", i, v, o, err)
+		}
+	}
+	if st := c.Stats(); st.EvictedSize != 7 {
+		t.Fatalf("EvictedSize = %d, want 7", st.EvictedSize)
+	}
+}
+
+func TestOnEvictFiresForTTLAndCaps(t *testing.T) {
+	clk := newFakeClock()
+	var evicted []string
+	c := New[string](Config{MaxEntries: 2, TTL: time.Minute, Now: clk.Now}, nil)
+	c.SetOnEvict(func(key string, v string) { evicted = append(evicted, key) })
+	ctx := context.Background()
+	c.Do(ctx, "a", fillOK("1"))
+	c.Do(ctx, "b", fillOK("2"))
+	c.Do(ctx, "c", fillOK("3")) // evicts a (cap)
+	clk.Advance(2 * time.Minute)
+	c.Do(ctx, "b", fillOK("2'")) // TTL-drops b, refills
+	if len(evicted) != 2 || evicted[0] != "a" || evicted[1] != "b" {
+		t.Fatalf("evicted = %v, want [a b]", evicted)
+	}
+	// Reset is not an eviction: the hook must stay silent.
+	c.Reset()
+	if len(evicted) != 2 {
+		t.Fatalf("Reset fired the eviction hook: %v", evicted)
+	}
+}
+
+func TestItemsSnapshotLRUOrder(t *testing.T) {
+	c := New[string](Config{}, nil)
+	ctx := context.Background()
+	c.Do(ctx, "a", fillOK("1"))
+	c.Do(ctx, "b", fillOK("2"))
+	c.Do(ctx, "c", fillOK("3"))
+	c.Do(ctx, "a", fillOK("-")) // hit: a becomes most recent
+	items := c.Items()
+	if len(items) != 3 {
+		t.Fatalf("Items = %v", items)
+	}
+	got := []string{items[0].Key, items[1].Key, items[2].Key}
+	want := []string{"b", "c", "a"} // least → most recently used
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Items order = %v, want %v", got, want)
+		}
+	}
+	// Seeding in Items order reconstructs the same LRU: the last seed
+	// (most recent) survives a 1-entry cap squeeze first... verify by
+	// round-tripping into a second cache and evicting down to 1.
+	c2 := New[string](Config{}, nil)
+	for _, it := range items {
+		c2.Seed(it.Key, it.Val)
+	}
+	items2 := c2.Items()
+	for i := range items {
+		if items2[i] != items[i] {
+			t.Fatalf("round-trip order: %v vs %v", items2, items)
+		}
+	}
+}

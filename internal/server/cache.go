@@ -132,13 +132,33 @@ func tableCacheKey(id string) string {
 type fillFunc func() (*cachedResponse, bool, error)
 
 // doCached answers one request through the result cache, or runs the
-// fill directly when the cache is disabled.
+// fill directly when the cache is disabled. With durable state
+// attached, a successful cacheable fill is journaled before the entry
+// is inserted (errors, panics and degraded results never reach the
+// log), and a completed miss gives the log a chance to compact.
 func (s *Server) doCached(ctx context.Context, key string, fill fillFunc) (*cachedResponse, rescache.Outcome, error) {
 	if s.cache == nil {
 		cr, _, err := fill()
 		return cr, rescache.OutcomeMiss, err
 	}
-	return s.cache.Do(ctx, key, fill)
+	st := s.state
+	pf := fill
+	if st != nil {
+		pf = func() (*cachedResponse, bool, error) {
+			cr, cacheable, err := fill()
+			if err == nil && cacheable {
+				st.persist(key, cr)
+			}
+			return cr, cacheable, err
+		}
+	}
+	cr, outcome, err := s.cache.Do(ctx, key, pf)
+	if st != nil && outcome == rescache.OutcomeMiss && err == nil {
+		// Compaction runs after the fill's entry is inserted, so the
+		// live snapshot it persists includes this result.
+		st.maybeCompact(s.cache)
+	}
+	return cr, outcome, err
 }
 
 // cacheHeader renders the Delinq-Cache header value for an outcome.

@@ -64,6 +64,11 @@ type Config struct {
 	// CacheOff disables the result cache entirely: every request runs
 	// the pipeline and responses carry `Delinq-Cache: off`.
 	CacheOff bool
+	// StateDir, when set, persists the result cache through a crash-safe
+	// write-ahead log in this directory: fills are journaled, boot
+	// replays them (OpenState must be called before serving), and a
+	// restarted daemon answers warm. Empty means volatile-only.
+	StateDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +106,7 @@ type Server struct {
 	reg   *metrics.Registry
 	mux   *http.ServeMux
 	cache *rescache.Cache[*cachedResponse] // nil when Config.CacheOff
+	state *stateStore                      // nil unless OpenState attached a StateDir
 
 	baseCtx    context.Context // cancelled to abort straggling requests
 	baseCancel context.CancelFunc
@@ -180,6 +186,7 @@ func New(cfg Config) *Server {
 			return func() int64 { return f(s.cache.Stats()) }
 		}
 		s.reg.Gauge("delinq_cache_hits_total", stat(func(st rescache.Stats) int64 { return int64(st.Hits) }))
+		s.reg.Gauge("delinq_cache_warm_hits_total", stat(func(st rescache.Stats) int64 { return int64(st.WarmHits) }))
 		s.reg.Gauge("delinq_cache_misses_total", stat(func(st rescache.Stats) int64 { return int64(st.Misses) }))
 		s.reg.Gauge("delinq_cache_coalesced_total", stat(func(st rescache.Stats) int64 { return int64(st.Coalesced) }))
 		s.reg.Gauge("delinq_cache_errors_total", stat(func(st rescache.Stats) int64 { return int64(st.Errors) }))
@@ -315,6 +322,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.baseCancel()
+	// With all fills drained, the durable log is quiescent: sync and
+	// close it so the next boot replays a clean tail.
+	s.state.close()
 	return drainErr
 }
 

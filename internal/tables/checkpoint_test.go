@@ -1,0 +1,266 @@
+package tables
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"delinq/internal/bench"
+	"delinq/internal/faultinject"
+	"delinq/internal/wal"
+)
+
+// journalEntries opens the checkpoint journal read-only-ish and returns
+// its replayed entries keyed by record key.
+func journalEntries(t *testing.T, path string) map[string][]byte {
+	t.Helper()
+	st, entries, _, err := wal.Open(path, wal.Options{Name: "checkpoint"})
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	defer st.Close()
+	out := map[string][]byte{}
+	for _, e := range entries {
+		out[e.Key] = e.Val
+	}
+	return out
+}
+
+// TestCheckpointResumeByteIdentical is the tentpole guarantee for the
+// sweep consumer: a checkpointed run matches RenderAll byte for byte,
+// an interrupted journal (tail of the sweep missing) resumes to the
+// same bytes, and a complete journal replays to the same bytes without
+// recomputing anything.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table sweep in short mode")
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.wal")
+
+	var want bytes.Buffer
+	rep, err := RenderAll(context.Background(), &want, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Degraded) != 0 {
+		t.Fatalf("baseline sweep degraded: %v", rep.Degraded)
+	}
+
+	var first bytes.Buffer
+	if rep, err = RenderAllCheckpoint(context.Background(), &first, 0, path); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Degraded) != 0 {
+		t.Fatalf("checkpointed sweep degraded: %v", rep.Degraded)
+	}
+	if !bytes.Equal(first.Bytes(), want.Bytes()) {
+		t.Fatal("checkpointed sweep output diverges from RenderAll")
+	}
+	ents := journalEntries(t, path)
+	if _, ok := ents["manifest"]; !ok {
+		t.Error("journal missing manifest")
+	}
+	for _, id := range IDs() {
+		if _, ok := ents[tableKeyPrefix+id]; !ok {
+			t.Errorf("journal missing table %s", id)
+		}
+	}
+
+	// Interrupt the sweep retroactively: drop the tail of the journal
+	// as if the process had been killed after table 8.
+	st, _, _, err := wal.Open(path, wal.Options{Name: "checkpoint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := false
+	for _, id := range IDs() {
+		if id == "9" {
+			cut = true
+		}
+		if cut {
+			if err := st.Delete(tableKeyPrefix + id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st.Close()
+
+	var resumed bytes.Buffer
+	if rep, err = RenderAllCheckpoint(context.Background(), &resumed, 0, path); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Degraded) != 0 {
+		t.Fatalf("resumed sweep degraded: %v", rep.Degraded)
+	}
+	if !bytes.Equal(resumed.Bytes(), want.Bytes()) {
+		t.Fatal("resumed sweep output diverges from RenderAll")
+	}
+
+	// Fully populated journal: pure replay, still byte-identical.
+	var replayed bytes.Buffer
+	if _, err = RenderAllCheckpoint(context.Background(), &replayed, 0, path); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(replayed.Bytes(), want.Bytes()) {
+		t.Fatal("replayed sweep output diverges from RenderAll")
+	}
+}
+
+// TestCheckpointDegradedNotJournaled: a sweep with a quarantined
+// benchmark renders DEGRADED rows but checkpoints nothing, so the
+// resume re-evaluates the whole suite instead of replaying sick bytes.
+func TestCheckpointDegradedNotJournaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table sweep in short mode")
+	}
+	name := "126.gcc" // held-out: degrading it cannot disturb training
+	p := faultinject.NewPlan(1)
+	p.Arm(faultinject.SimBudget, name)
+	withPlan(t, p)
+
+	path := filepath.Join(t.TempDir(), "ckpt.wal")
+	var out bytes.Buffer
+	rep, err := RenderAllCheckpoint(context.Background(), &out, 0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Degraded) == 0 {
+		t.Fatal("fault did not degrade the sweep")
+	}
+	if !strings.Contains(out.String(), "DEGRADED(") {
+		t.Error("degraded sweep rendered no DEGRADED rows")
+	}
+	ents := journalEntries(t, path)
+	for k := range ents {
+		if strings.HasPrefix(k, tableKeyPrefix) {
+			t.Errorf("degraded sweep journaled %s", k)
+		}
+	}
+	if _, ok := ents["manifest"]; !ok {
+		t.Error("journal missing manifest")
+	}
+}
+
+// TestCheckpointManifestMismatchWipes exercises the stale-journal
+// guard without running simulations: a journal stamped by a different
+// revision (or ISA) is discarded whole and restamped.
+func TestCheckpointManifestMismatchWipes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.wal")
+	st, _, _, err := wal.Open(path, wal.Options{Name: "checkpoint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("manifest", []byte("delinq-checkpoint-v0\x00mips\x001,2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(tableKeyPrefix+"1", []byte("stale bytes from an old revision\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	_, entries, rst, err := wal.Open(st.Path(), wal.Options{Name: "checkpoint"})
+	st.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, _, _, err := wal.Open(path, wal.Options{Name: "checkpoint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := loadCheckpoint(st2, entries, rst)
+	st2.Close()
+	if len(done) != 0 {
+		t.Fatalf("stale journal replayed %d tables", len(done))
+	}
+	ents := journalEntries(t, path)
+	if !bytes.Equal(ents["manifest"], manifestValue()) {
+		t.Errorf("manifest not restamped: %q", ents["manifest"])
+	}
+	if _, ok := ents[tableKeyPrefix+"1"]; ok {
+		t.Error("stale table record survived the wipe")
+	}
+}
+
+// TestCheckpointDirtyJournalCompacts: checksummed survivors of a
+// corrupt journal are kept, the damage is compacted away, and unknown
+// record keys (from a future revision sharing the format string) are
+// dropped rather than replayed.
+func TestCheckpointDirtyJournalCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.wal")
+	st, _, _, err := wal.Open(path, wal.Options{Name: "checkpoint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("manifest", manifestValue()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(tableKeyPrefix+"1", []byte("Table 1 bytes\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("rows:bogus", []byte("not a table record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(tableKeyPrefix+"99", []byte("no such table")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st, entries, rst, err := wal.Open(path, wal.Options{Name: "checkpoint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := loadCheckpoint(st, entries, rst)
+	gen := st.Generation()
+	st.Close()
+	if len(done) != 1 || string(done["1"]) != "Table 1 bytes\n" {
+		t.Fatalf("done = %v", done)
+	}
+	if gen < 2 {
+		t.Errorf("stale-key journal not compacted (generation %d)", gen)
+	}
+	ents := journalEntries(t, path)
+	if len(ents) != 2 { // manifest + table:1
+		t.Errorf("compacted journal holds %d records, want 2: %v", len(ents), ents)
+	}
+}
+
+// TestCombosForNarrowsPreload pins the preload groups a resume uses:
+// only what the pending tables consume, with the training subset
+// always present (trained weights feed nearly every table).
+func TestCombosForNarrowsPreload(t *testing.T) {
+	nAll := len(bench.All())
+	nTrain := len(bench.Training())
+
+	if got := combosFor(map[string]bool{}); len(got) != 0 {
+		t.Errorf("no pending tables: %d combos, want 0", len(got))
+	}
+	if got := combosFor(map[string]bool{"1": true}); len(got) != nAll {
+		t.Errorf("table 1: %d combos, want %d (base group)", len(got), nAll)
+	}
+	if got := combosFor(map[string]bool{"13": true}); len(got) != 2*nTrain {
+		t.Errorf("table 13: %d combos, want %d (training base + optimised)", len(got), 2*nTrain)
+	}
+	if got := combosFor(map[string]bool{"S3": true}); len(got) != 2*nTrain {
+		t.Errorf("table S3: %d combos, want %d (training base + block sweep)", len(got), 2*nTrain)
+	}
+	full := map[string]bool{}
+	for _, id := range IDs() {
+		full[id] = true
+	}
+	if got, want := combosFor(full), AllCombos(); len(got) != len(want) {
+		t.Errorf("all pending: %d combos, want %d (AllCombos)", len(got), len(want))
+	}
+}
+
+// TestManifestTracksISA: switching the target machine description
+// changes the manifest, so an arm journal can never replay into a mips
+// sweep.
+func TestManifestTracksISA(t *testing.T) {
+	base := manifestValue()
+	SetISA("arm")
+	defer SetISA("")
+	if bytes.Equal(base, manifestValue()) {
+		t.Error("manifest identical across ISAs")
+	}
+}

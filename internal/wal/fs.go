@@ -1,0 +1,40 @@
+package wal
+
+import (
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem seam a Store runs on. The default is the real OS
+// filesystem; tests inject wrappers that fail or misbehave at chosen
+// calls, and the faultinject wal:* points fire inside Store operations
+// regardless of which FS is installed, so both deterministic fault
+// plans and bespoke filesystem sabotage exercise the same recovery
+// paths.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// File is the handle surface a Store needs from its log file. Writes
+// are positional (the store tracks its own append offset), so a File
+// implementation carries no seek state — which keeps fakes trivial and
+// recovery offsets exact.
+type File interface {
+	WriteAt(p []byte, off int64) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// OSFS is the production filesystem.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }

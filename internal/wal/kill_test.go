@@ -1,0 +1,181 @@
+package wal
+
+// The kill-anywhere matrix: a real subprocess is SIGKILLed mid-write at
+// each disk seam (wal:write, wal:fsync, wal:rename, wal:replay), and
+// the parent asserts the store reopens with no corrupt byte. This is
+// the one fault class in-process tests cannot reach — actual process
+// death between two I/O operations.
+//
+// Pattern: the parent re-execs the test binary with -test.run pinned to
+// TestWALKillHelper and the scenario in the environment; the helper
+// arms a lethal fault plan and performs the doomed operation. If the
+// helper survives, it prints HELPER-SURVIVED and the parent fails.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"delinq/internal/faultinject"
+)
+
+const (
+	helperEnv = "WAL_KILL_HELPER"
+	seamEnv   = "WAL_KILL_SEAM"
+	dirEnv    = "WAL_KILL_DIR"
+)
+
+// baseEntries is the durable state the parent lays down before the
+// helper is killed on top of it.
+func baseEntries() map[string][]byte {
+	m := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		m[fmt.Sprintf("base-%d", i)] = []byte(fmt.Sprintf("stable-value-%d", i))
+	}
+	return m
+}
+
+// TestWALKillHelper is the subprocess body. It is a no-op unless
+// launched by TestKillMatrix via the environment.
+func TestWALKillHelper(t *testing.T) {
+	if os.Getenv(helperEnv) != "1" {
+		t.Skip("helper process only")
+	}
+	seam := os.Getenv(seamEnv)
+	path := filepath.Join(os.Getenv(dirEnv), "kill.wal")
+
+	arm := func(spec string) {
+		p, err := faultinject.ParsePlan(spec, 1)
+		if err != nil {
+			fmt.Println("HELPER-BAD-PLAN:", err)
+			os.Exit(3)
+		}
+		p.SetLethal(true)
+		faultinject.Install(p)
+	}
+
+	switch seam {
+	case "wal:write", "wal:fsync":
+		s, _, _, err := Open(path, Options{Name: "killtest"})
+		if err != nil {
+			fmt.Println("HELPER-OPEN-FAILED:", err)
+			os.Exit(3)
+		}
+		arm(seam + "=killtest")
+		s.Append("doomed", []byte("written-at-the-moment-of-death"))
+	case "wal:rename", "wal:write-compact":
+		s, entries, _, err := Open(path, Options{Name: "killtest"})
+		if err != nil {
+			fmt.Println("HELPER-OPEN-FAILED:", err)
+			os.Exit(3)
+		}
+		if seam == "wal:rename" {
+			// Die with the snapshot fully written but not yet renamed:
+			// both files on disk, the old log must win.
+			arm("wal:rename=killtest")
+		} else {
+			// Die mid-write of the snapshot temp file: a torn temp the
+			// next Open discards wholesale.
+			arm("wal:write=killtest")
+		}
+		s.Compact(entries)
+	case "wal:replay":
+		arm("wal:replay=killtest")
+		Open(path, Options{Name: "killtest"})
+	default:
+		fmt.Println("HELPER-UNKNOWN-SEAM:", seam)
+		os.Exit(3)
+	}
+	fmt.Println("HELPER-SURVIVED")
+	os.Exit(0)
+}
+
+func TestKillMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess matrix skipped in -short")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseEntries()
+
+	for _, seam := range []string{"wal:write", "wal:fsync", "wal:rename", "wal:write-compact", "wal:replay"} {
+		t.Run(seam, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "kill.wal")
+
+			// Lay down the durable base state.
+			s, _, _, err := Open(path, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				k := fmt.Sprintf("base-%d", i)
+				if err := s.Append(k, want[k]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			cmd := exec.Command(exe, "-test.run", "TestWALKillHelper$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				helperEnv+"=1", seamEnv+"="+seam, dirEnv+"="+dir)
+			out, err := cmd.CombinedOutput()
+			if err == nil || bytes.Contains(out, []byte("HELPER-SURVIVED")) {
+				t.Fatalf("helper survived the %s kill:\n%s", seam, out)
+			}
+			if bytes.Contains(out, []byte("HELPER-OPEN-FAILED")) ||
+				bytes.Contains(out, []byte("HELPER-BAD-PLAN")) ||
+				bytes.Contains(out, []byte("HELPER-UNKNOWN-SEAM")) {
+				t.Fatalf("helper setup failed:\n%s", out)
+			}
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ProcessState.ExitCode() != -1 {
+				t.Fatalf("helper did not die by signal: err=%v\n%s", err, out)
+			}
+
+			// The store must reopen with zero corrupt bytes.
+			s2, entries, st, err := Open(path, Options{})
+			if err != nil {
+				t.Fatalf("reopen after %s kill: %v", seam, err)
+			}
+			got := entryMap(entries)
+			for k, v := range want {
+				if !bytes.Equal(got[k], v) {
+					t.Fatalf("after %s kill, key %s: got %q want %q (stats %+v)", seam, k, got[k], v, st)
+				}
+			}
+			// The doomed append may or may not have become durable
+			// (the fsync seam kills after the bytes landed), but if it
+			// is present it must be byte-exact.
+			if v, ok := got["doomed"]; ok {
+				if !bytes.Equal(v, []byte("written-at-the-moment-of-death")) {
+					t.Fatalf("after %s kill, torn doomed record served: %q", seam, v)
+				}
+			}
+			for k := range got {
+				if _, known := want[k]; !known && k != "doomed" {
+					t.Fatalf("after %s kill, phantom key %q", seam, k)
+				}
+			}
+			// And it keeps working.
+			if err := s2.Append("post-kill", []byte("alive")); err != nil {
+				t.Fatalf("append after %s recovery: %v", seam, err)
+			}
+			s2.Close()
+			_, entries3, st3, err := Open(path, Options{})
+			if err != nil || st3.Dirty() {
+				t.Fatalf("second reopen after %s: err=%v stats=%+v", seam, err, st3)
+			}
+			if m := entryMap(entries3); string(m["post-kill"]) != "alive" {
+				t.Fatalf("post-kill append lost after %s", seam)
+			}
+		})
+	}
+}

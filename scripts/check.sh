@@ -39,6 +39,19 @@ echo "== serve chaos (race)"
 # and coalesced waiters survive drain.
 go test -race -run 'TestServeChaosStorm|TestGracefulDrain|TestDrainAbortsStragglers|TestCacheCoalescesThunderingHerd|TestCacheFailureNotCached|TestCacheBreakerShortCircuitBeforeFill|TestCacheDrainAbortsCoalescedWaiters' ./internal/server
 
+echo "== crash recovery matrix (race)"
+# The durability gate: the WAL must survive truncation at every byte
+# offset, bit flips across the whole log, interior multi-byte damage,
+# and a real SIGKILL at every disk-I/O fault seam — reopening cleanly
+# every time, never serving a corrupt byte. The daemon and sweep
+# consumers prove the same guarantees end to end: warm restarts are
+# byte-identical, poisoned fills never persist, and a sweep killed
+# mid-checkpoint resumes to the committed golden output.
+go test -race -run 'TestTruncationSweep|TestBitFlipSweep|TestMultiByteCorruption|TestKillMatrix|TestSeam' ./internal/wal
+go test -race -run 'TestWarmRestart|TestPoisonedFillNotPersisted|TestCorruptStateRecovers|TestEvictionDuringReplayCompacts' ./internal/server
+go test -race -run 'TestCheckpoint' ./internal/tables
+go test -run 'TestCLITableCheckpointKillResume|TestCLIServeWarmRestart' ./cmd/delinq
+
 echo "== bench smoke"
 # One iteration of the cheap benchmarks: enough to catch a broken
 # benchmark without paying for a full measurement run.
@@ -55,7 +68,8 @@ go test -cover \
     ./internal/cfg ./internal/dataflow ./internal/callgraph \
     ./internal/faultinject ./internal/cache \
     ./internal/server ./internal/retry ./internal/metrics \
-    ./internal/rescache ./internal/isa/mips ./internal/isa/arm |
+    ./internal/rescache ./internal/isa/mips ./internal/isa/arm \
+    ./internal/wal |
 awk '
 /coverage:/ {
     pct = $5; sub(/%.*/, "", pct)
@@ -100,5 +114,6 @@ go test -fuzz '^FuzzAssemble$' -fuzztime 5s -run '^$' ./internal/asm
 go test -fuzz '^FuzzAsmRoundTrip$' -fuzztime 5s -run '^$' ./internal/disasm
 go test -fuzz '^FuzzArmLowerRoundTrip$' -fuzztime 5s -run '^$' ./internal/disasm
 go test -fuzz '^FuzzDecodeImage$' -fuzztime 5s -run '^$' ./internal/obj
+go test -fuzz '^FuzzLowerImageBytes$' -fuzztime 5s -run '^$' ./internal/core
 
 echo "OK"
