@@ -38,9 +38,12 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzDecodeImage$$' -fuzztime 5s -run '^$$' ./internal/obj
 
 # loadtest drives five seconds of skewed closed-loop load at an
-# in-process daemon and refreshes the committed BENCH_serve.json.
+# in-process daemon and refreshes the committed BENCH_serve.json, then
+# repeats the identical run with sandboxed subprocess workers to
+# refresh the isolation-overhead reference BENCH_serve_isolate.json.
 loadtest:
 	$(GO) run ./cmd/delinq loadtest -workers 8 -duration 5s -keys 16 -skew 1.2 -seed 1 -o BENCH_serve.json
+	$(GO) run ./cmd/delinq loadtest -workers 8 -duration 5s -keys 16 -skew 1.2 -seed 1 -isolate -o BENCH_serve_isolate.json
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// TestCLIServeIsolateSmoke: the daemon comes up with sandboxed workers,
+// answers an analysis request out-of-process (the worker telemetry
+// proves it), and still drains to a clean exit 0 on SIGTERM.
+func TestCLIServeIsolateSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	cmd, base, stderr := startServe(t, bin, "-isolate", "-workers", "2")
+
+	body := fmt.Sprintf(`{"source": %q}`, cliProg)
+	aresp, err := http.Post(base+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	ab, _ := io.ReadAll(aresp.Body)
+	aresp.Body.Close()
+	if aresp.StatusCode != http.StatusOK || !strings.Contains(string(ab), `"heuristic"`) {
+		t.Fatalf("analyze = %d: %s", aresp.StatusCode, ab)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(mb)
+	// The fill really crossed a process boundary: exactly one worker was
+	// spawned for it and handled exactly one request.
+	for _, want := range []string{
+		"delinq_worker_spawns_total 1",
+		"delinq_worker_requests_total 1",
+		"delinq_worker_failures_total 0",
+		"delinq_worker_deaths_total 0",
+		"delinq_worker_idle 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("serve -isolate exited non-zero after SIGTERM: %v", err)
+	}
+	log := stderr.String()
+	if !strings.Contains(log, "draining") || !strings.Contains(log, "stopped") {
+		t.Errorf("drain log missing:\n%s", log)
+	}
+}
+
+// TestCLIIsolateFlagValidation: isolation flags outside their lane are
+// usage errors (exit 2), never a half-configured daemon.
+func TestCLIIsolateFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	for _, args := range [][]string{
+		{"serve", "-workers", "2"},                              // needs -isolate
+		{"serve", "-worker-mem", "1048576"},                     // needs -isolate
+		{"serve", "-isolate", "-workers", "-1"},                 // negative count
+		{"serve", "-isolate", "-worker-mem", "-2"},              // only -1 means "none"
+		{"loadtest", "-addr", "http://127.0.0.1:1", "-isolate"}, // in-process only
+	} {
+		err := exec.Command(bin, args...).Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("%v: %v, want exit 2", args, err)
+		}
+	}
+}
+
+// TestCLILoadtestIsolate: the overhead-measurement mode drives every
+// fill through a sandboxed worker and the report records it — the
+// isolate marker is set and the worker telemetry matches the client's
+// observed miss count request for request.
+func TestCLILoadtestIsolate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	cmdOut, err := exec.Command(bin, "loadtest",
+		"-workers", "2", "-duration", "500ms", "-keys", "2", "-seed", "7",
+		"-isolate", "-o", out).CombinedOutput()
+	if err != nil {
+		t.Fatalf("loadtest -isolate: %v\n%s", err, cmdOut)
+	}
+	var rep ltReport
+	blob, _ := os.ReadFile(out)
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, blob)
+	}
+	if !rep.Isolate {
+		t.Error("report does not record isolate")
+	}
+	if rep.Errors != 0 || rep.Shed != 0 {
+		t.Errorf("errors=%d shed=%d on an unloaded private daemon, want 0/0", rep.Errors, rep.Shed)
+	}
+	// Only cache fills cross the process boundary: one worker request
+	// per miss, zero deaths or failures on a healthy run.
+	sm := rep.ServerMetrics
+	if sm == nil {
+		t.Fatal("report carries no server metrics")
+	}
+	if got, want := sm["delinq_worker_requests_total"], int64(rep.Latency["miss"].Count); got != want {
+		t.Errorf("delinq_worker_requests_total = %d, but the client observed %d misses", got, want)
+	}
+	if sm["delinq_worker_spawns_total"] < 1 {
+		t.Error("no workers were spawned in isolate mode")
+	}
+	if sm["delinq_worker_failures_total"] != 0 || sm["delinq_worker_deaths_total"] != 0 {
+		t.Errorf("healthy isolate run recorded failures=%d deaths=%d",
+			sm["delinq_worker_failures_total"], sm["delinq_worker_deaths_total"])
+	}
+}

@@ -54,6 +54,7 @@ type ltReport struct {
 	Skew          float64              `json:"skew"`
 	Seed          int64                `json:"seed"`
 	CacheOff      bool                 `json:"cache_off,omitempty"`
+	Isolate       bool                 `json:"isolate,omitempty"`
 	Requests      int                  `json:"requests"`
 	ThroughputRPS float64              `json:"throughput_rps"`
 	HitRatio      float64              `json:"hit_ratio"`
@@ -76,6 +77,7 @@ func cmdLoadtest(args []string) error {
 	out := fs.String("o", "BENCH_serve.json", "write the JSON report here ('' = stdout only)")
 	noCache := fs.Bool("no-cache", false, "disable the in-process daemon's result cache (baseline)")
 	stateDir := fs.String("state-dir", "", "durable-state directory for the in-process daemon (measures warm restarts)")
+	isolate := fs.Bool("isolate", false, "run the in-process daemon with sandboxed subprocess workers (measures isolation overhead)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,6 +111,9 @@ func cmdLoadtest(args []string) error {
 	if *stateDir != "" && *noCache {
 		return usagef("loadtest -state-dir needs the cache enabled")
 	}
+	if *isolate && *addr != "" {
+		return usagef("loadtest -isolate only applies to the in-process daemon")
+	}
 
 	base := strings.TrimRight(*addr, "/")
 	if base == "" {
@@ -116,7 +121,7 @@ func cmdLoadtest(args []string) error {
 		// then measures the full HTTP stack, not a handler shortcut.
 		// With -state-dir pointing at a previous run's state, replayed
 		// entries answer as `warm` hits — the warm-vs-cold comparison.
-		s := server.New(server.Config{Addr: "127.0.0.1:0", CacheOff: *noCache, StateDir: *stateDir})
+		s := server.New(server.Config{Addr: "127.0.0.1:0", CacheOff: *noCache, StateDir: *stateDir, Isolate: *isolate})
 		if err := s.OpenState(); err != nil {
 			return fmt.Errorf("loadtest: durable state: %w", err)
 		}
@@ -217,6 +222,7 @@ int main() {
 	rep.Skew = *skew
 	rep.Seed = *seed
 	rep.CacheOff = *noCache
+	rep.Isolate = *isolate
 	rep.ServerMetrics = scrapeCacheMetrics(client, base)
 
 	fmt.Printf("loadtest: %d requests in %.2fs (%.1f req/s), hit ratio %.1f%%, shed %d, errors %d\n",
@@ -326,6 +332,7 @@ func scrapeCacheMetrics(client *http.Client, base string) map[string]int64 {
 			continue
 		}
 		if !strings.HasPrefix(name, "delinq_cache_") &&
+			!strings.HasPrefix(name, "delinq_worker_") &&
 			name != "delinq_requests_shed_total" &&
 			name != "delinq_requests_analyze_total" &&
 			name != "delinq_requests_run_total" {

@@ -45,6 +45,7 @@ import (
 	"delinq/internal/tables"
 	"delinq/internal/trace"
 	"delinq/internal/vm"
+	"delinq/internal/workerpool"
 )
 
 // usageError marks a command-line mistake (missing arguments, bad
@@ -124,6 +125,8 @@ func main() {
 			err = cmdServe(os.Args[2:])
 		case "loadtest":
 			err = cmdLoadtest(os.Args[2:])
+		case "worker":
+			err = cmdWorker(os.Args[2:])
 		default:
 			usage()
 		}
@@ -136,6 +139,23 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// cmdWorker is the hidden sandbox entry point `delinq serve -isolate`
+// spawns: it speaks the length-prefixed frame protocol on stdin/stdout,
+// executing one pipeline job per frame, until the supervisor closes the
+// pipe. It is deliberately absent from the usage text — the interface
+// belongs to the supervisor, not to operators.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	mem := fs.Int64("mem", 0, "memory ceiling in bytes (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usagef("worker takes no positional arguments")
+	}
+	return workerpool.ServeWorker(os.Stdin, os.Stdout, *mem)
 }
 
 func usage() {
@@ -151,8 +171,8 @@ func usage() {
   table [-j N] [-v] [-timeout d] [-strict] [-isa name] <1-14|S1|all>  regenerate a table
   bench                             list the benchmark suite
   difftest [-n N] [-seed S] [-v] [-timeout d] [-isa name]  random programs: interp vs -O0 vs -O
-  serve [-addr :8080] [-max-inflight N] [-queue N] [-req-timeout d] [-cache-entries N] [-cache-ttl d] [-no-cache]  run the analysis daemon
-  loadtest [-addr URL] [-workers N] [-duration d] [-rps R] [-keys N] [-skew S] [-endpoint analyze|run] [-o f.json]  drive load, report latency percentiles`)
+  serve [-addr :8080] [-max-inflight N] [-queue N] [-req-timeout d] [-cache-entries N] [-cache-ttl d] [-no-cache] [-isolate [-workers N] [-worker-mem B]]  run the analysis daemon
+  loadtest [-addr URL] [-workers N] [-duration d] [-rps R] [-keys N] [-skew S] [-endpoint analyze|run] [-isolate] [-o f.json]  drive load, report latency percentiles`)
 	os.Exit(2)
 }
 

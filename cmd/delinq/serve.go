@@ -29,6 +29,9 @@ func cmdServe(args []string) error {
 	cacheTTL := fs.Duration("cache-ttl", 0, "result-cache entry lifetime (0 = never expire)")
 	noCache := fs.Bool("no-cache", false, "disable the result cache entirely")
 	stateDir := fs.String("state-dir", "", "persist the result cache in this directory (crash-safe; empty = volatile)")
+	isolate := fs.Bool("isolate", false, "execute analyze/run fills in sandboxed subprocess workers")
+	workers := fs.Int("workers", 0, "sandbox worker count (0 = max-inflight; needs -isolate)")
+	workerMem := fs.Int64("worker-mem", 0, "per-worker memory ceiling in bytes (0 = 512 MiB, -1 = none; needs -isolate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +61,20 @@ func cmdServe(args []string) error {
 	if *cacheTTL < 0 {
 		return usagef("serve -cache-ttl wants a non-negative duration, got %v", *cacheTTL)
 	}
+	if !*isolate {
+		if *workers != 0 {
+			return usagef("serve -workers needs -isolate")
+		}
+		if *workerMem != 0 {
+			return usagef("serve -worker-mem needs -isolate")
+		}
+	}
+	if *workers < 0 {
+		return usagef("serve -workers wants a non-negative count, got %d", *workers)
+	}
+	if *workerMem < -1 {
+		return usagef("serve -worker-mem wants a size in bytes, 0 (default) or -1 (none), got %d", *workerMem)
+	}
 
 	cfgQueue := *queue
 	if cfgQueue == 0 {
@@ -73,6 +90,9 @@ func cmdServe(args []string) error {
 		CacheTTL:     *cacheTTL,
 		CacheOff:     *noCache,
 		StateDir:     *stateDir,
+		Isolate:      *isolate,
+		Workers:      *workers,
+		WorkerMem:    *workerMem,
 	})
 	if err := s.OpenState(); err != nil {
 		return fmt.Errorf("serve: durable state: %w", err)

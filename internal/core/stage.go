@@ -37,8 +37,11 @@ const (
 	StageSimulate Stage = "simulate"
 	// StageTrace is memory-trace decoding and replay.
 	StageTrace Stage = "trace"
-	// StageWorker is a crash (recovered panic) inside an experiment
-	// worker rather than a stage-reported error.
+	// StageWorker is a failure of the worker executing a unit rather
+	// than a stage-reported error: a recovered panic inside an
+	// experiment worker, or — under the daemon's -isolate mode — a
+	// sandboxed subprocess worker dying mid-request (SIGKILL, memory
+	// ceiling, torn frame) or being killed as unresponsive.
 	StageWorker Stage = "worker"
 	// StageServe is a failure inside the analysis daemon's request
 	// handling (a recovered handler panic, an exceeded request

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -12,7 +13,38 @@ import (
 	"delinq/internal/asm"
 	"delinq/internal/cache"
 	"delinq/internal/trace"
+	"delinq/internal/vm"
 )
+
+// TestSimulateMemBudgetIsStageError: a source that outgrows the VM's
+// memory budget fails as a simulate-stage StageError with the
+// ErrMemBudget sentinel intact through the chain, so the daemon (and
+// every other SimulateCtx caller) sees an ordinary pipeline failure,
+// never an OOMing host process.
+func TestSimulateMemBudgetIsStageError(t *testing.T) {
+	// A malloc loop touching one byte per page: the VM's lazy pages
+	// materialise until the run outgrows vm.DefaultMaxMem (256 MiB).
+	src := `
+int main() {
+	int i;
+	for (i = 0; i < 1000000; i = i + 1) {
+		char *p = malloc(4096);
+		p[0] = 1;
+	}
+	return 0;
+}`
+	img, err := BuildSource(src, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = SimulateCtx(context.Background(), img, nil)
+	if !errors.Is(err, vm.ErrMemBudget) {
+		t.Fatalf("err = %v, want vm.ErrMemBudget through the chain", err)
+	}
+	if !errors.Is(err, &StageError{Stage: StageSimulate}) {
+		t.Fatalf("err = %v, want simulate-stage provenance", err)
+	}
+}
 
 func TestStageErrorFormatting(t *testing.T) {
 	cause := errors.New("boom")

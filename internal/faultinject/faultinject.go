@@ -63,12 +63,28 @@ const (
 	// the unread remainder (those entries recompute); lethal mode dies
 	// mid-replay, before any state was handed to the consumer.
 	WALReplay
+	// WorkerSpawn fires in the worker pool's supervisor as it is about
+	// to start a sandbox subprocess: the spawn fails before fork/exec,
+	// exercising the respawn-backoff path without burning a process.
+	WorkerSpawn
+	// WorkerSend fires as the supervisor writes a request frame to a
+	// worker's stdin, simulating a broken pipe: the worker is destroyed
+	// and the request fails at the worker stage.
+	WorkerSend
+	// WorkerRecv fires after the supervisor read a worker's response
+	// frame: the response is discarded as torn, the worker destroyed.
+	WorkerRecv
+	// WorkerKill SIGKILLs the worker subprocess mid-request, right after
+	// the request frame was sent: the supervisor observes an EOF where
+	// the response should be — the chaos storm's mid-request slaughter.
+	WorkerKill
 	numPoints
 )
 
 var pointNames = [numPoints]string{
 	"image", "pattern", "sim", "trace", "worker",
 	"wal:write", "wal:fsync", "wal:rename", "wal:replay",
+	"worker:spawn", "worker:send", "worker:recv", "worker:kill",
 }
 
 // String returns the point's spec name ("image", "pattern", "sim",

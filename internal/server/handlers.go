@@ -5,24 +5,27 @@
 // GET /v1/table/{id} renders one paper table. /healthz, /readyz and
 // /metrics bypass admission control so the daemon stays observable
 // under overload and during drain.
+//
+// The pipeline itself lives in internal/workerpool.Execute: analyze
+// and run handlers build a workerpool.Job and hand it to execJob,
+// which runs it in-process or — with Config.Isolate — inside a
+// sandboxed subprocess from the supervised pool. Everything above that
+// seam (validation, admission, breakers, cache, WAL) is identical in
+// both modes, and so are the response bytes.
 package server
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
-	"sort"
 	"time"
 
-	"delinq/internal/baseline"
-	"delinq/internal/bench"
-	"delinq/internal/classify"
 	"delinq/internal/core"
 	"delinq/internal/faultinject"
-	"delinq/internal/isa"
-	"delinq/internal/metrics"
 	"delinq/internal/tables"
+	"delinq/internal/workerpool"
 )
 
 func (s *Server) routes() {
@@ -40,10 +43,17 @@ const maxBodyBytes = 1 << 20
 
 // decodeJSON parses the request body strictly (unknown fields are a
 // 400, catching client typos before they silently change semantics).
+// A body past maxBodyBytes is its own status: 413, so clients can tell
+// "shrink the request" from "fix the request".
 func decodeJSON(w http.ResponseWriter, r *http.Request, into any) *apiError {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errorf(http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", mbe.Limit)
+		}
 		return errorf(http.StatusBadRequest, "bad request body: %v", err)
 	}
 	return nil
@@ -80,26 +90,17 @@ type analyzeRequest struct {
 	ISA string `json:"isa"`
 }
 
-type setEval struct {
-	Selected int     `json:"selected"`
-	Loads    int     `json:"loads"`
-	Pi       float64 `json:"pi"`
-	Rho      float64 `json:"rho"`
-}
-
-func evalJSON(ev metrics.SetEval) setEval {
-	return setEval{Selected: ev.Selected, Loads: ev.Loads, Pi: ev.Pi, Rho: ev.Rho}
-}
-
-type analyzeResponse struct {
-	Benchmark  string   `json:"benchmark,omitempty"`
-	ISA        string   `json:"isa,omitempty"`
-	Optimize   bool     `json:"optimize"`
-	Inter      bool     `json:"inter"`
-	Heuristic  setEval  `json:"heuristic"`
-	OKN        setEval  `json:"okn"`
-	BDH        setEval  `json:"bdh"`
-	Delinquent []string `json:"delinquent"`
+func (r analyzeRequest) job() workerpool.Job {
+	return workerpool.Job{
+		Kind:      workerpool.JobAnalyze,
+		Source:    r.Source,
+		Benchmark: r.Benchmark,
+		Optimize:  r.Optimize,
+		Inter:     r.Inter,
+		Input2:    r.Input2,
+		Args:      r.Args,
+		ISA:       r.ISA,
+	}
 }
 
 func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *http.Request) *apiError {
@@ -111,15 +112,17 @@ func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *ht
 	if ae != nil {
 		return ae
 	}
-	fill := s.analyzeFill(ctx, req, unit, func() (func(), *apiError) { return s.admit(ctx) })
+	fill := s.jobFill(ctx, req.job(), unit, "serve:analyze",
+		func() (func(), *apiError) { return s.admit(ctx) })
 	return s.serveCached(ctx, w, analyzeCacheKey(req), fill)
 }
 
-// analyzeFill builds the singleflight fill for one analyze request: it
-// admits (through acquire — per-request normally, a shared lazy slot
-// for batches), consults the unit's breaker, runs the pipeline, and
-// renders the response. Only a clean success is cacheable.
-func (s *Server) analyzeFill(ctx context.Context, req analyzeRequest, unit string, acquire func() (func(), *apiError)) fillFunc {
+// jobFill builds the singleflight fill for one pipeline job: it admits
+// (through acquire — per-request normally, a shared lazy slot for
+// batches), consults the unit's breaker, executes the job (in-process
+// or in a sandboxed worker), and settles the breaker from the outcome.
+// Only a clean success is cacheable.
+func (s *Server) jobFill(ctx context.Context, job workerpool.Job, unit, crashSeam string, acquire func() (func(), *apiError)) fillFunc {
 	return func() (*cachedResponse, bool, error) {
 		release, ae := acquire()
 		if ae != nil {
@@ -129,142 +132,45 @@ func (s *Server) analyzeFill(ctx context.Context, req analyzeRequest, unit strin
 		if ae := s.guard(unit); ae != nil {
 			return nil, false, ae
 		}
-		faultinject.Crash(faultinject.WorkerPanic, "serve:analyze")
+		faultinject.Crash(faultinject.WorkerPanic, crashSeam)
 
-		var resp *analyzeResponse
-		if req.Benchmark != "" {
-			resp, ae = s.analyzeBenchmark(ctx, req)
-		} else {
-			resp, ae = s.analyzeSource(ctx, req)
-		}
+		res, ae := s.execJob(ctx, job)
 		if s.finish(unit, ae); ae != nil {
 			return nil, false, ae
 		}
-		return jsonBody(resp)
+		return &cachedResponse{contentType: res.ContentType, body: res.Body}, true, nil
 	}
+}
+
+// execJob runs one job — directly, or through the sandbox pool when
+// the daemon is isolating — and maps the outcome to the response
+// envelope. A worker death (the pool's error return) surfaces exactly
+// like any other pipeline failure: a 500 with worker-stage provenance.
+func (s *Server) execJob(ctx context.Context, job workerpool.Job) (*workerpool.JobResult, *apiError) {
+	var res *workerpool.JobResult
+	if s.pool != nil {
+		var err error
+		res, err = s.pool.Do(ctx, job)
+		if err != nil {
+			return nil, pipelineError(err)
+		}
+	} else {
+		res = workerpool.Execute(ctx, job)
+	}
+	if res.Status != http.StatusOK {
+		return nil, &apiError{Status: res.Status, Err: res.Err, Stage: res.Stage, Benchmark: res.Benchmark}
+	}
+	return res, nil
 }
 
 // validateTarget checks the source/benchmark request shape shared by
 // analyze and run, returning the breaker unit guarding the work.
 func validateTarget(source, benchmark, isaName string, args []int32) (string, *apiError) {
-	if _, err := isa.ByName(isaName); err != nil {
-		return "", errorf(http.StatusBadRequest, "%v", err)
+	unit, status, msg := workerpool.ValidateTarget(source, benchmark, isaName, args)
+	if status != 0 {
+		return "", errorf(status, "%s", msg)
 	}
-	switch {
-	case source == "" && benchmark == "":
-		return "", errorf(http.StatusBadRequest, "one of source or benchmark is required")
-	case source != "" && benchmark != "":
-		return "", errorf(http.StatusBadRequest, "source and benchmark are mutually exclusive")
-	case benchmark != "":
-		if bench.ByName(benchmark) == nil {
-			return "", errorf(http.StatusBadRequest, "unknown benchmark %q", benchmark)
-		}
-		if len(args) > 0 {
-			return "", errorf(http.StatusBadRequest, "args are only valid with source (benchmarks carry their inputs)")
-		}
-		return benchmark, nil
-	default:
-		return "adhoc", nil
-	}
-}
-
-// analyzeSource runs the ad-hoc pipeline: compile, simulate, identify.
-// Compile failures are the client's (400); later stages are ours (500).
-func (s *Server) analyzeSource(ctx context.Context, req analyzeRequest) (*analyzeResponse, *apiError) {
-	img, err := core.BuildSourceISA(req.Source, req.Optimize, req.ISA)
-	if err != nil {
-		return nil, errorf(http.StatusBadRequest, "compile: %v", err)
-	}
-	sim, err := core.SimulateCtx(ctx, img, req.Args)
-	if err != nil {
-		return nil, pipelineError(err)
-	}
-	res, err := core.IdentifyImageCtx(ctx, img, core.Options{Profile: sim, Interprocedural: req.Inter})
-	if err != nil {
-		return nil, pipelineError(err)
-	}
-	ev := res.Evaluate(sim, 0)
-	okn, bdh := res.Baselines(sim, 0)
-	resp := &analyzeResponse{
-		ISA:        req.ISA,
-		Optimize:   req.Optimize,
-		Inter:      req.Inter,
-		Heuristic:  evalJSON(ev),
-		OKN:        evalJSON(okn),
-		BDH:        evalJSON(bdh),
-		Delinquent: describeAll(res.Delinquent()),
-	}
-	return resp, nil
-}
-
-// analyzeBenchmark analyses a registered benchmark through the
-// memoised bench stack (and its fault seams). Failures here are
-// server-side: the corpus is ours, so nothing maps to 400.
-func (s *Server) analyzeBenchmark(ctx context.Context, req analyzeRequest) (*analyzeResponse, *apiError) {
-	b := bench.ByName(req.Benchmark)
-	bd, err := bench.CompileISACtx(ctx, b, req.Optimize, req.ISA)
-	if err != nil {
-		return nil, pipelineError(err)
-	}
-	if bd.Degraded != nil {
-		return nil, pipelineError(bd.Degraded)
-	}
-	input := b.Input1
-	if req.Input2 {
-		input = b.Input2
-	}
-	run, err := bench.SimulateCtx(ctx, bd, input, tables.StdGeoms)
-	if err != nil {
-		return nil, pipelineError(err)
-	}
-	loads := bd.Loads
-	if req.Inter {
-		loads = bench.LoadsInter(bd)
-	}
-	scored := classify.Score(loads, run, classify.DefaultConfig())
-	delta := map[uint32]bool{}
-	for _, sc := range classify.Delinquent(scored) {
-		delta[sc.Load.PC] = true
-	}
-	stats := make([]metrics.LoadStat, 0, len(loads))
-	for _, ld := range loads {
-		stats = append(stats, metrics.LoadStat{
-			PC:     ld.PC,
-			Exec:   run.Result.ExecAt(ld.PC),
-			Misses: run.Result.MissesAt(tables.GeomBaseline, ld.PC),
-		})
-	}
-	resp := &analyzeResponse{
-		Benchmark:  b.Name,
-		ISA:        req.ISA,
-		Optimize:   req.Optimize,
-		Inter:      req.Inter,
-		Heuristic:  evalJSON(metrics.Evaluate(delta, stats)),
-		OKN:        evalJSON(metrics.Evaluate(baseline.OKN(loads), stats)),
-		BDH:        evalJSON(metrics.Evaluate(baseline.BDH(bd.Prog, loads), stats)),
-		Delinquent: describeAll(sortScored(classify.Delinquent(scored))),
-	}
-	return resp, nil
-}
-
-// sortScored orders delinquent loads as core.Result.Delinquent does:
-// highest φ first, then pc, so responses are deterministic.
-func sortScored(scored []*classify.Scored) []*classify.Scored {
-	sort.Slice(scored, func(i, j int) bool {
-		if scored[i].Phi != scored[j].Phi {
-			return scored[i].Phi > scored[j].Phi
-		}
-		return scored[i].Load.PC < scored[j].Load.PC
-	})
-	return scored
-}
-
-func describeAll(scored []*classify.Scored) []string {
-	out := make([]string, 0, len(scored))
-	for _, sc := range scored {
-		out = append(out, core.Describe(sc))
-	}
-	return out
+	return unit, nil
 }
 
 // --- POST /v1/run ----------------------------------------------------------
@@ -280,15 +186,16 @@ type runRequest struct {
 	ISA string `json:"isa"`
 }
 
-type runResponse struct {
-	Benchmark string  `json:"benchmark,omitempty"`
-	ISA       string  `json:"isa,omitempty"`
-	Exit      int32   `json:"exit"`
-	Insts     int64   `json:"insts"`
-	Accesses  uint64  `json:"accesses"`
-	Misses    uint64  `json:"misses"`
-	MissRate  float64 `json:"missRate"`
-	Output    string  `json:"output"`
+func (r runRequest) job() workerpool.Job {
+	return workerpool.Job{
+		Kind:      workerpool.JobRun,
+		Source:    r.Source,
+		Benchmark: r.Benchmark,
+		Optimize:  r.Optimize,
+		Input2:    r.Input2,
+		Args:      r.Args,
+		ISA:       r.ISA,
+	}
 }
 
 func (s *Server) handleRun(ctx context.Context, w http.ResponseWriter, r *http.Request) *apiError {
@@ -300,80 +207,9 @@ func (s *Server) handleRun(ctx context.Context, w http.ResponseWriter, r *http.R
 	if ae != nil {
 		return ae
 	}
-	fill := func() (*cachedResponse, bool, error) {
-		release, ae := s.admit(ctx)
-		if ae != nil {
-			return nil, false, ae
-		}
-		defer release()
-		if ae := s.guard(unit); ae != nil {
-			return nil, false, ae
-		}
-		faultinject.Crash(faultinject.WorkerPanic, "serve:run")
-
-		var resp *runResponse
-		if req.Benchmark != "" {
-			resp, ae = s.runBenchmark(ctx, req)
-		} else {
-			resp, ae = s.runSource(ctx, req)
-		}
-		if s.finish(unit, ae); ae != nil {
-			return nil, false, ae
-		}
-		return jsonBody(resp)
-	}
+	fill := s.jobFill(ctx, req.job(), unit, "serve:run",
+		func() (func(), *apiError) { return s.admit(ctx) })
 	return s.serveCached(ctx, w, runCacheKey(req), fill)
-}
-
-func (s *Server) runSource(ctx context.Context, req runRequest) (*runResponse, *apiError) {
-	img, err := core.BuildSourceISA(req.Source, req.Optimize, req.ISA)
-	if err != nil {
-		return nil, errorf(http.StatusBadRequest, "compile: %v", err)
-	}
-	sim, err := core.SimulateCtx(ctx, img, req.Args)
-	if err != nil {
-		return nil, pipelineError(err)
-	}
-	st := sim.Caches[0].Stats()
-	return &runResponse{
-		ISA:      req.ISA,
-		Exit:     sim.Result.Exit,
-		Insts:    sim.Result.Insts,
-		Accesses: st.Accesses,
-		Misses:   st.Misses,
-		MissRate: st.MissRate(),
-		Output:   sim.Result.Output,
-	}, nil
-}
-
-func (s *Server) runBenchmark(ctx context.Context, req runRequest) (*runResponse, *apiError) {
-	b := bench.ByName(req.Benchmark)
-	bd, err := bench.CompileISACtx(ctx, b, req.Optimize, req.ISA)
-	if err != nil {
-		return nil, pipelineError(err)
-	}
-	if bd.Degraded != nil {
-		return nil, pipelineError(bd.Degraded)
-	}
-	input := b.Input1
-	if req.Input2 {
-		input = b.Input2
-	}
-	run, err := bench.SimulateCtx(ctx, bd, input, tables.StdGeoms)
-	if err != nil {
-		return nil, pipelineError(err)
-	}
-	st := run.Caches[tables.GeomBaseline].Stats()
-	return &runResponse{
-		Benchmark: b.Name,
-		ISA:       req.ISA,
-		Exit:      run.Result.Exit,
-		Insts:     run.Result.Insts,
-		Accesses:  st.Accesses,
-		Misses:    st.Misses,
-		MissRate:  st.MissRate(),
-		Output:    run.Result.Output,
-	}, nil
 }
 
 // --- GET /v1/table/{id} ----------------------------------------------------------
@@ -485,7 +321,8 @@ func (s *Server) batchOne(ctx context.Context, req analyzeRequest, acquire func(
 	unit, ae := validateTarget(req.Source, req.Benchmark, req.ISA, req.Args)
 	var outcome string
 	if ae == nil {
-		cr, o, err := s.doCached(ctx, analyzeCacheKey(req), s.analyzeFill(ctx, req, unit, acquire))
+		fill := s.jobFill(ctx, req.job(), unit, "serve:analyze", acquire)
+		cr, o, err := s.doCached(ctx, analyzeCacheKey(req), fill)
 		outcome = s.cacheHeader(o)
 		if err == nil {
 			return batchItem{
@@ -510,7 +347,9 @@ func (s *Server) batchOne(ctx context.Context, req analyzeRequest, acquire func(
 // internal/tables, so renders are serialised; the memoised bench stack
 // underneath keeps repeat renders cheap. The context bounds the
 // per-benchmark work via tables.SetTimeout only when this request
-// carries a deadline.
+// carries a deadline. Renders always run in the daemon process — they
+// aggregate many benchmarks behind one mutex, so worker isolation
+// would serialise the pool for little protection.
 func (s *Server) renderTable(ctx context.Context, id string) (string, int, *apiError) {
 	s.tableMu.Lock()
 	defer s.tableMu.Unlock()

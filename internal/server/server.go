@@ -33,6 +33,7 @@ import (
 	"delinq/internal/core"
 	"delinq/internal/metrics"
 	"delinq/internal/rescache"
+	"delinq/internal/workerpool"
 )
 
 // Config shapes one daemon.
@@ -69,6 +70,23 @@ type Config struct {
 	// replays them (OpenState must be called before serving), and a
 	// restarted daemon answers warm. Empty means volatile-only.
 	StateDir string
+	// Isolate executes analyze/run fills in sandboxed subprocess
+	// workers from a supervised pool, so a request that OOMs or crashes
+	// kills one worker, never the daemon. Everything above the fill —
+	// cache, coalescing, admission, breakers, WAL — is unchanged, and
+	// response bytes are identical to in-process mode.
+	Isolate bool
+	// Workers bounds concurrently executing sandbox workers
+	// (default MaxInflight). Only meaningful with Isolate.
+	Workers int
+	// WorkerMem is the per-worker memory ceiling in bytes (default
+	// 512 MiB; negative = no ceiling). Only meaningful with Isolate.
+	WorkerMem int64
+	// WorkerCommand overrides the worker argv (tests re-exec their own
+	// binary); empty means this executable's `worker` subcommand.
+	WorkerCommand []string
+	// WorkerEnv is extra environment for each worker.
+	WorkerEnv []string
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +113,16 @@ func (c Config) withDefaults() Config {
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 64 << 20
 	}
+	if c.Isolate {
+		if c.Workers <= 0 {
+			c.Workers = c.MaxInflight
+		}
+		if c.WorkerMem == 0 {
+			c.WorkerMem = 512 << 20
+		} else if c.WorkerMem < 0 {
+			c.WorkerMem = 0 // explicit "no ceiling"
+		}
+	}
 	return c
 }
 
@@ -107,6 +135,7 @@ type Server struct {
 	mux   *http.ServeMux
 	cache *rescache.Cache[*cachedResponse] // nil when Config.CacheOff
 	state *stateStore                      // nil unless OpenState attached a StateDir
+	pool  *workerpool.Pool                 // nil unless Config.Isolate
 
 	baseCtx    context.Context // cancelled to abort straggling requests
 	baseCancel context.CancelFunc
@@ -145,6 +174,14 @@ func New(cfg Config) *Server {
 			MaxBytes:   cfg.CacheBytes,
 			TTL:        cfg.CacheTTL,
 		}, respSize)
+	}
+	if cfg.Isolate {
+		s.pool = workerpool.New(workerpool.Config{
+			Workers:  cfg.Workers,
+			MemLimit: cfg.WorkerMem,
+			Command:  cfg.WorkerCommand,
+			Env:      cfg.WorkerEnv,
+		})
 	}
 	s.brk.onTransition = func(unit string, to breakerState, stage core.Stage) {
 		switch to {
@@ -195,6 +232,26 @@ func New(cfg Config) *Server {
 		s.reg.Gauge("delinq_cache_evicted_ttl_total", stat(func(st rescache.Stats) int64 { return int64(st.EvictedTTL) }))
 		s.reg.Gauge("delinq_cache_entries", stat(func(st rescache.Stats) int64 { return int64(st.Entries) }))
 		s.reg.Gauge("delinq_cache_bytes", stat(func(st rescache.Stats) int64 { return st.Bytes }))
+	}
+	if s.pool != nil {
+		// Like the cache gauges, worker telemetry reads the pool's own
+		// counters so /metrics cannot drift from what the pool did: the
+		// chaos tests assert exact spawn/kill/recycle/oom counts here.
+		wstat := func(f func(workerpool.Stats) int64) func() int64 {
+			return func() int64 { return f(s.pool.Stats()) }
+		}
+		s.reg.Gauge("delinq_worker_spawns_total", wstat(func(st workerpool.Stats) int64 { return st.Spawns }))
+		s.reg.Gauge("delinq_worker_spawn_failures_total", wstat(func(st workerpool.Stats) int64 { return st.SpawnFailures }))
+		s.reg.Gauge("delinq_worker_deaths_total", wstat(func(st workerpool.Stats) int64 { return st.Deaths }))
+		s.reg.Gauge("delinq_worker_kills_total", wstat(func(st workerpool.Stats) int64 { return st.Kills }))
+		s.reg.Gauge("delinq_worker_recycles_total", wstat(func(st workerpool.Stats) int64 { return st.Recycles }))
+		s.reg.Gauge("delinq_worker_ooms_total", wstat(func(st workerpool.Stats) int64 { return st.OOMs }))
+		s.reg.Gauge("delinq_worker_backoffs_total", wstat(func(st workerpool.Stats) int64 { return st.Backoffs }))
+		s.reg.Gauge("delinq_worker_ping_failures_total", wstat(func(st workerpool.Stats) int64 { return st.PingFailures }))
+		s.reg.Gauge("delinq_worker_requests_total", wstat(func(st workerpool.Stats) int64 { return st.Requests }))
+		s.reg.Gauge("delinq_worker_failures_total", wstat(func(st workerpool.Stats) int64 { return st.Failures }))
+		s.reg.Gauge("delinq_worker_active", wstat(func(st workerpool.Stats) int64 { return st.Active }))
+		s.reg.Gauge("delinq_worker_idle", wstat(func(st workerpool.Stats) int64 { return st.Idle }))
 	}
 	s.routes()
 	return s
@@ -322,6 +379,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.baseCancel()
+	// The drain (or its abort) has flushed every fill out of the pool,
+	// so the sandbox workers are all idle: retire them.
+	if s.pool != nil {
+		s.pool.Close()
+	}
 	// With all fills drained, the durable log is quiescent: sync and
 	// close it so the next boot replays a clean tail.
 	s.state.close()

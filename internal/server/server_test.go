@@ -14,6 +14,7 @@ import (
 
 	"delinq/internal/bench"
 	"delinq/internal/faultinject"
+	"delinq/internal/workerpool"
 )
 
 // srcLoop is a small mini-C program with a strided array walk: cheap to
@@ -80,7 +81,7 @@ func TestAnalyzeSource(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("analyze = %d: %s", code, got)
 	}
-	var resp analyzeResponse
+	var resp workerpool.AnalyzeResponse
 	if err := json.Unmarshal([]byte(got), &resp); err != nil {
 		t.Fatalf("bad JSON: %v\n%s", err, got)
 	}
@@ -104,7 +105,7 @@ func TestAnalyzeBenchmark(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("analyze benchmark = %d: %s", code, got)
 	}
-	var resp analyzeResponse
+	var resp workerpool.AnalyzeResponse
 	if err := json.Unmarshal([]byte(got), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestAnalyzeARM(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("analyze isa=arm = %d: %s", code, got)
 	}
-	var resp analyzeResponse
+	var resp workerpool.AnalyzeResponse
 	if err := json.Unmarshal([]byte(got), &resp); err != nil {
 		t.Fatalf("bad JSON: %v\n%s", err, got)
 	}
@@ -171,7 +172,7 @@ func TestAnalyzeARM(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("run isa=arm = %d: %s", code, got)
 	}
-	var rr runResponse
+	var rr workerpool.RunResponse
 	if err := json.Unmarshal([]byte(got), &rr); err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestRunSourceAndBenchmark(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("run source = %d: %s", code, got)
 	}
-	var rr runResponse
+	var rr workerpool.RunResponse
 	if err := json.Unmarshal([]byte(got), &rr); err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"delinq/internal/asm"
+	"delinq/internal/minic"
 )
 
 // spin is a program that never exits by itself.
@@ -60,6 +61,81 @@ func TestBackgroundContextCostsNothing(t *testing.T) {
 	res, err := RunContext(context.Background(), img, Options{})
 	if err != nil || res.Exit != 0 {
 		t.Fatalf("res = %+v, err = %v", res, err)
+	}
+}
+
+// TestMemBudgetMallocLoop: a mini-C malloc loop that touches every
+// allocation must hit ErrMemBudget instead of ballooning the host.
+func TestMemBudgetMallocLoop(t *testing.T) {
+	src := `
+int main() {
+	int i;
+	for (i = 0; i < 1000000; i = i + 1) {
+		char *p = malloc(4096);
+		p[0] = 1;
+	}
+	return 0;
+}`
+	asmText, err := minic.Compile(src, minic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.Assemble(asmText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(img, Options{MaxMemBytes: 1 << 20})
+	if !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("err = %v, want ErrMemBudget through the chain", err)
+	}
+	var ve *Error
+	if !errors.As(err, &ve) || ve.PC == 0 {
+		t.Errorf("memory budget error lost the faulting pc: %v", err)
+	}
+}
+
+// TestMemBudgetGiantSpace: a giant `.space` region costs nothing until
+// touched (pages are lazy), but striding across it must trip the
+// budget.
+func TestMemBudgetGiantSpace(t *testing.T) {
+	const giant = `
+	.data
+buf:	.space 33554432
+	.text
+main:
+	la $t0, buf
+	li $t1, 8192
+loop:
+	sw $zero, 0($t0)
+	addiu $t0, $t0, 4096
+	addiu $t1, $t1, -1
+	bne $t1, $zero, loop
+	li $v0, 10
+	syscall
+`
+	img, err := asm.Assemble(giant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(img, Options{MaxMemBytes: 1 << 20}); !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("err = %v, want ErrMemBudget", err)
+	}
+	// Unlimited budget: the same program runs to completion.
+	if _, err := Run(img, Options{MaxMemBytes: -1}); err != nil {
+		t.Fatalf("unlimited budget failed: %v", err)
+	}
+}
+
+// TestMemBudgetDefaultAppliesAndAllowsNormalRuns: the zero Options
+// value gets DefaultMaxMem — enough for every legitimate program, but
+// a cap nonetheless.
+func TestMemBudgetDefaultAppliesAndAllowsNormalRuns(t *testing.T) {
+	img, err := asm.Assemble("main:\n\tli $v0, 10\n\tsyscall\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(img, Options{}); err != nil {
+		t.Fatalf("default budget rejected a trivial program: %v", err)
 	}
 }
 

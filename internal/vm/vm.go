@@ -31,6 +31,12 @@ type Options struct {
 	// MaxInsts bounds execution; exceeding it is an error. Zero means
 	// the default of 2e9.
 	MaxInsts int64
+	// MaxMemBytes bounds the VM-visible memory a run may touch: every
+	// page the program allocates — static data, `.space` regions on
+	// first touch, sbrk/malloc heap, stack — counts against it.
+	// Exceeding it fails the run with ErrMemBudget. Zero means the
+	// default of DefaultMaxMem; negative means unlimited.
+	MaxMemBytes int64
 	// Caches are data-cache models fed by every load and store. Multiple
 	// geometries can be evaluated in a single run.
 	Caches []*cache.Cache
@@ -81,6 +87,17 @@ func (r *Result) MissesAt(c int, pc uint32) int64 {
 // machine faults.
 var ErrBudget = errors.New("instruction budget exhausted")
 
+// DefaultMaxMem is the memory budget applied when Options.MaxMemBytes
+// is zero: generous for every legitimate benchmark and kernel, but far
+// below the address space's ~1.7 GB heap room, so a malloc loop or a
+// touched giant `.space` region fails cleanly instead of ballooning
+// the host process.
+const DefaultMaxMem = 256 << 20
+
+// ErrMemBudget marks an execution that touched more memory than its
+// budget allows; match with errors.Is.
+var ErrMemBudget = errors.New("memory budget exhausted")
+
 // Error is a runtime fault with the faulting pc. Err, when non-nil,
 // carries the underlying cause (ErrBudget, a context cancellation) for
 // errors.Is/As matching through the chain.
@@ -114,6 +131,12 @@ type machine struct {
 	// cached slice can never go stale.
 	lastBase uint32
 	lastPage []byte
+	// memBytes counts allocated page bytes against maxMem; the loop
+	// polls it every 8K instructions (with the context check), so a run
+	// can overshoot by at most the pages touched in one poll interval —
+	// a few MB, never unbounded growth.
+	memBytes int64
+	maxMem   int64
 	brk      uint32
 	out      strings.Builder
 	opts     Options
@@ -143,6 +166,9 @@ func Run(img *obj.Image, opts Options) (*Result, error) {
 func RunContext(ctx context.Context, img *obj.Image, opts Options) (*Result, error) {
 	if opts.MaxInsts == 0 {
 		opts.MaxInsts = 2e9
+	}
+	if opts.MaxMemBytes == 0 {
+		opts.MaxMemBytes = DefaultMaxMem
 	}
 	if err := img.Validate(); err != nil {
 		return nil, fmt.Errorf("vm: %w", err)
@@ -177,9 +203,19 @@ func RunContext(ctx context.Context, img *obj.Image, opts Options) (*Result, err
 	if len(opts.Caches) == 1 {
 		m.miss0 = m.res.LoadMisses[0]
 	}
-	// Initialise static data.
-	for i, b := range img.Data {
-		m.pageFor(obj.DataBase + uint32(i))[(obj.DataBase+uint32(i))%pageSize] = b
+	m.maxMem = opts.MaxMemBytes
+	// Initialise static data a page at a time (DataBase is page-aligned),
+	// checking the memory budget as pages materialise so a giant data
+	// segment fails fast instead of after allocating it all.
+	for off := 0; off < len(img.Data); off += pageSize {
+		copy(m.pageFor(obj.DataBase+uint32(off)), img.Data[off:])
+		if m.maxMem > 0 && m.memBytes > m.maxMem {
+			return nil, &Error{
+				PC:  img.Entry,
+				Msg: fmt.Sprintf("static data exceeds the memory budget of %d bytes", m.maxMem),
+				Err: ErrMemBudget,
+			}
+		}
 	}
 	if gp, ok := mach.GP(); ok {
 		m.reg[gp] = int32(img.GPValue)
@@ -213,6 +249,7 @@ func (m *machine) pageFor(addr uint32) []byte {
 	if !ok {
 		p = make([]byte, pageSize)
 		m.pages[base] = p
+		m.memBytes += pageSize
 	}
 	m.lastBase, m.lastPage = base, p
 	return p
@@ -299,9 +336,22 @@ func (m *machine) loop() error {
 				Err: ErrBudget,
 			}
 		}
-		if m.ctx != nil && m.res.Insts&8191 == 0 {
-			if err := m.ctx.Err(); err != nil {
-				return &Error{PC: m.pc, Msg: "execution cancelled: " + err.Error(), Err: err}
+		if m.res.Insts&8191 == 0 {
+			// The slow polls share one mask test so the hot loop pays a
+			// single branch: memory can only grow a few pages per
+			// instruction, so checking the budget every 8K instructions
+			// bounds the overshoot to a few MB past the configured limit.
+			if m.maxMem > 0 && m.memBytes > m.maxMem {
+				return &Error{
+					PC:  m.pc,
+					Msg: fmt.Sprintf("memory budget of %d bytes exhausted", m.maxMem),
+					Err: ErrMemBudget,
+				}
+			}
+			if m.ctx != nil {
+				if err := m.ctx.Err(); err != nil {
+					return &Error{PC: m.pc, Msg: "execution cancelled: " + err.Error(), Err: err}
+				}
 			}
 		}
 		m.res.Insts++

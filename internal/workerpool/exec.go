@@ -1,0 +1,289 @@
+// The fill-path pipeline itself. Execute is the single definition of
+// what an analyze or run job does — the daemon calls it directly in
+// non-isolated mode, workers call it inside the sandbox — so the bytes
+// a client sees cannot depend on which side ran the pipeline.
+package workerpool
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"delinq/internal/baseline"
+	"delinq/internal/bench"
+	"delinq/internal/classify"
+	"delinq/internal/core"
+	"delinq/internal/isa"
+	"delinq/internal/metrics"
+	"delinq/internal/tables"
+)
+
+// SetEval is the JSON shape of one selection-set evaluation.
+type SetEval struct {
+	Selected int     `json:"selected"`
+	Loads    int     `json:"loads"`
+	Pi       float64 `json:"pi"`
+	Rho      float64 `json:"rho"`
+}
+
+func evalJSON(ev metrics.SetEval) SetEval {
+	return SetEval{Selected: ev.Selected, Loads: ev.Loads, Pi: ev.Pi, Rho: ev.Rho}
+}
+
+// AnalyzeResponse is the success payload of an analyze job.
+type AnalyzeResponse struct {
+	Benchmark  string   `json:"benchmark,omitempty"`
+	ISA        string   `json:"isa,omitempty"`
+	Optimize   bool     `json:"optimize"`
+	Inter      bool     `json:"inter"`
+	Heuristic  SetEval  `json:"heuristic"`
+	OKN        SetEval  `json:"okn"`
+	BDH        SetEval  `json:"bdh"`
+	Delinquent []string `json:"delinquent"`
+}
+
+// RunResponse is the success payload of a run job.
+type RunResponse struct {
+	Benchmark string  `json:"benchmark,omitempty"`
+	ISA       string  `json:"isa,omitempty"`
+	Exit      int32   `json:"exit"`
+	Insts     int64   `json:"insts"`
+	Accesses  uint64  `json:"accesses"`
+	Misses    uint64  `json:"misses"`
+	MissRate  float64 `json:"missRate"`
+	Output    string  `json:"output"`
+}
+
+// ValidateTarget checks the source/benchmark request shape shared by
+// analyze and run, returning the breaker unit that guards the work
+// ("adhoc" for source jobs, the benchmark name otherwise) or an HTTP
+// status and message for the client.
+func ValidateTarget(source, benchmark, isaName string, args []int32) (unit string, status int, msg string) {
+	if _, err := isa.ByName(isaName); err != nil {
+		return "", http.StatusBadRequest, err.Error()
+	}
+	switch {
+	case source == "" && benchmark == "":
+		return "", http.StatusBadRequest, "one of source or benchmark is required"
+	case source != "" && benchmark != "":
+		return "", http.StatusBadRequest, "source and benchmark are mutually exclusive"
+	case benchmark != "":
+		if bench.ByName(benchmark) == nil {
+			return "", http.StatusBadRequest, fmt.Sprintf("unknown benchmark %q", benchmark)
+		}
+		if len(args) > 0 {
+			return "", http.StatusBadRequest, "args are only valid with source (benchmarks carry their inputs)"
+		}
+		return benchmark, 0, ""
+	default:
+		return "adhoc", 0, ""
+	}
+}
+
+// Execute runs one job's pipeline in the calling process and renders
+// its outcome. It never returns nil.
+func Execute(ctx context.Context, job Job) *JobResult {
+	switch job.Kind {
+	case JobAnalyze:
+		if job.Benchmark != "" {
+			return analyzeBenchmark(ctx, job)
+		}
+		return analyzeSource(ctx, job)
+	case JobRun:
+		if job.Benchmark != "" {
+			return runBenchmark(ctx, job)
+		}
+		return runSource(ctx, job)
+	default:
+		return errResult(http.StatusBadRequest, "unknown job kind %q", job.Kind)
+	}
+}
+
+// errResult renders a client-visible failure.
+func errResult(status int, format string, args ...any) *JobResult {
+	return &JobResult{Status: status, Err: fmt.Sprintf(format, args...)}
+}
+
+// pipelineResult maps a pipeline failure exactly as the daemon's
+// pipelineError does: everything reaching it is a server-side 500, with
+// StageError provenance preserved in the envelope.
+func pipelineResult(err error) *JobResult {
+	res := &JobResult{Status: http.StatusInternalServerError, Err: err.Error()}
+	var se *core.StageError
+	if errors.As(err, &se) {
+		res.Stage = string(se.Stage)
+		res.Benchmark = se.Benchmark
+	}
+	return res
+}
+
+// okJSON renders a success payload with the daemon's canonical JSON
+// encoding (marshal + trailing newline, matching writeJSON/jsonBody).
+func okJSON(v any) *JobResult {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return pipelineResult(core.WrapStage("", core.StageServe, err))
+	}
+	return &JobResult{
+		Status:      http.StatusOK,
+		ContentType: "application/json",
+		Body:        append(b, '\n'),
+	}
+}
+
+// analyzeSource runs the ad-hoc pipeline: compile, simulate, identify.
+// Compile failures are the client's (400); later stages are ours (500).
+func analyzeSource(ctx context.Context, job Job) *JobResult {
+	img, err := core.BuildSourceISA(job.Source, job.Optimize, job.ISA)
+	if err != nil {
+		return errResult(http.StatusBadRequest, "compile: %v", err)
+	}
+	sim, err := core.SimulateCtx(ctx, img, job.Args)
+	if err != nil {
+		return pipelineResult(err)
+	}
+	res, err := core.IdentifyImageCtx(ctx, img, core.Options{Profile: sim, Interprocedural: job.Inter})
+	if err != nil {
+		return pipelineResult(err)
+	}
+	ev := res.Evaluate(sim, 0)
+	okn, bdh := res.Baselines(sim, 0)
+	return okJSON(&AnalyzeResponse{
+		ISA:        job.ISA,
+		Optimize:   job.Optimize,
+		Inter:      job.Inter,
+		Heuristic:  evalJSON(ev),
+		OKN:        evalJSON(okn),
+		BDH:        evalJSON(bdh),
+		Delinquent: describeAll(res.Delinquent()),
+	})
+}
+
+// analyzeBenchmark analyses a registered benchmark through the
+// memoised bench stack (and its fault seams). Failures here are
+// server-side: the corpus is ours, so nothing maps to 400.
+func analyzeBenchmark(ctx context.Context, job Job) *JobResult {
+	b := bench.ByName(job.Benchmark)
+	if b == nil {
+		return errResult(http.StatusBadRequest, "unknown benchmark %q", job.Benchmark)
+	}
+	bd, err := bench.CompileISACtx(ctx, b, job.Optimize, job.ISA)
+	if err != nil {
+		return pipelineResult(err)
+	}
+	if bd.Degraded != nil {
+		return pipelineResult(bd.Degraded)
+	}
+	input := b.Input1
+	if job.Input2 {
+		input = b.Input2
+	}
+	run, err := bench.SimulateCtx(ctx, bd, input, tables.StdGeoms)
+	if err != nil {
+		return pipelineResult(err)
+	}
+	loads := bd.Loads
+	if job.Inter {
+		loads = bench.LoadsInter(bd)
+	}
+	scored := classify.Score(loads, run, classify.DefaultConfig())
+	delta := map[uint32]bool{}
+	for _, sc := range classify.Delinquent(scored) {
+		delta[sc.Load.PC] = true
+	}
+	stats := make([]metrics.LoadStat, 0, len(loads))
+	for _, ld := range loads {
+		stats = append(stats, metrics.LoadStat{
+			PC:     ld.PC,
+			Exec:   run.Result.ExecAt(ld.PC),
+			Misses: run.Result.MissesAt(tables.GeomBaseline, ld.PC),
+		})
+	}
+	return okJSON(&AnalyzeResponse{
+		Benchmark:  b.Name,
+		ISA:        job.ISA,
+		Optimize:   job.Optimize,
+		Inter:      job.Inter,
+		Heuristic:  evalJSON(metrics.Evaluate(delta, stats)),
+		OKN:        evalJSON(metrics.Evaluate(baseline.OKN(loads), stats)),
+		BDH:        evalJSON(metrics.Evaluate(baseline.BDH(bd.Prog, loads), stats)),
+		Delinquent: describeAll(sortScored(classify.Delinquent(scored))),
+	})
+}
+
+func runSource(ctx context.Context, job Job) *JobResult {
+	img, err := core.BuildSourceISA(job.Source, job.Optimize, job.ISA)
+	if err != nil {
+		return errResult(http.StatusBadRequest, "compile: %v", err)
+	}
+	sim, err := core.SimulateCtx(ctx, img, job.Args)
+	if err != nil {
+		return pipelineResult(err)
+	}
+	st := sim.Caches[0].Stats()
+	return okJSON(&RunResponse{
+		ISA:      job.ISA,
+		Exit:     sim.Result.Exit,
+		Insts:    sim.Result.Insts,
+		Accesses: st.Accesses,
+		Misses:   st.Misses,
+		MissRate: st.MissRate(),
+		Output:   sim.Result.Output,
+	})
+}
+
+func runBenchmark(ctx context.Context, job Job) *JobResult {
+	b := bench.ByName(job.Benchmark)
+	if b == nil {
+		return errResult(http.StatusBadRequest, "unknown benchmark %q", job.Benchmark)
+	}
+	bd, err := bench.CompileISACtx(ctx, b, job.Optimize, job.ISA)
+	if err != nil {
+		return pipelineResult(err)
+	}
+	if bd.Degraded != nil {
+		return pipelineResult(bd.Degraded)
+	}
+	input := b.Input1
+	if job.Input2 {
+		input = b.Input2
+	}
+	run, err := bench.SimulateCtx(ctx, bd, input, tables.StdGeoms)
+	if err != nil {
+		return pipelineResult(err)
+	}
+	st := run.Caches[tables.GeomBaseline].Stats()
+	return okJSON(&RunResponse{
+		Benchmark: b.Name,
+		ISA:       job.ISA,
+		Exit:      run.Result.Exit,
+		Insts:     run.Result.Insts,
+		Accesses:  st.Accesses,
+		Misses:    st.Misses,
+		MissRate:  st.MissRate(),
+		Output:    run.Result.Output,
+	})
+}
+
+// sortScored orders delinquent loads as core.Result.Delinquent does:
+// highest φ first, then pc, so responses are deterministic.
+func sortScored(scored []*classify.Scored) []*classify.Scored {
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Phi != scored[j].Phi {
+			return scored[i].Phi > scored[j].Phi
+		}
+		return scored[i].Load.PC < scored[j].Load.PC
+	})
+	return scored
+}
+
+func describeAll(scored []*classify.Scored) []string {
+	out := make([]string, 0, len(scored))
+	for _, sc := range scored {
+		out = append(out, core.Describe(sc))
+	}
+	return out
+}

@@ -39,6 +39,15 @@ echo "== serve chaos (race)"
 # and coalesced waiters survive drain.
 go test -race -run 'TestServeChaosStorm|TestGracefulDrain|TestDrainAbortsStragglers|TestCacheCoalescesThunderingHerd|TestCacheFailureNotCached|TestCacheBreakerShortCircuitBeforeFill|TestCacheDrainAbortsCoalescedWaiters' ./internal/server
 
+echo "== worker chaos (race)"
+# The process-isolation gate: sandboxed workers SIGKILLed and OOMed
+# mid-request must surface as 500s with worker-stage provenance while
+# the daemon keeps serving byte-identical healthy responses, the worker
+# telemetry accounts for every spawn exactly, and the durability
+# contract (warm replay, never-persist-poison) holds across the process
+# boundary.
+go test -race -run 'TestWorkerChaosStorm|TestIsolateWorkerOOM|TestIsolateWarmRestartAndPoison' ./internal/server
+
 echo "== crash recovery matrix (race)"
 # The durability gate: the WAL must survive truncation at every byte
 # offset, bit flips across the whole log, interior multi-byte damage,
@@ -69,7 +78,7 @@ go test -cover \
     ./internal/faultinject ./internal/cache \
     ./internal/server ./internal/retry ./internal/metrics \
     ./internal/rescache ./internal/isa/mips ./internal/isa/arm \
-    ./internal/wal |
+    ./internal/wal ./internal/workerpool |
 awk '
 /coverage:/ {
     pct = $5; sub(/%.*/, "", pct)
